@@ -1,0 +1,200 @@
+// Command parnode runs one ParBlockchain node — an orderer or an
+// executor — over real TCP sockets, as described by a shared cluster
+// config file:
+//
+//	parnode -config cluster.json -id o1
+//	parnode -config cluster.json -id e1
+//
+// The node role is inferred from which section of the config the ID
+// appears in. All nodes of a cluster must share the same config file.
+// See examples/tcpcluster for a runnable end-to-end setup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"parblockchain/internal/clustercfg"
+	"parblockchain/internal/consensus"
+	"parblockchain/internal/consensus/kafkaorder"
+	"parblockchain/internal/consensus/pbft"
+	"parblockchain/internal/consensus/raft"
+	"parblockchain/internal/contract"
+	"parblockchain/internal/cryptoutil"
+	"parblockchain/internal/execution"
+	"parblockchain/internal/ledger"
+	"parblockchain/internal/ordering"
+	"parblockchain/internal/state"
+	"parblockchain/internal/transport"
+	"parblockchain/internal/types"
+)
+
+func main() {
+	configPath := flag.String("config", "cluster.json", "cluster description file")
+	id := flag.String("id", "", "this node's identity (must appear in the config)")
+	flag.Parse()
+	if err := run(*configPath, types.NodeID(*id)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// registerWire registers every payload type this binary exchanges.
+func registerWire() {
+	transport.RegisterWireTypes(
+		&types.RequestMsg{}, &types.NewBlockMsg{}, &types.CommitMsg{},
+		&types.StateSyncMsg{}, &types.CommitNotifyMsg{},
+		pbft.Forward{}, pbft.PrePrepare{}, pbft.Prepare{}, pbft.Commit{},
+		pbft.ViewChange{}, pbft.NewView{},
+		raft.Forward{}, raft.RequestVote{}, raft.VoteResp{},
+		raft.AppendEntries{}, raft.AppendResp{},
+		kafkaorder.Forward{}, kafkaorder.Append{}, kafkaorder.Ack{},
+		kafkaorder.CommitAnn{},
+	)
+}
+
+func run(configPath string, id types.NodeID) error {
+	if id == "" {
+		return fmt.Errorf("parnode: -id is required")
+	}
+	cfg, err := clustercfg.Load(configPath)
+	if err != nil {
+		return err
+	}
+	registerWire()
+
+	book := cfg.AddrBook()
+	listenAddr, ok := book[id]
+	if !ok {
+		return fmt.Errorf("parnode: %s not present in %s", id, configPath)
+	}
+	ep, err := transport.NewTCPEndpoint(transport.TCPConfig{
+		ID:         id,
+		ListenAddr: listenAddr,
+		Peers:      book,
+	})
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+
+	signer, verifier := keys(cfg, id)
+
+	var stop func()
+	switch {
+	case has(cfg.Orderers, id):
+		node, err := runOrderer(cfg, id, ep, signer, verifier)
+		if err != nil {
+			return err
+		}
+		stop = node.Stop
+		log.Printf("orderer %s listening on %s", id, ep.Addr())
+	case has(cfg.Executors, id):
+		node := runExecutor(cfg, id, ep, signer, verifier)
+		stop = node.Stop
+		log.Printf("executor %s listening on %s (observer=%v)", id, ep.Addr(), string(id) == cfg.Observer)
+	default:
+		return fmt.Errorf("parnode: %s is neither an orderer nor an executor", id)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("%s shutting down", id)
+	stop()
+	return nil
+}
+
+func has(m map[string]string, id types.NodeID) bool {
+	_, ok := m[string(id)]
+	return ok
+}
+
+// keys derives deterministic demo keys when crypto is on; otherwise no-op
+// signing.
+func keys(cfg *clustercfg.Config, id types.NodeID) (cryptoutil.Signer, cryptoutil.Verifier) {
+	if !cfg.Crypto {
+		return cryptoutil.NoopSigner{NodeID: string(id)}, cryptoutil.NoopVerifier{}
+	}
+	ring := cryptoutil.NewKeyRing()
+	for other := range cfg.AddrBook() {
+		ring.Add(string(other), cryptoutil.DeterministicKeyPair(string(other)).Public())
+	}
+	return cryptoutil.DeterministicKeyPair(string(id)), ring
+}
+
+func buildConsensus(kind string, id types.NodeID, members []types.NodeID,
+	ep transport.Endpoint) (consensus.Node, error) {
+	sender := consensus.SenderFunc(ep.Send)
+	switch kind {
+	case "pbft":
+		return pbft.New(pbft.Config{ID: id, Members: members, Sender: sender}), nil
+	case "raft":
+		return raft.New(raft.Config{ID: id, Members: members, Sender: sender}), nil
+	case "kafka":
+		return kafkaorder.New(kafkaorder.Config{ID: id, Members: members, Sender: sender}), nil
+	default:
+		return nil, fmt.Errorf("parnode: unknown consensus %q", kind)
+	}
+}
+
+func runOrderer(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
+	signer cryptoutil.Signer, verifier cryptoutil.Verifier) (*ordering.Orderer, error) {
+	cons, err := buildConsensus(cfg.Consensus, id, cfg.OrdererIDs(), ep)
+	if err != nil {
+		return nil, err
+	}
+	node := ordering.New(ordering.Config{
+		ID:               id,
+		Endpoint:         ep,
+		Consensus:        cons,
+		Executors:        cfg.ExecutorIDs(),
+		Signer:           signer,
+		Verifier:         verifier,
+		VerifyClientSigs: cfg.Crypto,
+		MaxBlockTxns:     cfg.BlockTxns,
+		MaxBlockInterval: cfg.BlockInterval(),
+		BuildGraph:       true,
+	})
+	node.Start()
+	return node, nil
+}
+
+func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
+	signer cryptoutil.Signer, verifier cryptoutil.Verifier) *execution.Executor {
+	registry := contract.NewRegistry()
+	for app, agents := range cfg.AgentsOf() {
+		for _, agent := range agents {
+			if agent == id {
+				// The demo cluster runs the accounting application on
+				// every agent; extend here for custom contracts.
+				registry.Install(app, contract.NewAccounting())
+			}
+		}
+	}
+	store := state.NewKVStore()
+	store.Apply(cfg.GenesisKVs(contract.EncodeBalance))
+	quorum := 1
+	if cfg.Consensus == "pbft" {
+		quorum = (len(cfg.Orderers)-1)/3 + 1
+	}
+	node := execution.New(execution.Config{
+		ID:            id,
+		Endpoint:      ep,
+		Registry:      registry,
+		AgentsOf:      cfg.AgentsOf(),
+		OrderQuorum:   quorum,
+		Executors:     cfg.ExecutorIDs(),
+		Store:         store,
+		Ledger:        ledger.New(),
+		Signer:        signer,
+		Verifier:      verifier,
+		VerifySigs:    cfg.Crypto,
+		NotifyClients: string(id) == cfg.Observer,
+	})
+	node.Start()
+	return node
+}

@@ -1,0 +1,157 @@
+// Package baselines_test checks cross-paradigm invariants: all three
+// systems implement the same replicated state machine, so on a fixed
+// committed workload the sequential OX paradigm and the parallel OXII
+// paradigm must reach identical final states — the serializability
+// guarantee the dependency graph exists to provide.
+package baselines_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"parblockchain/internal/baselines/ox"
+	"parblockchain/internal/contract"
+	"parblockchain/internal/oxii"
+	"parblockchain/internal/transport"
+	"parblockchain/internal/types"
+	"parblockchain/internal/workload"
+)
+
+// fixedWorkload returns a deterministic batch of transactions (mixed
+// contention) and the genesis covering them.
+func fixedWorkload(n int) ([]*types.Transaction, []types.KV) {
+	gen := workload.New(workload.Config{
+		Apps:               []types.AppID{"app1", "app2", "app3"},
+		Contention:         0.4,
+		ColdAccountsPerApp: 4096,
+		Seed:               1234,
+	})
+	txns := make([]*types.Transaction, n)
+	for i := range txns {
+		txns[i] = gen.Next("c1", uint64(i+1))
+	}
+	return txns, gen.Genesis()
+}
+
+// runOXII commits the batch on a ParBlockchain network and returns the
+// observer's state hash.
+func runOXII(t *testing.T, txns []*types.Transaction, genesis []types.KV) types.Hash {
+	t.Helper()
+	net := transport.NewInMemNetwork(transport.InMemConfig{
+		Latency: transport.ConstantLatency(100 * time.Microsecond),
+	})
+	defer net.Close()
+	nw, err := oxii.New(oxii.Config{
+		Orderers:  []types.NodeID{"o1", "o2", "o3"},
+		Executors: []types.NodeID{"e1", "e2", "e3"},
+		Clients:   []types.NodeID{"c1"},
+		Agents: map[types.AppID][]types.NodeID{
+			"app1": {"e1"}, "app2": {"e2"}, "app3": {"e3"},
+		},
+		Contracts: map[types.AppID]contract.Contract{
+			"app1": contract.NewAccounting(),
+			"app2": contract.NewAccounting(),
+			"app3": contract.NewAccounting(),
+		},
+		MaxBlockTxns:     16,
+		MaxBlockInterval: 20 * time.Millisecond,
+		Genesis:          genesis,
+		Net:              net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	defer nw.Stop()
+	commitAll(t, nw.Client, txns)
+	return nw.ObserverStore().Hash()
+}
+
+// runOX commits the batch on the sequential baseline and returns the
+// observer's state hash.
+func runOX(t *testing.T, txns []*types.Transaction, genesis []types.KV) types.Hash {
+	t.Helper()
+	net := transport.NewInMemNetwork(transport.InMemConfig{
+		Latency: transport.ConstantLatency(100 * time.Microsecond),
+	})
+	defer net.Close()
+	nw, err := ox.New(ox.Config{
+		Orderers: []types.NodeID{"o1", "o2", "o3"},
+		Peers:    []types.NodeID{"p1", "p2", "p3"},
+		Clients:  []types.NodeID{"c1"},
+		Contracts: map[types.AppID]contract.Contract{
+			"app1": contract.NewAccounting(),
+			"app2": contract.NewAccounting(),
+			"app3": contract.NewAccounting(),
+		},
+		MaxBlockTxns:     16,
+		MaxBlockInterval: 20 * time.Millisecond,
+		Genesis:          genesis,
+		Net:              net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	defer nw.Stop()
+	commitAll(t, nw.Client, txns)
+	return nw.ObserverStore().Hash()
+}
+
+// commitAll submits transactions one at a time (serial submission pins
+// the total order to the batch order, so both paradigms order the same
+// history) and waits for each commit.
+func commitAll(t *testing.T,
+	clientOf func(types.NodeID) (*oxii.Client, error), txns []*types.Transaction) {
+	t.Helper()
+	client, err := clientOf("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8) // keep some pipeline without reordering risk per key
+	for _, tx := range txns {
+		// Clone: the same transaction objects go to both systems, and
+		// Finalize mutates them.
+		clone := &types.Transaction{
+			App:      tx.App,
+			Client:   tx.Client,
+			ClientTS: tx.ClientTS,
+			Op:       tx.Op,
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(tx *types.Transaction) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if result, err := client.Do(tx, 20*time.Second); err != nil {
+				t.Errorf("Do: %v", err)
+			} else if result.Aborted {
+				t.Errorf("unexpected abort: %s", result.AbortReason)
+			}
+		}(clone)
+	}
+	wg.Wait()
+}
+
+// TestOXAndOXIIConverge: the parallel dependency-graph execution must be
+// equivalent to sequential execution — identical final state for the
+// same committed set, regardless of the order blocks happened to cut.
+//
+// Note the comparison is on *balances aggregated per account*, not exact
+// hashes of history: the two runs may order the commuting (deposit-only)
+// hot transactions differently across blocks. With transfer amounts fixed
+// and all transactions committing, final balances are order-insensitive
+// per account only for commuting ops; to make the check exact we compare
+// full state hashes, which requires identical totals per key — the
+// accounting workload's transfers are deterministic in value, so any
+// serial order yields the same final balances.
+func TestOXAndOXIIConverge(t *testing.T) {
+	txns, genesis := fixedWorkload(60)
+	hashOXII := runOXII(t, txns, genesis)
+	hashOX := runOX(t, txns, genesis)
+	if hashOXII != hashOX {
+		t.Fatal("OXII (parallel) and OX (sequential) final states diverge")
+	}
+}

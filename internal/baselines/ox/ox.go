@@ -1,0 +1,232 @@
+// Package ox implements the sequential order-execute baseline (the
+// paper's "OX" paradigm, as in Tendermint or Multichain): orderers agree
+// on a total order and cut blocks exactly as in ParBlockchain — but
+// without dependency graphs — and then *every* peer executes every
+// transaction of each block sequentially against its local state. Every
+// peer therefore installs every smart contract, which is precisely the
+// confidentiality drawback the paper attributes to this paradigm.
+package ox
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+
+	"parblockchain/internal/contract"
+	"parblockchain/internal/cryptoutil"
+	"parblockchain/internal/eventq"
+	"parblockchain/internal/execution"
+	"parblockchain/internal/ledger"
+	"parblockchain/internal/state"
+	"parblockchain/internal/transport"
+	"parblockchain/internal/types"
+)
+
+// PeerConfig parameterizes one OX peer.
+type PeerConfig struct {
+	// ID is this peer's identity.
+	ID types.NodeID
+	// Endpoint is the peer's transport attachment.
+	Endpoint transport.Endpoint
+	// Registry holds every application's contract: OX peers execute all
+	// transactions.
+	Registry *contract.Registry
+	// OrderQuorum is the number of matching NEWBLOCK messages required.
+	OrderQuorum int
+	// Store is the peer's committed state.
+	Store *state.KVStore
+	// Ledger is the peer's block ledger.
+	Ledger *ledger.Ledger
+	// Verifier checks NEWBLOCK signatures when VerifySigs is set.
+	Verifier   cryptoutil.Verifier
+	VerifySigs bool
+	// OnCommit observes finalized blocks.
+	OnCommit execution.CommitHook
+	// Logf receives diagnostics; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Peer is one OX peer: it validates announced blocks against an orderer
+// quorum and executes their transactions in order, sequentially, on a
+// single goroutine — the paradigm's defining bottleneck.
+type Peer struct {
+	cfg     PeerConfig
+	mailbox *eventq.Queue[transport.Message]
+
+	// State owned by the run goroutine.
+	blocks map[uint64]*peerBlock
+	halted bool
+
+	executed atomic.Uint64
+	aborted  atomic.Uint64
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type peerBlock struct {
+	votes       map[types.NodeID]types.Hash
+	digestCount map[types.Hash]int
+	proposals   map[types.Hash]*types.NewBlockMsg
+	msg         *types.NewBlockMsg
+	valid       bool
+}
+
+// NewPeer creates an OX peer. Call Start before use.
+func NewPeer(cfg PeerConfig) *Peer {
+	if cfg.OrderQuorum <= 0 {
+		cfg.OrderQuorum = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return &Peer{
+		cfg:     cfg,
+		mailbox: eventq.New[transport.Message](),
+		blocks:  make(map[uint64]*peerBlock),
+	}
+}
+
+// Start launches the receive and execution loops.
+func (p *Peer) Start() {
+	p.wg.Add(2)
+	go p.recvLoop()
+	go p.runLoop()
+}
+
+// Stop shuts the peer down.
+func (p *Peer) Stop() {
+	p.stopOnce.Do(func() {
+		p.cfg.Endpoint.Close()
+		p.mailbox.Close()
+	})
+	p.wg.Wait()
+}
+
+// Executed returns the number of transactions executed.
+func (p *Peer) Executed() uint64 { return p.executed.Load() }
+
+// Aborted returns the number of aborted transactions.
+func (p *Peer) Aborted() uint64 { return p.aborted.Load() }
+
+func (p *Peer) recvLoop() {
+	defer p.wg.Done()
+	for msg := range p.cfg.Endpoint.Recv() {
+		p.mailbox.Push(msg)
+	}
+}
+
+func (p *Peer) runLoop() {
+	defer p.wg.Done()
+	for {
+		msg, ok := p.mailbox.Pop()
+		if !ok {
+			return
+		}
+		if p.halted {
+			continue
+		}
+		m, ok := msg.Payload.(*types.NewBlockMsg)
+		if !ok || m.Block == nil || m.Orderer != msg.From {
+			continue
+		}
+		p.handleNewBlock(msg.From, m)
+	}
+}
+
+func (p *Peer) handleNewBlock(from types.NodeID, m *types.NewBlockMsg) {
+	num := m.Block.Header.Number
+	if num < p.cfg.Ledger.Height() {
+		return
+	}
+	if p.cfg.VerifySigs {
+		digest := m.Digest()
+		if err := p.cfg.Verifier.Verify(string(from), digest[:], m.Sig); err != nil {
+			p.cfg.Logf("ox peer %s: bad NEWBLOCK signature from %s: %v", p.cfg.ID, from, err)
+			return
+		}
+	}
+	pb, ok := p.blocks[num]
+	if !ok {
+		pb = &peerBlock{
+			votes:       make(map[types.NodeID]types.Hash),
+			digestCount: make(map[types.Hash]int),
+			proposals:   make(map[types.Hash]*types.NewBlockMsg),
+		}
+		p.blocks[num] = pb
+	}
+	if pb.valid {
+		return
+	}
+	if _, dup := pb.votes[from]; dup {
+		return
+	}
+	digest := m.Digest()
+	pb.votes[from] = digest
+	pb.digestCount[digest]++
+	if _, have := pb.proposals[digest]; !have {
+		pb.proposals[digest] = m
+	}
+	if pb.digestCount[digest] >= p.cfg.OrderQuorum {
+		proposal := pb.proposals[digest]
+		if !proposal.Block.VerifyTxRoot() {
+			p.cfg.Logf("ox peer %s: block %d fails tx root", p.cfg.ID, num)
+			return
+		}
+		pb.valid = true
+		pb.msg = proposal
+		pb.proposals = nil
+		p.executeReady()
+	}
+}
+
+// executeReady executes validated blocks in chain order.
+func (p *Peer) executeReady() {
+	for {
+		next := p.cfg.Ledger.Height()
+		pb, ok := p.blocks[next]
+		if !ok || !pb.valid {
+			return
+		}
+		if pb.msg.Block.Header.PrevHash != p.cfg.Ledger.LastHash() {
+			p.cfg.Logf("ox peer %s: block %d does not extend local chain; halting", p.cfg.ID, next)
+			p.halted = true
+			return
+		}
+		p.executeBlock(pb.msg.Block)
+		delete(p.blocks, next)
+	}
+}
+
+// executeBlock runs the block's transactions one after another — the OX
+// paradigm's sequential execution on every node.
+func (p *Peer) executeBlock(block *types.Block) {
+	overlay := state.NewBlockOverlay(p.cfg.Store)
+	results := make([]types.TxResult, len(block.Txns))
+	for i, tx := range block.Txns {
+		writes, err := p.cfg.Registry.Execute(tx.App, overlay, tx.Op)
+		results[i] = types.TxResult{TxID: tx.ID, Index: i}
+		if err != nil {
+			results[i].Aborted = true
+			results[i].AbortReason = err.Error()
+			p.aborted.Add(1)
+		} else {
+			results[i].Writes = writes
+			overlay.Record(i, writes)
+		}
+		p.executed.Add(1)
+	}
+	p.cfg.Store.Apply(overlay.Final())
+	if err := p.cfg.Ledger.Append(ledger.Entry{Block: block, Results: results}); err != nil {
+		p.cfg.Logf("ox peer %s: ledger append: %v; halting", p.cfg.ID, err)
+		p.halted = true
+		return
+	}
+	if p.cfg.OnCommit != nil {
+		p.cfg.OnCommit(block, results)
+	}
+}
+
+// String identifies the peer in logs.
+func (p *Peer) String() string { return fmt.Sprintf("oxpeer(%s)", p.cfg.ID) }

@@ -1,0 +1,219 @@
+// Package xov implements the execute-order-validate baseline (the
+// paper's "XOV" paradigm, modeled on Hyperledger Fabric): clients first
+// have the agents (endorsers) of an application *simulate* a transaction
+// against current state, collect an endorsement policy's worth of signed
+// read-version/write sets, and then submit the endorsed transaction for
+// ordering; every peer finally validates transactions sequentially with
+// an MVCC read-set check and aborts those that conflict with an earlier
+// committed write — the abort behaviour that collapses XOV throughput
+// under contention (Figures 6(b)-(d)).
+package xov
+
+import (
+	"parblockchain/internal/types"
+)
+
+// AbortMVCCConflict is the abort reason of transactions whose read set
+// became stale between endorsement and validation. Clients treat it as
+// retryable; contract-level failures are not.
+const AbortMVCCConflict = "mvcc read conflict"
+
+// KeyVer is one observed read: a key and the committed version the
+// endorser saw (0 means the key did not exist).
+type KeyVer struct {
+	// Key names the record read.
+	Key types.Key
+	// Ver is the version observed at endorsement.
+	Ver uint64
+}
+
+// EndorseRequestMsg asks an endorser to simulate a transaction.
+type EndorseRequestMsg struct {
+	// Tx is the client's transaction.
+	Tx *types.Transaction
+}
+
+// EndorsementMsg is an endorser's signed simulation result.
+type EndorsementMsg struct {
+	// TxID identifies the simulated transaction.
+	TxID types.TxID
+	// ReadVers records every read with its observed version.
+	ReadVers []KeyVer
+	// Writes is the simulated write set (empty when Aborted).
+	Writes []types.KV
+	// Aborted marks contract-level failure during simulation.
+	Aborted bool
+	// AbortReason explains the failure.
+	AbortReason string
+	// Endorser is the signing agent.
+	Endorser types.NodeID
+	// Sig signs SignedDigest().
+	Sig []byte
+}
+
+// ContentDigest hashes the endorsement outcome, excluding the endorser
+// identity: endorsements from distinct agents "match" when their content
+// digests are equal, which is how the client checks the endorsement
+// policy.
+func (m *EndorsementMsg) ContentDigest() types.Hash {
+	w := types.NewByteWriter(256)
+	writeEndorsementContent(w, string(m.TxID), m.ReadVers, m.Writes, m.Aborted, m.AbortReason)
+	return hashOf(w.Bytes())
+}
+
+// SignedDigest hashes the content plus the endorser identity; it is what
+// the endorser signs.
+func (m *EndorsementMsg) SignedDigest() types.Hash {
+	w := types.NewByteWriter(256)
+	writeEndorsementContent(w, string(m.TxID), m.ReadVers, m.Writes, m.Aborted, m.AbortReason)
+	w.Str(string(m.Endorser))
+	return hashOf(w.Bytes())
+}
+
+func writeEndorsementContent(w *types.ByteWriter, txID string, readVers []KeyVer,
+	writes []types.KV, aborted bool, reason string) {
+	w.Str(txID)
+	w.U64(uint64(len(readVers)))
+	for _, rv := range readVers {
+		w.Str(rv.Key)
+		w.U64(rv.Ver)
+	}
+	w.U64(uint64(len(writes)))
+	for _, kv := range writes {
+		w.Str(kv.Key)
+		w.Blob(kv.Val)
+	}
+	if aborted {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+	w.Str(reason)
+}
+
+func hashOf(b []byte) types.Hash { return shaSum(b) }
+
+// EndorsedTx is the client-assembled, policy-satisfying transaction that
+// enters the ordering service.
+type EndorsedTx struct {
+	// Tx is the original transaction.
+	Tx *types.Transaction
+	// ReadVers and Writes are the agreed simulation outcome.
+	ReadVers []KeyVer
+	Writes   []types.KV
+	// SimAborted marks a deterministic contract failure observed at
+	// endorsement; it commits as aborted without MVCC checks.
+	SimAborted  bool
+	AbortReason string
+	// Endorsers and Sigs carry the endorsement policy evidence, aligned
+	// index-to-index.
+	Endorsers []types.NodeID
+	Sigs      [][]byte
+}
+
+// Marshal encodes the endorsed transaction for consensus ordering.
+func (e *EndorsedTx) Marshal() []byte {
+	w := types.NewByteWriter(512)
+	w.Blob(e.Tx.Marshal())
+	w.U64(uint64(len(e.ReadVers)))
+	for _, rv := range e.ReadVers {
+		w.Str(rv.Key)
+		w.U64(rv.Ver)
+	}
+	w.U64(uint64(len(e.Writes)))
+	for _, kv := range e.Writes {
+		w.Str(kv.Key)
+		w.Blob(kv.Val)
+	}
+	if e.SimAborted {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+	w.Str(e.AbortReason)
+	w.U64(uint64(len(e.Endorsers)))
+	for i, id := range e.Endorsers {
+		w.Str(string(id))
+		w.Blob(e.Sigs[i])
+	}
+	return w.Bytes()
+}
+
+// UnmarshalEndorsedTx decodes an EndorsedTx.
+func UnmarshalEndorsedTx(b []byte) (*EndorsedTx, error) {
+	r := types.NewByteReader(b)
+	txBytes := r.Blob()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	tx, err := types.UnmarshalTransaction(txBytes)
+	if err != nil {
+		return nil, err
+	}
+	e := &EndorsedTx{Tx: tx}
+	nReads := r.U64()
+	for i := uint64(0); i < nReads && r.Err() == nil; i++ {
+		e.ReadVers = append(e.ReadVers, KeyVer{Key: r.Str(), Ver: r.U64()})
+	}
+	nWrites := r.U64()
+	for i := uint64(0); i < nWrites && r.Err() == nil; i++ {
+		e.Writes = append(e.Writes, types.KV{Key: r.Str(), Val: r.Blob()})
+	}
+	e.SimAborted = r.Byte() == 1
+	e.AbortReason = r.Str()
+	nSigs := r.U64()
+	for i := uint64(0); i < nSigs && r.Err() == nil; i++ {
+		e.Endorsers = append(e.Endorsers, types.NodeID(r.Str()))
+		e.Sigs = append(e.Sigs, r.Blob())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// SubmitMsg carries a marshaled EndorsedTx from a client to an orderer.
+type SubmitMsg struct {
+	// Payload is the marshaled EndorsedTx.
+	Payload []byte
+}
+
+// ApproxSize implements transport sizing.
+func (m *SubmitMsg) ApproxSize() int { return len(m.Payload) + 16 }
+
+// BlockMsg announces an ordered block of endorsed transactions to all
+// peers for validation.
+type BlockMsg struct {
+	// Number is the block height.
+	Number uint64
+	// PrevHash chains validation blocks.
+	PrevHash types.Hash
+	// Items are marshaled EndorsedTx payloads in their agreed order.
+	Items [][]byte
+	// Orderer is the announcing orderer.
+	Orderer types.NodeID
+	// Sig signs Digest().
+	Sig []byte
+}
+
+// Digest hashes the block identity for signing and quorum matching.
+func (m *BlockMsg) Digest() types.Hash {
+	w := types.NewByteWriter(64 + 32*len(m.Items))
+	w.U64(m.Number)
+	w.Blob(m.PrevHash[:])
+	w.U64(uint64(len(m.Items)))
+	for _, item := range m.Items {
+		h := shaSum(item)
+		w.Blob(h[:])
+	}
+	return shaSum(w.Bytes())
+}
+
+// ApproxSize implements transport sizing.
+func (m *BlockMsg) ApproxSize() int {
+	size := 128 + len(m.Sig)
+	for _, item := range m.Items {
+		size += len(item) + 8
+	}
+	return size
+}

@@ -1,0 +1,260 @@
+package xov
+
+import (
+	"fmt"
+	"time"
+
+	"parblockchain/internal/consensus"
+	"parblockchain/internal/consensus/kafkaorder"
+	"parblockchain/internal/consensus/pbft"
+	"parblockchain/internal/consensus/raft"
+	"parblockchain/internal/contract"
+	"parblockchain/internal/cryptoutil"
+	"parblockchain/internal/execution"
+	"parblockchain/internal/ledger"
+	"parblockchain/internal/oxii"
+	"parblockchain/internal/state"
+	"parblockchain/internal/transport"
+	"parblockchain/internal/types"
+)
+
+// Config describes an XOV deployment.
+type Config struct {
+	// Orderers names the ordering service members.
+	Orderers []types.NodeID
+	// Peers names all validating peers; those listed in Agents also
+	// endorse.
+	Peers []types.NodeID
+	// Clients names the client identities.
+	Clients []types.NodeID
+	// Agents maps each application to its endorser subset of Peers.
+	Agents map[types.AppID][]types.NodeID
+	// Contracts maps applications to logic, installed on their
+	// endorsers.
+	Contracts map[types.AppID]contract.Contract
+	// Tau is the endorsement policy size per application (default 1).
+	Tau map[types.AppID]int
+	// Consensus picks the ordering protocol (default Kafka-style).
+	Consensus oxii.ConsensusKind
+	// ConsensusBatch tunes consensus batching.
+	ConsensusBatch consensus.BatchConfig
+	// Block cut conditions (defaults 100 / 2MB / 100ms).
+	MaxBlockTxns     int
+	MaxBlockBytes    int
+	MaxBlockInterval time.Duration
+	// EndorseWorkers sizes each endorser's execution pool (default 1).
+	EndorseWorkers int
+	// MaxClientRetries bounds MVCC-abort resubmission (default 25).
+	MaxClientRetries int
+	// Crypto enables end-to-end signing/verification.
+	Crypto bool
+	// Genesis seeds every peer's store.
+	Genesis []types.KV
+	// OnCommit observes validated blocks at the observer peer (Peers[0]).
+	OnCommit execution.CommitHook
+	// Net is the transport; required.
+	Net *transport.InMemNetwork
+	// Logf receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Network is a running XOV deployment.
+type Network struct {
+	cfg      Config
+	Orderers []*Orderer
+	Peers    []*Peer
+	Stores   []*state.KVStore
+	Ledgers  []*ledger.Ledger
+	signers  map[types.NodeID]cryptoutil.Signer
+	keyring  *cryptoutil.KeyRing
+	router   *oxii.CommitRouter
+	clients  map[types.NodeID]*Client
+}
+
+// New builds an XOV network. Call Start to run it.
+func New(cfg Config) (*Network, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("xov: Config.Net is required")
+	}
+	if cfg.Consensus == "" {
+		cfg.Consensus = oxii.ConsensusKafka
+	}
+	nw := &Network{
+		cfg:     cfg,
+		signers: make(map[types.NodeID]cryptoutil.Signer),
+		keyring: cryptoutil.NewKeyRing(),
+		router:  oxii.NewCommitRouter(),
+		clients: make(map[types.NodeID]*Client),
+	}
+	all := make([]types.NodeID, 0, len(cfg.Orderers)+len(cfg.Peers)+len(cfg.Clients))
+	all = append(all, cfg.Orderers...)
+	all = append(all, cfg.Peers...)
+	all = append(all, cfg.Clients...)
+	for _, id := range all {
+		if cfg.Crypto {
+			kp, err := cryptoutil.GenerateKeyPair(string(id))
+			if err != nil {
+				return nil, err
+			}
+			nw.keyring.Add(string(id), kp.Public())
+			nw.signers[id] = kp
+		} else {
+			nw.signers[id] = cryptoutil.NoopSigner{NodeID: string(id)}
+		}
+	}
+	var verifier cryptoutil.Verifier = cryptoutil.NoopVerifier{}
+	if cfg.Crypto {
+		verifier = nw.keyring
+	}
+	quorum := 1
+	if cfg.Consensus == oxii.ConsensusPBFT {
+		quorum = (len(cfg.Orderers)-1)/3 + 1
+	}
+
+	for i, id := range cfg.Peers {
+		ep, err := cfg.Net.Endpoint(id)
+		if err != nil {
+			return nil, err
+		}
+		registry := contract.NewRegistry()
+		for app, agents := range cfg.Agents {
+			for _, agent := range agents {
+				if agent == id {
+					registry.Install(app, cfg.Contracts[app])
+				}
+			}
+		}
+		store := state.NewKVStore()
+		store.Apply(cfg.Genesis)
+		led := ledger.New()
+		var hook execution.CommitHook
+		if i == 0 {
+			routerHook := nw.router.Hook()
+			userHook := cfg.OnCommit
+			hook = func(block *types.Block, results []types.TxResult) {
+				routerHook(block, results)
+				if userHook != nil {
+					userHook(block, results)
+				}
+			}
+		}
+		peer := NewPeer(PeerConfig{
+			ID:             id,
+			Endpoint:       ep,
+			Registry:       registry,
+			AgentsOf:       cfg.Agents,
+			Tau:            cfg.Tau,
+			OrderQuorum:    quorum,
+			EndorseWorkers: cfg.EndorseWorkers,
+			Store:          store,
+			Ledger:         led,
+			Signer:         nw.signers[id],
+			Verifier:       verifier,
+			VerifySigs:     cfg.Crypto,
+			OnCommit:       hook,
+			Logf:           cfg.Logf,
+		})
+		nw.Peers = append(nw.Peers, peer)
+		nw.Stores = append(nw.Stores, store)
+		nw.Ledgers = append(nw.Ledgers, led)
+	}
+
+	for _, id := range cfg.Orderers {
+		ep, err := cfg.Net.Endpoint(id)
+		if err != nil {
+			return nil, err
+		}
+		cons, err := buildConsensus(cfg.Consensus, id, cfg.Orderers, ep, cfg.ConsensusBatch)
+		if err != nil {
+			return nil, err
+		}
+		nw.Orderers = append(nw.Orderers, NewOrderer(OrdererConfig{
+			ID:               id,
+			Endpoint:         ep,
+			Consensus:        cons,
+			Peers:            cfg.Peers,
+			Signer:           nw.signers[id],
+			MaxBlockTxns:     cfg.MaxBlockTxns,
+			MaxBlockBytes:    cfg.MaxBlockBytes,
+			MaxBlockInterval: cfg.MaxBlockInterval,
+			Logf:             cfg.Logf,
+		}))
+	}
+	return nw, nil
+}
+
+func buildConsensus(kind oxii.ConsensusKind, id types.NodeID, members []types.NodeID,
+	ep transport.Endpoint, batch consensus.BatchConfig) (consensus.Node, error) {
+	sender := consensus.SenderFunc(ep.Send)
+	switch kind {
+	case oxii.ConsensusPBFT:
+		return pbft.New(pbft.Config{ID: id, Members: members, Sender: sender, Batch: batch}), nil
+	case oxii.ConsensusRaft:
+		return raft.New(raft.Config{ID: id, Members: members, Sender: sender}), nil
+	case oxii.ConsensusKafka, "":
+		return kafkaorder.New(kafkaorder.Config{ID: id, Members: members, Sender: sender, Batch: batch}), nil
+	default:
+		return nil, fmt.Errorf("xov: unknown consensus kind %q", kind)
+	}
+}
+
+// Start launches every node.
+func (nw *Network) Start() {
+	for _, p := range nw.Peers {
+		p.Start()
+	}
+	for _, o := range nw.Orderers {
+		o.Start()
+	}
+}
+
+// Stop shuts every node down.
+func (nw *Network) Stop() {
+	for _, o := range nw.Orderers {
+		o.Stop()
+	}
+	for _, p := range nw.Peers {
+		p.Stop()
+	}
+	for _, c := range nw.clients {
+		c.Stop()
+	}
+	nw.router.Shutdown()
+}
+
+// Client returns (creating on first use) an XOV client driver.
+func (nw *Network) Client(id types.NodeID) (*Client, error) {
+	if c, ok := nw.clients[id]; ok {
+		return c, nil
+	}
+	signer, ok := nw.signers[id]
+	if !ok {
+		return nil, fmt.Errorf("xov: unknown client %s", id)
+	}
+	ep, err := nw.cfg.Net.Endpoint(id)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(ClientConfig{
+		ID:         id,
+		Endpoint:   ep,
+		Signer:     signer,
+		Orderers:   nw.cfg.Orderers,
+		Agents:     nw.cfg.Agents,
+		Tau:        nw.cfg.Tau,
+		Router:     nw.router,
+		MaxRetries: nw.cfg.MaxClientRetries,
+	})
+	nw.clients[id] = c
+	return c, nil
+}
+
+// ObserverStore returns the observer peer's state store.
+func (nw *Network) ObserverStore() *state.KVStore { return nw.Stores[0] }
+
+// ObserverLedger returns the observer peer's ledger.
+func (nw *Network) ObserverLedger() *ledger.Ledger { return nw.Ledgers[0] }
+
+// TotalAborts sums validation aborts across peers divided per peer (the
+// observer's count, since all peers validate identically).
+func (nw *Network) TotalAborts() uint64 { return nw.Peers[0].Aborted() }

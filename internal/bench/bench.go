@@ -1,0 +1,479 @@
+// Package bench is the experiment harness for the paper's evaluation
+// (Section V): it deploys OX, XOV, or ParBlockchain (OXII) in-process
+// over the latency-modeled transport, drives it with closed-loop clients
+// at a chosen concurrency, and reports steady-state throughput and
+// end-to-end latency — the measurement methodology of the paper
+// ("an increasing number of clients ... until the end-to-end throughput
+// is saturated ... average measured during the steady state").
+//
+// The per-figure sweeps (block size, contention degree, geo placement)
+// are built on the single-point Run; see sweeps.go and cmd/parbench.
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parblockchain/internal/baselines/ox"
+	"parblockchain/internal/baselines/xov"
+	"parblockchain/internal/contract"
+	"parblockchain/internal/depgraph"
+	"parblockchain/internal/metrics"
+	"parblockchain/internal/oxii"
+	"parblockchain/internal/transport"
+	"parblockchain/internal/types"
+	"parblockchain/internal/workload"
+)
+
+// System selects the paradigm under test.
+type System string
+
+// The three paradigms compared in the paper. OXIIX is OXII under
+// cross-application contention (the dashed "OXII*" lines in Figure 6).
+const (
+	SystemOX    System = "OX"
+	SystemXOV   System = "XOV"
+	SystemOXII  System = "OXII"
+	SystemOXIIX System = "OXII*"
+)
+
+// NodeGroup names a group of nodes for geo-placement experiments
+// (Figure 7 moves one group at a time to a far data center).
+type NodeGroup string
+
+// The movable node groups.
+const (
+	GroupNone      NodeGroup = ""
+	GroupClients   NodeGroup = "clients"
+	GroupOrderers  NodeGroup = "orderers"
+	GroupExecutors NodeGroup = "executors"
+	GroupPassive   NodeGroup = "non-executors"
+)
+
+// Options parameterizes one measurement point.
+type Options struct {
+	// System is the paradigm under test.
+	System System
+	// Orderers is the ordering service size (default 3, the paper's
+	// Kafka setup).
+	Orderers int
+	// Executors is the number of agent/endorser nodes (default 3, one
+	// per application).
+	Executors int
+	// PassiveNodes adds non-executor peers (default 0; Figure 7(d) uses
+	// them).
+	PassiveNodes int
+	// Apps is the number of applications (default 3).
+	Apps int
+	// Consensus picks the ordering protocol (default Kafka-style).
+	Consensus oxii.ConsensusKind
+	// BlockTxns is the block size in transactions (default 200 for
+	// OX/OXII, 100 for XOV, the paper's peak configurations).
+	BlockTxns int
+	// BlockInterval is the block timeout cut (default 100ms).
+	BlockInterval time.Duration
+	// Contention is the fraction of conflicting transactions.
+	Contention float64
+	// ExecCost is the modeled contract service time (default 1ms,
+	// calibrated so sequential OX peaks near the paper's ~900 tps).
+	ExecCost time.Duration
+	// SpinFraction is the CPU-bound share of ExecCost (default 0).
+	SpinFraction float64
+	// Crypto enables end-to-end signatures.
+	Crypto bool
+	// Clients is the closed-loop client concurrency.
+	Clients int
+	// Warmup and Duration bound the run: measurement starts after Warmup
+	// and lasts Duration (defaults 500ms / 2s).
+	Warmup   time.Duration
+	Duration time.Duration
+	// OpTimeout bounds one end-to-end operation (default 30s).
+	OpTimeout time.Duration
+	// MoveGroup places one node group in a far zone.
+	MoveGroup NodeGroup
+	// IntraZoneLatency and InterZoneLatency are one-way delays (defaults
+	// 250us / 85ms, LAN vs US-West<->Tokyo).
+	IntraZoneLatency time.Duration
+	InterZoneLatency time.Duration
+	// UsePairwiseGraph selects the paper-faithful O(n^2) dependency
+	// graph builder (default true; see DESIGN.md A3).
+	UsePairwiseGraph bool
+	// EagerCommit selects Algorithm 2's eager variant (ablation A1).
+	EagerCommit bool
+	// GraphMultiVersion selects the MVCC dependency rule (ablation A2).
+	GraphMultiVersion bool
+	// ExecWorkers sizes OXII executor pools (default 2*BlockTxns).
+	ExecWorkers int
+	// Seed fixes the workload stream.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Orderers <= 0 {
+		o.Orderers = 3
+	}
+	if o.Executors <= 0 {
+		o.Executors = 3
+	}
+	if o.Apps <= 0 {
+		o.Apps = 3
+	}
+	if o.Consensus == "" {
+		o.Consensus = oxii.ConsensusKafka
+	}
+	if o.BlockTxns <= 0 {
+		if o.System == SystemXOV {
+			o.BlockTxns = 100
+		} else {
+			o.BlockTxns = 200
+		}
+	}
+	if o.BlockInterval <= 0 {
+		o.BlockInterval = 100 * time.Millisecond
+	}
+	if o.ExecCost < 0 {
+		o.ExecCost = 0
+	} else if o.ExecCost == 0 {
+		o.ExecCost = time.Millisecond
+	}
+	if o.Clients <= 0 {
+		o.Clients = 64
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 500 * time.Millisecond
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 30 * time.Second
+	}
+	if o.IntraZoneLatency <= 0 {
+		o.IntraZoneLatency = 250 * time.Microsecond
+	}
+	if o.InterZoneLatency <= 0 {
+		o.InterZoneLatency = 85 * time.Millisecond
+	}
+	if o.ExecWorkers <= 0 {
+		o.ExecWorkers = 2 * o.BlockTxns
+	}
+	return o
+}
+
+// Result is one measured point.
+type Result struct {
+	// System and Clients identify the point.
+	System  System
+	Clients int
+	// Throughput is committed transactions per second in the window.
+	Throughput float64
+	// Latency statistics over successful operations (full end-to-end,
+	// including XOV endorsement rounds and retries).
+	AvgLatency time.Duration
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	// Committed is the number of operations completed in the window.
+	Committed int64
+	// Aborted counts transactions whose final result was an abort.
+	Aborted int64
+	// Retries counts XOV MVCC resubmissions (0 for other systems).
+	Retries uint64
+	// Messages is the total transport message count for the whole run.
+	Messages int64
+	// CommitMsgs is the number of OXII COMMIT multicasts (0 otherwise).
+	CommitMsgs uint64
+	// Errors counts operations that failed outright (timeouts).
+	Errors int64
+}
+
+// String formats the point as a table row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-6s clients=%-5d tput=%8.0f tx/s  avg=%8s p95=%8s aborted=%-6d err=%d",
+		r.System, r.Clients, r.Throughput,
+		r.AvgLatency.Round(time.Millisecond), r.P95.Round(time.Millisecond),
+		r.Aborted, r.Errors)
+}
+
+// Run measures one point: it deploys the system, applies closed-loop
+// load, and reports steady-state throughput and latency.
+func Run(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	switch opts.System {
+	case SystemOX, SystemXOV, SystemOXII, SystemOXIIX:
+	default:
+		return Result{}, fmt.Errorf("bench: unknown system %q", opts.System)
+	}
+
+	// Topology.
+	orderers := nodeNames("o", opts.Orderers)
+	executors := nodeNames("e", opts.Executors)
+	passive := nodeNames("p", opts.PassiveNodes)
+	allExecutors := append(append([]types.NodeID{}, executors...), passive...)
+	const clientID = types.NodeID("c1")
+
+	apps := make([]types.AppID, opts.Apps)
+	agents := make(map[types.AppID][]types.NodeID, opts.Apps)
+	contracts := make(map[types.AppID]contract.Contract, opts.Apps)
+	cost := contract.CostModel{Cost: opts.ExecCost, SpinFraction: opts.SpinFraction}
+	for i := range apps {
+		app := types.AppID(fmt.Sprintf("app%d", i+1))
+		apps[i] = app
+		agents[app] = []types.NodeID{executors[i%len(executors)]}
+		contracts[app] = contract.WithCost(contract.NewAccounting(), cost)
+	}
+
+	// Workload. The cold pool only needs to dwarf the in-flight window
+	// (a few blocks); a compact pool keeps per-run genesis cheap.
+	coldPool := 8 * opts.BlockTxns
+	if coldPool < 4096 {
+		coldPool = 4096
+	}
+	gen := workload.New(workload.Config{
+		Apps:               apps,
+		Contention:         opts.Contention,
+		CrossApp:           opts.System == SystemOXIIX,
+		ColdAccountsPerApp: coldPool,
+		Seed:               opts.Seed,
+	})
+	genesis := gen.Genesis()
+
+	// Transport with zone-based latency.
+	zones := make(map[types.NodeID]string)
+	assign := func(group NodeGroup, ids []types.NodeID) {
+		zone := "dc1"
+		if opts.MoveGroup == group {
+			zone = "dc2"
+		}
+		for _, id := range ids {
+			zones[id] = zone
+		}
+	}
+	assign(GroupClients, []types.NodeID{clientID})
+	assign(GroupOrderers, orderers)
+	assign(GroupExecutors, executors)
+	assign(GroupPassive, passive)
+	net := transport.NewInMemNetwork(transport.InMemConfig{
+		Latency: &transport.ZoneLatency{
+			Zone:        zones,
+			DefaultZone: "dc1",
+			Intra:       opts.IntraZoneLatency,
+			Inter:       opts.InterZoneLatency,
+		},
+	})
+	defer net.Close()
+
+	// Instruments.
+	meter := metrics.NewMeter()
+	rec := metrics.NewLatencyRecorder()
+	var aborted, errorsN atomic.Int64
+	var inWindow atomic.Bool
+
+	// Per-operation client step, system-specific.
+	var step func(ctx context.Context, clientTS uint64) error
+	var stopNet func()
+	var commitMsgs func() uint64
+	var retriesFn func() uint64
+
+	graphMode := depgraph.Standard
+	if opts.GraphMultiVersion {
+		graphMode = depgraph.MultiVersion
+	}
+
+	switch opts.System {
+	case SystemOXII, SystemOXIIX:
+		nw, err := oxii.New(oxii.Config{
+			Orderers:         orderers,
+			Executors:        allExecutors,
+			Clients:          []types.NodeID{clientID},
+			Agents:           agents,
+			Contracts:        contracts,
+			Consensus:        opts.Consensus,
+			MaxBlockTxns:     opts.BlockTxns,
+			MaxBlockInterval: opts.BlockInterval,
+			GraphMode:        graphMode,
+			UsePairwiseGraph: opts.UsePairwiseGraph,
+			EagerCommit:      opts.EagerCommit,
+			ExecWorkers:      opts.ExecWorkers,
+			Crypto:           opts.Crypto,
+			Genesis:          genesis,
+			Net:              net,
+			Logf:             discardLogf,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		nw.Start()
+		stopNet = nw.Stop
+		client, err := nw.Client(clientID)
+		if err != nil {
+			return Result{}, err
+		}
+		step = func(ctx context.Context, clientTS uint64) error {
+			tx := gen.Next(clientID, clientTS)
+			start := time.Now()
+			result, err := client.Do(tx, opts.OpTimeout)
+			if err != nil {
+				return err
+			}
+			observe(meter, rec, &inWindow, &aborted, start, result.Aborted)
+			return nil
+		}
+		commitMsgs = func() uint64 {
+			var total uint64
+			for _, e := range nw.Executors {
+				total += e.Stats().CommitMsgsSent
+			}
+			return total
+		}
+	case SystemOX:
+		nw, err := ox.New(ox.Config{
+			Orderers:         orderers,
+			Peers:            allExecutors,
+			Clients:          []types.NodeID{clientID},
+			Contracts:        contracts,
+			Consensus:        opts.Consensus,
+			MaxBlockTxns:     opts.BlockTxns,
+			MaxBlockInterval: opts.BlockInterval,
+			Crypto:           opts.Crypto,
+			Genesis:          genesis,
+			Net:              net,
+			Logf:             discardLogf,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		nw.Start()
+		stopNet = nw.Stop
+		client, err := nw.Client(clientID)
+		if err != nil {
+			return Result{}, err
+		}
+		step = func(ctx context.Context, clientTS uint64) error {
+			tx := gen.Next(clientID, clientTS)
+			start := time.Now()
+			result, err := client.Do(tx, opts.OpTimeout)
+			if err != nil {
+				return err
+			}
+			observe(meter, rec, &inWindow, &aborted, start, result.Aborted)
+			return nil
+		}
+	case SystemXOV:
+		nw, err := xov.New(xov.Config{
+			Orderers:         orderers,
+			Peers:            allExecutors,
+			Clients:          []types.NodeID{clientID},
+			Agents:           agents,
+			Contracts:        contracts,
+			Consensus:        opts.Consensus,
+			MaxBlockTxns:     opts.BlockTxns,
+			MaxBlockInterval: opts.BlockInterval,
+			Crypto:           opts.Crypto,
+			Genesis:          genesis,
+			Net:              net,
+			Logf:             discardLogf,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		nw.Start()
+		stopNet = nw.Stop
+		client, err := nw.Client(clientID)
+		if err != nil {
+			return Result{}, err
+		}
+		retriesFn = client.Retries
+		step = func(ctx context.Context, clientTS uint64) error {
+			tx := gen.Next(clientID, clientTS)
+			start := time.Now()
+			result, _, err := client.Do(tx, opts.OpTimeout)
+			if err != nil {
+				return err
+			}
+			observe(meter, rec, &inWindow, &aborted, start, result.Aborted)
+			return nil
+		}
+	}
+
+	// Closed-loop load: Clients goroutines, each submitting its next
+	// transaction as soon as the previous one completes.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var ts atomic.Uint64
+	for i := 0; i < opts.Clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				if err := step(ctx, ts.Add(1)); err != nil {
+					if ctx.Err() == nil && !errors.Is(err, context.Canceled) {
+						errorsN.Add(1)
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(opts.Warmup)
+	rec.Reset()
+	meter.WindowStart()
+	inWindow.Store(true)
+	time.Sleep(opts.Duration)
+	inWindow.Store(false)
+	meter.WindowEnd()
+	cancel()
+	stopNet() // releases clients blocked on in-flight operations
+	wg.Wait()
+
+	stats := rec.Snapshot()
+	result := Result{
+		System:     opts.System,
+		Clients:    opts.Clients,
+		Throughput: meter.Throughput(),
+		AvgLatency: stats.Mean,
+		P50:        stats.P50,
+		P95:        stats.P95,
+		P99:        stats.P99,
+		Committed:  meter.WindowCount(),
+		Aborted:    aborted.Load(),
+		Messages:   net.MessageCount(""),
+		Errors:     errorsN.Load(),
+	}
+	if commitMsgs != nil {
+		result.CommitMsgs = commitMsgs()
+	}
+	if retriesFn != nil {
+		result.Retries = retriesFn()
+	}
+	return result, nil
+}
+
+// observe records one completed operation.
+func observe(meter *metrics.Meter, rec *metrics.LatencyRecorder, inWindow *atomic.Bool,
+	aborted *atomic.Int64, start time.Time, wasAborted bool) {
+	if !inWindow.Load() {
+		return
+	}
+	if wasAborted {
+		aborted.Add(1)
+		return
+	}
+	meter.Mark(1)
+	rec.Record(time.Since(start))
+}
+
+func nodeNames(prefix string, n int) []types.NodeID {
+	out := make([]types.NodeID, n)
+	for i := range out {
+		out[i] = types.NodeID(fmt.Sprintf("%s%d", prefix, i+1))
+	}
+	return out
+}
+
+func discardLogf(string, ...any) {}

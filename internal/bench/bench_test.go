@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// short returns minimal options for harness smoke tests.
+func short(system System) Options {
+	return Options{
+		System:   system,
+		Clients:  32,
+		Warmup:   200 * time.Millisecond,
+		Duration: 400 * time.Millisecond,
+		ExecCost: 200 * time.Microsecond,
+	}
+}
+
+func TestRunOXII(t *testing.T) {
+	r, err := Run(short(SystemOXII))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput <= 0 || r.Committed == 0 {
+		t.Fatalf("no throughput measured: %+v", r)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("operations failed: %+v", r)
+	}
+	if r.AvgLatency <= 0 {
+		t.Fatal("latency not recorded")
+	}
+}
+
+func TestRunOX(t *testing.T) {
+	r, err := Run(short(SystemOX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput <= 0 || r.Errors != 0 {
+		t.Fatalf("bad result: %+v", r)
+	}
+}
+
+func TestRunXOV(t *testing.T) {
+	r, err := Run(short(SystemXOV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput <= 0 || r.Errors != 0 {
+		t.Fatalf("bad result: %+v", r)
+	}
+}
+
+func TestRunOXIIStarRecordsCrossAppTraffic(t *testing.T) {
+	opts := short(SystemOXIIX)
+	opts.Contention = 0.5
+	r, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput <= 0 || r.Errors != 0 {
+		t.Fatalf("bad result: %+v", r)
+	}
+	if r.CommitMsgs == 0 {
+		t.Fatal("cross-app contention must produce COMMIT multicasts")
+	}
+}
+
+func TestRunRejectsUnknownSystem(t *testing.T) {
+	if _, err := Run(Options{System: "nope"}); err == nil {
+		t.Fatal("unknown system must error")
+	}
+}
+
+func TestXOVContentionProducesAbortsOrRetries(t *testing.T) {
+	opts := short(SystemXOV)
+	opts.Contention = 0.8
+	opts.Duration = 600 * time.Millisecond
+	r, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retries == 0 {
+		t.Logf("no MVCC retries observed (timing-dependent): %+v", r)
+	}
+}
+
+func TestGeoPlacementRaisesLatency(t *testing.T) {
+	near := short(SystemOXII)
+	near.Clients = 16
+	far := near
+	far.MoveGroup = GroupOrderers
+	far.Warmup = 800 * time.Millisecond
+	far.Duration = 800 * time.Millisecond
+	rNear, err := Run(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFar, err := Run(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 85ms WAN hops must dominate sub-ms LAN latency.
+	if rFar.AvgLatency < rNear.AvgLatency+50*time.Millisecond {
+		t.Fatalf("WAN latency not visible: near=%v far=%v", rNear.AvgLatency, rFar.AvgLatency)
+	}
+}
+
+func TestCurveAndPeak(t *testing.T) {
+	points, err := Curve(short(SystemOXII), []int{8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	peak := Peak(points)
+	if peak.Result.Throughput < points[0].Result.Throughput {
+		t.Fatal("peak must be the max-throughput point")
+	}
+}
+
+func TestGeoSweepSkipsOXForExecutorPlacements(t *testing.T) {
+	base := short(SystemOXII)
+	base.Duration = 300 * time.Millisecond
+	series, err := GeoSweep(base, GroupExecutors,
+		[]System{SystemOX, SystemOXII}, []int{8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if s.System == SystemOX {
+			t.Fatal("OX must be skipped for executor placements")
+		}
+	}
+	if len(series) != 1 {
+		t.Fatalf("series = %d, want 1", len(series))
+	}
+}

@@ -1,0 +1,145 @@
+// Package clustercfg defines the JSON cluster description shared by the
+// parnode and parclient binaries: node addresses, application-to-agent
+// assignments, and block-cut parameters for a real TCP deployment of
+// ParBlockchain.
+package clustercfg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"parblockchain/internal/types"
+)
+
+// Config is the on-disk cluster description.
+type Config struct {
+	// Orderers maps orderer IDs to host:port listen addresses.
+	Orderers map[string]string `json:"orderers"`
+	// Executors maps executor IDs to listen addresses.
+	Executors map[string]string `json:"executors"`
+	// Clients maps client IDs to listen addresses (clients listen for
+	// commit notifications).
+	Clients map[string]string `json:"clients"`
+	// Apps maps application IDs to their agent executor IDs.
+	Apps map[string][]string `json:"apps"`
+	// Observer is the executor that sends commit notifications to
+	// clients; defaults to the first executor in sorted order.
+	Observer string `json:"observer,omitempty"`
+	// Consensus is "kafka", "pbft", or "raft" (default "kafka").
+	Consensus string `json:"consensus,omitempty"`
+	// BlockTxns is the block-size cut (default 100).
+	BlockTxns int `json:"blockTxns,omitempty"`
+	// BlockIntervalMs is the timeout cut in milliseconds (default 100).
+	BlockIntervalMs int `json:"blockIntervalMs,omitempty"`
+	// Crypto enables deterministic demo keys and full verification.
+	Crypto bool `json:"crypto,omitempty"`
+	// Genesis seeds each executor's store with account balances.
+	Genesis map[string]int64 `json:"genesis,omitempty"`
+}
+
+// Load reads and validates a cluster config file.
+func Load(path string) (*Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("clustercfg: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("clustercfg: parsing %s: %w", path, err)
+	}
+	if len(cfg.Orderers) == 0 || len(cfg.Executors) == 0 {
+		return nil, fmt.Errorf("clustercfg: %s needs at least one orderer and one executor", path)
+	}
+	for app, agents := range cfg.Apps {
+		for _, agent := range agents {
+			if _, ok := cfg.Executors[agent]; !ok {
+				return nil, fmt.Errorf("clustercfg: app %s lists unknown executor %s", app, agent)
+			}
+		}
+	}
+	if cfg.Observer == "" {
+		cfg.Observer = string(cfg.ExecutorIDs()[0])
+	}
+	if cfg.BlockTxns <= 0 {
+		cfg.BlockTxns = 100
+	}
+	if cfg.BlockIntervalMs <= 0 {
+		cfg.BlockIntervalMs = 100
+	}
+	if cfg.Consensus == "" {
+		cfg.Consensus = "kafka"
+	}
+	return &cfg, nil
+}
+
+// OrdererIDs returns the orderer identities in sorted (deterministic)
+// order — consensus membership must be identical at every node.
+func (c *Config) OrdererIDs() []types.NodeID { return sortedIDs(c.Orderers) }
+
+// ExecutorIDs returns the executor identities in sorted order.
+func (c *Config) ExecutorIDs() []types.NodeID { return sortedIDs(c.Executors) }
+
+// BlockInterval returns the timeout cut as a duration.
+func (c *Config) BlockInterval() time.Duration {
+	return time.Duration(c.BlockIntervalMs) * time.Millisecond
+}
+
+// AddrBook returns every node's address keyed by identity, the peer map a
+// TCP endpoint needs.
+func (c *Config) AddrBook() map[types.NodeID]string {
+	book := make(map[types.NodeID]string,
+		len(c.Orderers)+len(c.Executors)+len(c.Clients))
+	for id, addr := range c.Orderers {
+		book[types.NodeID(id)] = addr
+	}
+	for id, addr := range c.Executors {
+		book[types.NodeID(id)] = addr
+	}
+	for id, addr := range c.Clients {
+		book[types.NodeID(id)] = addr
+	}
+	return book
+}
+
+// AgentsOf returns the application-to-agents map in node-ID form.
+func (c *Config) AgentsOf() map[types.AppID][]types.NodeID {
+	out := make(map[types.AppID][]types.NodeID, len(c.Apps))
+	for app, agents := range c.Apps {
+		ids := make([]types.NodeID, 0, len(agents))
+		for _, a := range agents {
+			ids = append(ids, types.NodeID(a))
+		}
+		out[types.AppID(app)] = ids
+	}
+	return out
+}
+
+// GenesisKVs converts the genesis balances to state records.
+func (c *Config) GenesisKVs(encode func(int64) []byte) []types.KV {
+	keys := make([]string, 0, len(c.Genesis))
+	for k := range c.Genesis {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]types.KV, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, types.KV{Key: k, Val: encode(c.Genesis[k])})
+	}
+	return out
+}
+
+func sortedIDs(m map[string]string) []types.NodeID {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]types.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = types.NodeID(id)
+	}
+	return out
+}

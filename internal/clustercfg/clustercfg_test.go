@@ -1,0 +1,89 @@
+package clustercfg
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parblockchain/internal/types"
+)
+
+func write(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const valid = `{
+  "orderers": {"o1": "127.0.0.1:7001", "o2": "127.0.0.1:7002"},
+  "executors": {"e2": "127.0.0.1:7102", "e1": "127.0.0.1:7101"},
+  "clients": {"c1": "127.0.0.1:7201"},
+  "apps": {"app1": ["e1"], "app2": ["e2"]},
+  "genesis": {"app1/alice": 1000}
+}`
+
+func TestLoadValid(t *testing.T) {
+	cfg, err := Load(write(t, valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BlockTxns != 100 || cfg.BlockIntervalMs != 100 || cfg.Consensus != "kafka" {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Observer != "e1" {
+		t.Fatalf("observer default = %s, want first sorted executor e1", cfg.Observer)
+	}
+	ids := cfg.OrdererIDs()
+	if len(ids) != 2 || ids[0] != "o1" || ids[1] != "o2" {
+		t.Fatalf("OrdererIDs = %v", ids)
+	}
+	// Sorted determinism for executors too.
+	eids := cfg.ExecutorIDs()
+	if eids[0] != "e1" || eids[1] != "e2" {
+		t.Fatalf("ExecutorIDs = %v, want sorted", eids)
+	}
+	book := cfg.AddrBook()
+	if len(book) != 5 || book["c1"] != "127.0.0.1:7201" {
+		t.Fatalf("AddrBook = %v", book)
+	}
+	agents := cfg.AgentsOf()
+	if len(agents["app1"]) != 1 || agents["app1"][0] != types.NodeID("e1") {
+		t.Fatalf("AgentsOf = %v", agents)
+	}
+	kvs := cfg.GenesisKVs(func(v int64) []byte { return []byte{byte(v % 256)} })
+	if len(kvs) != 1 || kvs[0].Key != "app1/alice" {
+		t.Fatalf("GenesisKVs = %v", kvs)
+	}
+}
+
+func TestLoadRejectsUnknownAgent(t *testing.T) {
+	bad := `{
+  "orderers": {"o1": "x"},
+  "executors": {"e1": "y"},
+  "apps": {"app1": ["ghost"]}
+}`
+	if _, err := Load(write(t, bad)); err == nil {
+		t.Fatal("unknown agent must be rejected")
+	}
+}
+
+func TestLoadRejectsEmptyTopology(t *testing.T) {
+	if _, err := Load(write(t, `{"orderers": {}, "executors": {"e1": "x"}}`)); err == nil {
+		t.Fatal("empty orderers must be rejected")
+	}
+}
+
+func TestLoadRejectsMalformedJSON(t *testing.T) {
+	if _, err := Load(write(t, "{not json")); err == nil {
+		t.Fatal("malformed JSON must be rejected")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must be rejected")
+	}
+}

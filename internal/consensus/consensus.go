@@ -1,0 +1,147 @@
+// Package consensus defines the pluggable ordering abstraction of the
+// OXII paradigm (Section III-A: "OXII, similar to Fabric, uses a pluggable
+// consensus protocol for ordering"). Three implementations are provided in
+// subpackages:
+//
+//   - pbft: Practical Byzantine Fault Tolerance (3f+1 nodes tolerate f
+//     Byzantine failures), the protocol the paper's running example uses.
+//   - raft: a Raft-style crash fault-tolerant protocol (2f+1 nodes
+//     tolerate f crash failures).
+//   - kafkaorder: a Kafka-like leader/broker ordering service, matching
+//     the evaluation's "typical Kafka orderer setup".
+//
+// All implementations deliver the same abstraction: a gap-free, totally
+// ordered stream of opaque payloads, identical at every correct member.
+package consensus
+
+import (
+	"sync"
+
+	"parblockchain/internal/types"
+)
+
+// Entry is one ordered payload. Seq is 1-based and gap-free: every correct
+// member delivers the same payload at the same Seq.
+type Entry struct {
+	// Seq is the global order position, starting at 1.
+	Seq uint64
+	// Payload is the opaque ordered value (an encoded transaction or a
+	// block-cut marker in ParBlockchain's usage).
+	Payload []byte
+}
+
+// Node is one member's consensus instance. The embedding node owns the
+// network endpoint and routes inbound consensus messages to Step; the
+// instance sends its own outbound messages through the Sender it was
+// constructed with.
+type Node interface {
+	// Start launches the instance's internal event loop.
+	Start()
+	// Submit proposes a payload for total ordering. It may be called on
+	// any member; non-leaders forward to the current leader.
+	Submit(payload []byte) error
+	// Step feeds one inbound consensus message from a peer. Unknown
+	// message types are ignored.
+	Step(from types.NodeID, msg any)
+	// Committed returns the ordered stream. The channel is closed on
+	// Stop.
+	Committed() <-chan Entry
+	// Stop terminates the instance. It is idempotent.
+	Stop()
+}
+
+// Sender abstracts the outbound half of a transport endpoint.
+type Sender interface {
+	// Send asynchronously delivers payload to the named node.
+	Send(to types.NodeID, payload any) error
+}
+
+// SenderFunc adapts a function to Sender.
+type SenderFunc func(to types.NodeID, payload any) error
+
+// Send invokes the function.
+func (f SenderFunc) Send(to types.NodeID, payload any) error { return f(to, payload) }
+
+// DeliveryQueue decouples protocol progress from the consumer of the
+// committed stream: Push never blocks, while the pump goroutine feeds the
+// consumer-facing channel. Every consensus implementation embeds one.
+type DeliveryQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Entry
+	closed bool
+	out    chan Entry
+	once   sync.Once
+}
+
+// NewDeliveryQueue returns a started queue; Out drains it.
+func NewDeliveryQueue() *DeliveryQueue {
+	q := &DeliveryQueue{out: make(chan Entry, 64)}
+	q.cond = sync.NewCond(&q.mu)
+	go q.pump()
+	return q
+}
+
+// Push enqueues an entry for the consumer without blocking.
+func (q *DeliveryQueue) Push(e Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.queue = append(q.queue, e)
+	q.cond.Signal()
+}
+
+// Out returns the consumer-facing ordered channel.
+func (q *DeliveryQueue) Out() <-chan Entry { return q.out }
+
+// Close ends the stream; Out's channel closes once drained.
+func (q *DeliveryQueue) Close() {
+	q.once.Do(func() {
+		q.mu.Lock()
+		q.closed = true
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+}
+
+func (q *DeliveryQueue) pump() {
+	defer close(q.out)
+	for {
+		q.mu.Lock()
+		for len(q.queue) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.queue) == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		e := q.queue[0]
+		q.queue = q.queue[1:]
+		q.mu.Unlock()
+		q.out <- e
+	}
+}
+
+// BatchConfig controls submission batching inside a consensus instance:
+// the leader groups payloads into one protocol instance per batch, which
+// is how practical deployments amortize the per-instance message cost.
+type BatchConfig struct {
+	// MaxMsgs flushes a batch when it reaches this many payloads.
+	MaxMsgs int
+	// MaxDelayMillis flushes a non-empty batch this many milliseconds
+	// after its first payload arrived.
+	MaxDelayMillis int
+}
+
+// Normalized returns the config with defaults applied.
+func (c BatchConfig) Normalized() BatchConfig {
+	if c.MaxMsgs <= 0 {
+		c.MaxMsgs = 64
+	}
+	if c.MaxDelayMillis <= 0 {
+		c.MaxDelayMillis = 5
+	}
+	return c
+}

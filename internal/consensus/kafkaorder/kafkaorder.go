@@ -1,0 +1,282 @@
+// Package kafkaorder implements a Kafka-style ordering service: a fixed
+// sequencing leader (the partition leader) replicates batches to broker
+// members and commits once a quorum of acknowledgements arrives (Kafka's
+// in-sync-replica acks). The paper's evaluation uses "a typical Kafka
+// orderer setup with 3 ZooKeeper nodes, 4 Kafka brokers and 3 orderers";
+// this package collapses that external service into an in-protocol
+// equivalent with the same interface and crash-fault-tolerance model,
+// as documented in DESIGN.md's substitution table.
+//
+// Leadership is static: Members[0] sequences. Crash fault tolerance for
+// the *data* comes from broker replication; leader fail-over (Kafka's
+// controller/ZooKeeper job) is out of scope, exactly as it is external to
+// Fabric's ordering node implementation.
+package kafkaorder
+
+import (
+	"time"
+
+	"parblockchain/internal/consensus"
+	"parblockchain/internal/eventq"
+	"parblockchain/internal/types"
+)
+
+// Config parameterizes one kafkaorder member.
+type Config struct {
+	// ID is this member's identity.
+	ID types.NodeID
+	// Members lists all members; Members[0] is the sequencing leader.
+	Members []types.NodeID
+	// Sender is the outbound half of the node's transport endpoint.
+	Sender consensus.Sender
+	// Batch controls batching at the leader.
+	Batch consensus.BatchConfig
+	// AckQuorum is the number of members (including the leader) whose
+	// acknowledgement commits a batch. Zero means a majority.
+	AckQuorum int
+}
+
+// Protocol messages. Exported so transports can gob-register them.
+type (
+	// Forward carries a payload from a non-leader member to the leader.
+	Forward struct {
+		Payload []byte
+	}
+	// Append replicates a sequenced batch from the leader to brokers.
+	Append struct {
+		Seq   uint64
+		Batch [][]byte
+	}
+	// Ack acknowledges the durable append of a batch at a broker.
+	Ack struct {
+		Seq uint64
+	}
+	// CommitAnn announces that a batch reached its ack quorum and may be
+	// delivered.
+	CommitAnn struct {
+		Seq uint64
+	}
+)
+
+type event struct {
+	kind    eventKind
+	from    types.NodeID
+	msg     any
+	payload []byte
+	gen     uint64
+}
+
+type eventKind int
+
+const (
+	evStep eventKind = iota + 1
+	evSubmit
+	evBatchTimer
+	evStop
+)
+
+type slot struct {
+	batch     [][]byte
+	acks      map[types.NodeID]bool
+	committed bool
+	delivered bool
+}
+
+// Node is one kafkaorder member.
+type Node struct {
+	cfg     Config
+	mailbox *eventq.Queue[event]
+	deliver *consensus.DeliveryQueue
+
+	// State owned by the run goroutine.
+	nextSeq      uint64 // leader: next batch seq
+	lastDeliver  uint64
+	entrySeq     uint64
+	slots        map[uint64]*slot
+	pending      [][]byte
+	batchGen     uint64
+	batchTimerOn bool
+	done         chan struct{}
+}
+
+// New creates a kafkaorder member. Call Start before use.
+func New(cfg Config) *Node {
+	cfg.Batch = cfg.Batch.Normalized()
+	if cfg.AckQuorum <= 0 {
+		cfg.AckQuorum = len(cfg.Members)/2 + 1
+	}
+	return &Node{
+		cfg:     cfg,
+		mailbox: eventq.New[event](),
+		deliver: consensus.NewDeliveryQueue(),
+		slots:   make(map[uint64]*slot),
+		done:    make(chan struct{}),
+	}
+}
+
+// Leader returns the static sequencing leader.
+func (k *Node) Leader() types.NodeID { return k.cfg.Members[0] }
+
+// Start launches the actor loop.
+func (k *Node) Start() { go k.run() }
+
+// Submit proposes a payload; non-leaders forward to the leader.
+func (k *Node) Submit(payload []byte) error {
+	k.mailbox.Push(event{kind: evSubmit, payload: payload})
+	return nil
+}
+
+// Step feeds one inbound consensus message.
+func (k *Node) Step(from types.NodeID, msg any) {
+	k.mailbox.Push(event{kind: evStep, from: from, msg: msg})
+}
+
+// Committed returns the ordered entry stream.
+func (k *Node) Committed() <-chan consensus.Entry { return k.deliver.Out() }
+
+// Stop terminates the actor loop.
+func (k *Node) Stop() {
+	k.mailbox.Push(event{kind: evStop})
+	<-k.done
+}
+
+var _ consensus.Node = (*Node)(nil)
+
+func (k *Node) run() {
+	defer close(k.done)
+	defer k.deliver.Close()
+	for {
+		ev, ok := k.mailbox.Pop()
+		if !ok {
+			return
+		}
+		switch ev.kind {
+		case evStop:
+			k.mailbox.Close()
+			return
+		case evSubmit:
+			k.handleSubmit(ev.payload)
+		case evBatchTimer:
+			if ev.gen == k.batchGen {
+				k.batchTimerOn = false
+				k.flush()
+			}
+		case evStep:
+			k.handleStep(ev.from, ev.msg)
+		}
+	}
+}
+
+func (k *Node) isLeader() bool { return k.cfg.ID == k.Leader() }
+
+func (k *Node) broadcast(msg any) {
+	for _, m := range k.cfg.Members {
+		if m != k.cfg.ID {
+			_ = k.cfg.Sender.Send(m, msg)
+		}
+	}
+}
+
+func (k *Node) handleSubmit(payload []byte) {
+	if !k.isLeader() {
+		_ = k.cfg.Sender.Send(k.Leader(), Forward{Payload: payload})
+		return
+	}
+	k.pending = append(k.pending, payload)
+	if len(k.pending) >= k.cfg.Batch.MaxMsgs {
+		k.flush()
+		return
+	}
+	if !k.batchTimerOn {
+		k.batchTimerOn = true
+		k.batchGen++
+		gen := k.batchGen
+		time.AfterFunc(time.Duration(k.cfg.Batch.MaxDelayMillis)*time.Millisecond, func() {
+			k.mailbox.Push(event{kind: evBatchTimer, gen: gen})
+		})
+	}
+}
+
+func (k *Node) flush() {
+	if len(k.pending) == 0 || !k.isLeader() {
+		return
+	}
+	batch := k.pending
+	k.pending = nil
+	k.nextSeq++
+	seq := k.nextSeq
+	s := k.getSlot(seq)
+	s.batch = batch
+	s.acks[k.cfg.ID] = true
+	k.broadcast(Append{Seq: seq, Batch: batch})
+	k.checkCommit(seq)
+}
+
+func (k *Node) getSlot(seq uint64) *slot {
+	s, ok := k.slots[seq]
+	if !ok {
+		s = &slot{acks: make(map[types.NodeID]bool)}
+		k.slots[seq] = s
+	}
+	return s
+}
+
+func (k *Node) handleStep(from types.NodeID, msg any) {
+	switch m := msg.(type) {
+	case Forward:
+		if k.isLeader() {
+			k.handleSubmit(m.Payload)
+		}
+	case Append:
+		if from != k.Leader() {
+			return
+		}
+		s := k.getSlot(m.Seq)
+		if s.batch == nil {
+			s.batch = m.Batch
+		}
+		_ = k.cfg.Sender.Send(from, Ack{Seq: m.Seq})
+	case Ack:
+		if !k.isLeader() {
+			return
+		}
+		s := k.getSlot(m.Seq)
+		s.acks[from] = true
+		k.checkCommit(m.Seq)
+	case CommitAnn:
+		if from != k.Leader() {
+			return
+		}
+		s := k.getSlot(m.Seq)
+		s.committed = true
+		k.tryDeliver()
+	}
+}
+
+// checkCommit runs at the leader: once the ack quorum is met the batch is
+// durable on enough brokers to survive f crashes, so it commits.
+func (k *Node) checkCommit(seq uint64) {
+	s := k.slots[seq]
+	if s == nil || s.committed || len(s.acks) < k.cfg.AckQuorum {
+		return
+	}
+	s.committed = true
+	k.broadcast(CommitAnn{Seq: seq})
+	k.tryDeliver()
+}
+
+func (k *Node) tryDeliver() {
+	for {
+		s, ok := k.slots[k.lastDeliver+1]
+		if !ok || !s.committed || s.delivered || s.batch == nil {
+			return
+		}
+		s.delivered = true
+		k.lastDeliver++
+		for _, payload := range s.batch {
+			k.entrySeq++
+			k.deliver.Push(consensus.Entry{Seq: k.entrySeq, Payload: payload})
+		}
+		delete(k.slots, k.lastDeliver)
+	}
+}

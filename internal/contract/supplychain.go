@@ -1,0 +1,126 @@
+package contract
+
+import (
+	"fmt"
+	"strings"
+
+	"parblockchain/internal/state"
+	"parblockchain/internal/types"
+)
+
+// SupplyChain models the supply-chain management workload the paper's
+// introduction motivates: items move through custody stages (producer,
+// shipper, warehouse, retailer), and distinct applications — one per
+// organization — operate on shared item records. Transfers between
+// organizations create cross-application conflicts, the workload class
+// OXII's inter-agent COMMIT exchange (Algorithm 2) exists for.
+//
+// An item record stores "holder|status|history-length".
+//
+// Methods:
+//
+//	"create"  params: item, holder            reads: -     writes: item
+//	"ship"    params: item, from, to          reads: item  writes: item
+//	"receive" params: item, holder            reads: item  writes: item
+type SupplyChain struct{}
+
+// NewSupplyChain returns the supply-chain contract.
+func NewSupplyChain() SupplyChain { return SupplyChain{} }
+
+// Execute dispatches the supply-chain methods.
+func (SupplyChain) Execute(view state.Reader, op types.Operation) ([]types.KV, error) {
+	switch op.Method {
+	case "create":
+		if len(op.Params) != 2 {
+			return nil, fmt.Errorf("%w: create wants [item, holder]", ErrAbort)
+		}
+		item, holder := op.Params[0], op.Params[1]
+		if _, exists := view.Get(item); exists {
+			return nil, fmt.Errorf("%w: item %s already exists", ErrAbort, item)
+		}
+		return []types.KV{{Key: item, Val: encodeItem(holder, "created", 1)}}, nil
+	case "ship":
+		if len(op.Params) != 3 {
+			return nil, fmt.Errorf("%w: ship wants [item, from, to]", ErrAbort)
+		}
+		item, from, to := op.Params[0], op.Params[1], op.Params[2]
+		holder, _, hops, err := decodeItem(view, item)
+		if err != nil {
+			return nil, err
+		}
+		if holder != from {
+			return nil, fmt.Errorf("%w: item %s held by %s, not %s", ErrAbort, item, holder, from)
+		}
+		return []types.KV{{Key: item, Val: encodeItem(to, "in-transit", hops+1)}}, nil
+	case "receive":
+		if len(op.Params) != 2 {
+			return nil, fmt.Errorf("%w: receive wants [item, holder]", ErrAbort)
+		}
+		item, receiver := op.Params[0], op.Params[1]
+		holder, status, hops, err := decodeItem(view, item)
+		if err != nil {
+			return nil, err
+		}
+		if holder != receiver {
+			return nil, fmt.Errorf("%w: item %s is addressed to %s, not %s", ErrAbort, item, holder, receiver)
+		}
+		if status != "in-transit" {
+			return nil, fmt.Errorf("%w: item %s is %s, not in-transit", ErrAbort, item, status)
+		}
+		return []types.KV{{Key: item, Val: encodeItem(receiver, "delivered", hops+1)}}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown supply-chain method %q", ErrAbort, op.Method)
+	}
+}
+
+var _ Contract = SupplyChain{}
+
+func encodeItem(holder, status string, hops int) []byte {
+	return []byte(fmt.Sprintf("%s|%s|%d", holder, status, hops))
+}
+
+func decodeItem(view state.Reader, item types.Key) (holder, status string, hops int, err error) {
+	raw, ok := view.Get(item)
+	if !ok {
+		return "", "", 0, fmt.Errorf("%w: unknown item %s", ErrAbort, item)
+	}
+	parts := strings.SplitN(string(raw), "|", 3)
+	if len(parts) != 3 {
+		return "", "", 0, fmt.Errorf("%w: corrupt item record %q", ErrAbort, raw)
+	}
+	if _, err := fmt.Sscanf(parts[2], "%d", &hops); err != nil {
+		return "", "", 0, fmt.Errorf("%w: corrupt hop count %q", ErrAbort, parts[2])
+	}
+	return parts[0], parts[1], hops, nil
+}
+
+// CreateItemOp builds the operation that registers a new item with its
+// first holder.
+func CreateItemOp(item types.Key, holder string) types.Operation {
+	return types.Operation{
+		Method: "create",
+		Params: []string{item, holder},
+		Writes: []types.Key{item},
+	}
+}
+
+// ShipOp builds the operation that hands an item from one holder to
+// another.
+func ShipOp(item types.Key, from, to string) types.Operation {
+	return types.Operation{
+		Method: "ship",
+		Params: []string{item, from, to},
+		Reads:  []types.Key{item},
+		Writes: []types.Key{item},
+	}
+}
+
+// ReceiveOp builds the operation that confirms delivery at the holder.
+func ReceiveOp(item types.Key, holder string) types.Operation {
+	return types.Operation{
+		Method: "receive",
+		Params: []string{item, holder},
+		Reads:  []types.Key{item},
+		Writes: []types.Key{item},
+	}
+}

@@ -1,0 +1,73 @@
+// Package core is the façade over the paper's primary contribution: the
+// OXII paradigm. It re-exports the dependency-graph machinery and the
+// ParBlockchain network assembly under one import, so a downstream user
+// can build a running permissioned blockchain with dependency-graph
+// parallel execution from a single package:
+//
+//	net := transport.NewInMemNetwork(transport.InMemConfig{})
+//	bc, err := core.NewParBlockchain(core.Config{ ... , Net: net})
+//	bc.Start()
+//	client, _ := bc.Client("c1")
+//	result, _ := client.Do(client.Prepare("app1",
+//	    contract.TransferOp("a", "b", 10)), 5*time.Second)
+//
+// The deeper packages remain available for fine-grained composition:
+// depgraph (graph construction and analysis), ordering and execution (the
+// two node roles), consensus/* (the pluggable ordering protocols), and
+// baselines/* (the OX and XOV comparison systems).
+package core
+
+import (
+	"parblockchain/internal/depgraph"
+	"parblockchain/internal/oxii"
+	"parblockchain/internal/types"
+)
+
+// Config describes a ParBlockchain deployment; it is oxii.Config
+// re-exported.
+type Config = oxii.Config
+
+// Network is a running ParBlockchain deployment.
+type Network = oxii.Network
+
+// Client submits transactions and awaits their commitment.
+type Client = oxii.Client
+
+// The pluggable consensus protocols.
+const (
+	ConsensusPBFT  = oxii.ConsensusPBFT
+	ConsensusRaft  = oxii.ConsensusRaft
+	ConsensusKafka = oxii.ConsensusKafka
+)
+
+// NewParBlockchain assembles a ParBlockchain network from the config.
+// Call Start on the result to run it.
+func NewParBlockchain(cfg Config) (*Network, error) {
+	return oxii.New(cfg)
+}
+
+// Graph is a block dependency graph (re-exported from depgraph).
+type Graph = depgraph.Graph
+
+// RWSet is one transaction's declared access sets.
+type RWSet = depgraph.RWSet
+
+// Dependency-rule modes.
+const (
+	// Standard orders read-write, write-read, and write-write conflicts.
+	Standard = depgraph.Standard
+	// MultiVersion orders only write-then-read conflicts, for
+	// multi-version datastores.
+	MultiVersion = depgraph.MultiVersion
+)
+
+// BuildGraph constructs the dependency graph of a block of transactions,
+// exactly as the orderers do in the ordering phase.
+func BuildGraph(txns []*types.Transaction, mode depgraph.Mode) *Graph {
+	sets := make([]depgraph.RWSet, len(txns))
+	for i, tx := range txns {
+		sets[i] = depgraph.RWSet{Reads: tx.Op.Reads, Writes: tx.Op.Writes}
+		sets[i].Normalize()
+	}
+	return depgraph.Build(sets, mode)
+}

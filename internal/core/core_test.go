@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"parblockchain/internal/contract"
+	"parblockchain/internal/transport"
+	"parblockchain/internal/types"
+)
+
+// TestFacadeQuickstart exercises the documented public API path end to
+// end: build, start, transact, inspect.
+func TestFacadeQuickstart(t *testing.T) {
+	net := transport.NewInMemNetwork(transport.InMemConfig{})
+	defer net.Close()
+	bc, err := NewParBlockchain(Config{
+		Orderers:  []types.NodeID{"o1"},
+		Executors: []types.NodeID{"e1"},
+		Clients:   []types.NodeID{"c1"},
+		Agents:    map[types.AppID][]types.NodeID{"pay": {"e1"}},
+		Contracts: map[types.AppID]contract.Contract{"pay": contract.NewAccounting()},
+		Genesis:   []types.KV{{Key: "a", Val: contract.EncodeBalance(100)}},
+		Net:       net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.Start()
+	defer bc.Stop()
+	client, err := bc.Client("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := client.Do(client.Prepare("pay", contract.TransferOp("a", "b", 40)), 5*time.Second)
+	if err != nil || result.Aborted {
+		t.Fatalf("result=%+v err=%v", result, err)
+	}
+	raw, _ := bc.ObserverStore().Get("b")
+	if bal, _ := contract.Balance(raw); bal != 40 {
+		t.Fatalf("b = %d", bal)
+	}
+}
+
+func TestBuildGraphFacade(t *testing.T) {
+	txns := []*types.Transaction{
+		{App: "a", Op: contract.TransferOp("x", "y", 1)},
+		{App: "a", Op: contract.TransferOp("y", "z", 1)},
+		{App: "a", Op: contract.TransferOp("p", "q", 1)},
+	}
+	g := BuildGraph(txns, Standard)
+	if g.N != 3 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("conflicting transfers must be ordered")
+	}
+	if len(g.Pred[2]) != 0 {
+		t.Fatal("independent transfer must be unordered")
+	}
+	// MultiVersion still orders 0->1 (tx0 writes y, tx1 reads y).
+	if g := BuildGraph(txns, MultiVersion); !g.HasEdge(0, 1) {
+		t.Fatal("write-then-read must be ordered under MVCC")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewParBlockchain(Config{}); err == nil {
+		t.Fatal("missing transport must be rejected")
+	}
+	net := transport.NewInMemNetwork(transport.InMemConfig{})
+	defer net.Close()
+	_, err := NewParBlockchain(Config{
+		Orderers:  []types.NodeID{"o1"},
+		Executors: []types.NodeID{"e1"},
+		Agents:    map[types.AppID][]types.NodeID{"pay": {"e1"}},
+		// No contract for "pay": must be rejected.
+		Net: net,
+	})
+	if err == nil {
+		t.Fatal("missing contract must be rejected")
+	}
+	_, err = NewParBlockchain(Config{
+		Orderers:  []types.NodeID{"o1"},
+		Executors: []types.NodeID{"e1"},
+		Agents:    map[types.AppID][]types.NodeID{"pay": {}},
+		Contracts: map[types.AppID]contract.Contract{"pay": contract.NewAccounting()},
+		Net:       net,
+	})
+	if err == nil {
+		t.Fatal("empty agent set must be rejected")
+	}
+}

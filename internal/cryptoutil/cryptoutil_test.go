@@ -1,0 +1,86 @@
+package cryptoutil
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	kp := MustGenerateKeyPair("n1")
+	ring := NewKeyRing()
+	ring.Add("n1", kp.Public())
+	digest := []byte("some digest bytes")
+	sig := kp.Sign(digest)
+	if err := ring.Verify("n1", digest, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedDigest(t *testing.T) {
+	kp := MustGenerateKeyPair("n1")
+	ring := NewKeyRing()
+	ring.Add("n1", kp.Public())
+	sig := kp.Sign([]byte("original"))
+	if err := ring.Verify("n1", []byte("tampered"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsWrongSigner(t *testing.T) {
+	k1 := MustGenerateKeyPair("n1")
+	k2 := MustGenerateKeyPair("n2")
+	ring := NewKeyRing()
+	ring.Add("n1", k1.Public())
+	ring.Add("n2", k2.Public())
+	digest := []byte("d")
+	// n2's signature presented as n1's.
+	if err := ring.Verify("n1", digest, k2.Sign(digest)); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyUnknownSigner(t *testing.T) {
+	ring := NewKeyRing()
+	if err := ring.Verify("ghost", []byte("d"), []byte("sig")); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("err = %v, want ErrUnknownSigner", err)
+	}
+}
+
+func TestKeyRingZeroValueUsable(t *testing.T) {
+	var ring KeyRing
+	kp := MustGenerateKeyPair("n1")
+	ring.Add("n1", kp.Public())
+	if err := ring.Verify("n1", []byte("d"), kp.Sign([]byte("d"))); err != nil {
+		t.Fatalf("zero-value keyring: %v", err)
+	}
+}
+
+func TestKeyRingCopiesKeys(t *testing.T) {
+	kp := MustGenerateKeyPair("n1")
+	pub := kp.Public()
+	ring := NewKeyRing()
+	ring.Add("n1", pub)
+	pub[0] ^= 0xFF // caller mutates its copy
+	digest := []byte("d")
+	if err := ring.Verify("n1", digest, kp.Sign(digest)); err != nil {
+		t.Fatal("keyring must have copied the key at Add time")
+	}
+}
+
+func TestNoopSignerVerifier(t *testing.T) {
+	s := NoopSigner{NodeID: "x"}
+	if s.ID() != "x" {
+		t.Fatal("ID mismatch")
+	}
+	sig := s.Sign([]byte("anything"))
+	if err := (NoopVerifier{}).Verify("anyone", []byte("whatever"), sig); err != nil {
+		t.Fatalf("noop verify: %v", err)
+	}
+}
+
+func TestKeyPairID(t *testing.T) {
+	kp := MustGenerateKeyPair("node-42")
+	if kp.ID() != "node-42" {
+		t.Fatalf("ID = %s", kp.ID())
+	}
+}

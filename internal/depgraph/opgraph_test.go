@@ -1,0 +1,115 @@
+package depgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOpLevelDecomposition(t *testing.T) {
+	sets := []RWSet{
+		{Reads: []string{"a"}, Writes: []string{"b"}},
+	}
+	g := BuildOpLevel(sets)
+	if g.OpCount() != 2 {
+		t.Fatalf("ops = %d, want 2", g.OpCount())
+	}
+	// Intra-txn read -> write edge.
+	if g.EdgeCount() != 1 || len(g.Succ[0]) != 1 {
+		t.Fatalf("edges = %d (%v)", g.EdgeCount(), g.Succ)
+	}
+	if !g.Ops[1].Write || g.Ops[0].Write {
+		t.Fatalf("node roles wrong: %+v", g.Ops)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpLevelCrossTxnEdges(t *testing.T) {
+	sets := []RWSet{
+		{Writes: []string{"x"}}, // T0: w(x)
+		{Reads: []string{"x"}},  // T1: r(x) -> depends on T0.w(x)
+		{Writes: []string{"x"}}, // T2: w(x) -> depends on T0.w, T1.r
+	}
+	g := BuildOpLevel(sets)
+	if g.OpCount() != 3 {
+		t.Fatalf("ops = %d", g.OpCount())
+	}
+	// T1's read depends on T0's write.
+	if len(g.Pred[1]) != 1 || g.Pred[1][0] != 0 {
+		t.Fatalf("Pred[1] = %v", g.Pred[1])
+	}
+	// T2's write depends on both.
+	if len(g.Pred[2]) != 2 {
+		t.Fatalf("Pred[2] = %v", g.Pred[2])
+	}
+}
+
+// TestOpLevelPipelinesAcrossKeys demonstrates the DGCC win the paper
+// alludes to: a successor transaction's operation waits only on the
+// conflicting key, not on the whole predecessor transaction.
+func TestOpLevelPipelinesAcrossKeys(t *testing.T) {
+	sets := []RWSet{
+		{Writes: []string{"a", "c"}},                  // T0 writes two keys
+		{Reads: []string{"a"}, Writes: []string{"b"}}, // T1 touches only "a" of T0's
+	}
+	// Transaction-level: T1 waits for ALL of T0 -> cost 2 + 2 = 4 ops of
+	// schedule depth.
+	txnDepth := CostWeightedCriticalPath(sets, Standard)
+	if txnDepth != 4 {
+		t.Fatalf("txn-level depth = %d, want 4", txnDepth)
+	}
+	// Operation-level: T1.r(a) waits only on T0.w(a); T0.w(c) is off the
+	// path -> depth 3 (w(a) -> r(a) -> w(b)).
+	g := BuildOpLevel(sets)
+	if got := g.CriticalPathLen(); got != 3 {
+		t.Fatalf("op-level depth = %d, want 3", got)
+	}
+}
+
+func TestOpLevelReadModifyWrite(t *testing.T) {
+	// A key in both sets makes two nodes with an intra-txn edge.
+	sets := []RWSet{{Reads: []string{"k"}, Writes: []string{"k"}}}
+	g := BuildOpLevel(sets)
+	if g.OpCount() != 2 {
+		t.Fatalf("ops = %d", g.OpCount())
+	}
+	if !containsInt32(g.Succ[0], 1) {
+		t.Fatalf("missing intra-txn edge: %v", g.Succ)
+	}
+}
+
+// TestOpLevelNeverDeeperThanTxnLevel: operation-level scheduling can only
+// reduce the cost-weighted schedule depth, never increase it.
+func TestOpLevelNeverDeeperThanTxnLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 150; trial++ {
+		sets := randomSets(rng, 2+rng.Intn(20), 1+rng.Intn(6))
+		opDepth := BuildOpLevel(sets).CriticalPathLen()
+		txnDepth := CostWeightedCriticalPath(sets, Standard)
+		if opDepth > txnDepth {
+			t.Fatalf("trial %d: op-level depth %d exceeds txn-level %d\nsets: %+v",
+				trial, opDepth, txnDepth, sets)
+		}
+	}
+}
+
+func TestOpLevelEmptyBlock(t *testing.T) {
+	g := BuildOpLevel(nil)
+	if g.OpCount() != 0 || g.CriticalPathLen() != 0 {
+		t.Fatal("empty block mishandled")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpLevelValidateRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		sets := randomSets(rng, 1+rng.Intn(25), 1+rng.Intn(8))
+		if err := BuildOpLevel(sets).Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

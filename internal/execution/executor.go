@@ -1,0 +1,657 @@
+// Package execution implements the executor node of the OXII paradigm
+// (Section IV-C): validation of NEWBLOCK messages against an orderer
+// quorum, dependency-graph-driven parallel execution of the node's own
+// applications' transactions (Algorithm 1), lazy multicast of execution
+// results in COMMIT messages when another application needs them
+// (Algorithm 2), and quorum-checked state updates (Algorithm 3).
+//
+// The three procedures of the paper run concurrently here as: a worker
+// pool executing ready transactions, an actor loop owning all bookkeeping
+// (scheduling state, vote counting, flush decisions), and the transport
+// receive loop feeding the actor. Algorithm 1's "all Pre(x) in Ce ∪ Xe"
+// predicate is implemented as an indegree countdown: a predecessor
+// satisfies its successors on the first of {executed locally, committed
+// globally}, which is equivalent to the paper's repeated scan but O(V+E)
+// per block.
+package execution
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+
+	"parblockchain/internal/contract"
+	"parblockchain/internal/cryptoutil"
+	"parblockchain/internal/eventq"
+	"parblockchain/internal/ledger"
+	"parblockchain/internal/state"
+	"parblockchain/internal/transport"
+	"parblockchain/internal/types"
+)
+
+// CommitHook observes every finalized block with its final per-transaction
+// results, in block order. Benchmarks and clients use it for latency and
+// throughput accounting.
+type CommitHook func(block *types.Block, results []types.TxResult)
+
+// Config parameterizes one executor node.
+type Config struct {
+	// ID is this executor's identity.
+	ID types.NodeID
+	// Endpoint is the node's transport attachment; the executor owns its
+	// Recv loop.
+	Endpoint transport.Endpoint
+	// Registry holds the contracts installed on this node; the node is an
+	// agent exactly for the applications present in it.
+	Registry *contract.Registry
+	// AgentsOf maps every application to its agent set Sigma(A). Used to
+	// validate that COMMIT results come from authorized agents.
+	AgentsOf map[types.AppID][]types.NodeID
+	// Tau maps applications to the required number of matching results
+	// tau(A); missing entries default to 1.
+	Tau map[types.AppID]int
+	// OrderQuorum is the number of matching NEWBLOCK messages from
+	// distinct orderers needed to act on a block (f+1 under PBFT).
+	OrderQuorum int
+	// Executors lists all executor nodes: the COMMIT multicast targets.
+	Executors []types.NodeID
+	// Store is the node's committed blockchain state.
+	Store *state.KVStore
+	// Ledger is the node's copy of the block ledger.
+	Ledger *ledger.Ledger
+	// Workers sizes the execution worker pool. Zero means 8.
+	Workers int
+	// EagerCommit switches Algorithm 2 to its eager variant: a COMMIT per
+	// executed transaction (n*m messages per block) instead of the lazy
+	// cross-application cut rule. Exposed for the A1 ablation.
+	EagerCommit bool
+	// Signer signs outbound COMMIT messages.
+	Signer cryptoutil.Signer
+	// Verifier checks NEWBLOCK and COMMIT signatures.
+	Verifier cryptoutil.Verifier
+	// VerifySigs enables signature verification on inbound messages.
+	VerifySigs bool
+	// OnCommit, when non-nil, observes every finalized block.
+	OnCommit CommitHook
+	// NotifyClients makes this executor send a CommitNotifyMsg to each
+	// transaction's client on finalization. Enable it on exactly one
+	// executor of a TCP cluster; in-process deployments use OnCommit.
+	NotifyClients bool
+	// Logf receives diagnostic messages; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.OrderQuorum <= 0 {
+		c.OrderQuorum = 1
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Stats exposes executor counters for experiments.
+type Stats struct {
+	// TxExecuted counts transactions executed locally.
+	TxExecuted uint64
+	// TxCommitted counts transactions committed (including aborted ones).
+	TxCommitted uint64
+	// TxAborted counts transactions whose final result is an abort.
+	TxAborted uint64
+	// CommitMsgsSent counts outbound COMMIT multicasts (per destination
+	// set, not per destination).
+	CommitMsgsSent uint64
+	// BlocksCommitted counts finalized blocks.
+	BlocksCommitted uint64
+}
+
+type eventKind int
+
+const (
+	evMsg eventKind = iota + 1
+	evExecDone
+	evStop
+)
+
+type event struct {
+	kind   eventKind
+	msg    transport.Message
+	num    uint64
+	idx    int
+	result types.TxResult
+}
+
+type workItem struct {
+	bs  *blockState
+	idx int
+}
+
+// Executor is one executor node.
+type Executor struct {
+	cfg     Config
+	mailbox *eventq.Queue[event]
+	work    *eventq.Queue[workItem]
+
+	// State owned by the actor loop.
+	blocks         map[uint64]*blockState
+	pendingCommits map[uint64][]*types.CommitMsg
+	halted         bool
+
+	stats struct {
+		executed  atomic.Uint64
+		committed atomic.Uint64
+		aborted   atomic.Uint64
+		commitMsg atomic.Uint64
+		blocks    atomic.Uint64
+	}
+
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// blockState tracks one in-flight block through validation, execution,
+// and commitment.
+type blockState struct {
+	num uint64
+
+	// Validation: matching NEWBLOCK messages per content digest.
+	ordererVotes map[types.NodeID]types.Hash
+	digestCount  map[types.Hash]int
+	proposals    map[types.Hash]*types.NewBlockMsg
+	valid        bool
+	msg          *types.NewBlockMsg
+
+	// Execution (set at start).
+	started    bool
+	overlay    *state.BlockOverlay
+	isLocal    []bool
+	remaining  []int32 // unsatisfied predecessor count
+	satisfied  []bool  // predecessor event fired (Ce ∪ Xe membership)
+	inflight   []bool
+	execLocal  []bool // Xe membership
+	localTotal int
+	localDone  int
+
+	// Commitment (Algorithm 3).
+	committed   []bool // Ce membership
+	final       []types.TxResult
+	commitCount int
+	votes       []map[types.Hash]*voteRec
+	voted       []map[types.NodeID]bool
+
+	// Algorithm 2 buffer (this node's Xe awaiting multicast).
+	outBuf []types.TxResult
+}
+
+type voteRec struct {
+	count  int
+	result types.TxResult
+}
+
+// New creates an executor node. Call Start before use.
+func New(cfg Config) *Executor {
+	return &Executor{
+		cfg:            cfg.withDefaults(),
+		mailbox:        eventq.New[event](),
+		work:           eventq.New[workItem](),
+		blocks:         make(map[uint64]*blockState),
+		pendingCommits: make(map[uint64][]*types.CommitMsg),
+	}
+}
+
+// Start launches the receive loop, the actor loop, and the worker pool.
+func (e *Executor) Start() {
+	e.wg.Add(2 + e.cfg.Workers)
+	go e.recvLoop()
+	go e.actorLoop()
+	for i := 0; i < e.cfg.Workers; i++ {
+		go e.worker()
+	}
+}
+
+// Stop shuts the executor down.
+func (e *Executor) Stop() {
+	e.stopOnce.Do(func() {
+		e.cfg.Endpoint.Close()
+		e.mailbox.Push(event{kind: evStop})
+		e.work.Close()
+	})
+	e.wg.Wait()
+}
+
+// Stats returns a snapshot of the executor's counters.
+func (e *Executor) Stats() Stats {
+	return Stats{
+		TxExecuted:      e.stats.executed.Load(),
+		TxCommitted:     e.stats.committed.Load(),
+		TxAborted:       e.stats.aborted.Load(),
+		CommitMsgsSent:  e.stats.commitMsg.Load(),
+		BlocksCommitted: e.stats.blocks.Load(),
+	}
+}
+
+// IsAgentFor reports whether this node is an agent of the application.
+func (e *Executor) IsAgentFor(app types.AppID) bool {
+	_, ok := e.cfg.Registry.Lookup(app)
+	return ok
+}
+
+func (e *Executor) recvLoop() {
+	defer e.wg.Done()
+	for msg := range e.cfg.Endpoint.Recv() {
+		e.mailbox.Push(event{kind: evMsg, msg: msg})
+	}
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	for {
+		item, ok := e.work.Pop()
+		if !ok {
+			return
+		}
+		tx := item.bs.msg.Block.Txns[item.idx]
+		result := types.TxResult{TxID: tx.ID, Index: item.idx}
+		writes, err := e.cfg.Registry.Execute(tx.App, item.bs.overlay, tx.Op)
+		if err != nil {
+			result.Aborted = true
+			result.AbortReason = err.Error()
+		} else {
+			result.Writes = writes
+		}
+		e.stats.executed.Add(1)
+		e.mailbox.Push(event{kind: evExecDone, num: item.bs.num, idx: item.idx, result: result})
+	}
+}
+
+func (e *Executor) actorLoop() {
+	defer e.wg.Done()
+	for {
+		ev, ok := e.mailbox.Pop()
+		if !ok {
+			return
+		}
+		switch ev.kind {
+		case evStop:
+			e.mailbox.Close()
+			return
+		case evMsg:
+			e.handleMsg(ev.msg)
+		case evExecDone:
+			e.handleExecDone(ev.num, ev.idx, ev.result)
+		}
+	}
+}
+
+func (e *Executor) handleMsg(msg transport.Message) {
+	if e.halted {
+		return
+	}
+	switch m := msg.Payload.(type) {
+	case *types.NewBlockMsg:
+		e.handleNewBlock(msg.From, m)
+	case *types.CommitMsg:
+		e.handleCommitMsg(msg.From, m)
+	default:
+		// Unknown payloads are ignored; executors only speak NEWBLOCK
+		// and COMMIT.
+	}
+}
+
+// handleNewBlock records one orderer's block announcement and validates
+// the block once OrderQuorum matching announcements arrived.
+func (e *Executor) handleNewBlock(from types.NodeID, m *types.NewBlockMsg) {
+	if m.Block == nil || m.Orderer != from {
+		return
+	}
+	num := m.Block.Header.Number
+	if num < e.cfg.Ledger.Height() {
+		return // already committed
+	}
+	if e.cfg.VerifySigs {
+		digest := m.Digest()
+		if err := e.cfg.Verifier.Verify(string(from), digest[:], m.Sig); err != nil {
+			e.cfg.Logf("executor %s: bad NEWBLOCK signature from %s: %v", e.cfg.ID, from, err)
+			return
+		}
+	}
+	bs := e.getBlockState(num)
+	if bs.valid {
+		return
+	}
+	if _, dup := bs.ordererVotes[from]; dup {
+		return
+	}
+	digest := m.Digest()
+	bs.ordererVotes[from] = digest
+	bs.digestCount[digest]++
+	if _, ok := bs.proposals[digest]; !ok {
+		bs.proposals[digest] = m
+	}
+	if bs.digestCount[digest] >= e.cfg.OrderQuorum {
+		proposal := bs.proposals[digest]
+		if !e.validateBlock(proposal) {
+			e.cfg.Logf("executor %s: block %d failed structural validation", e.cfg.ID, num)
+			return
+		}
+		bs.valid = true
+		bs.msg = proposal
+		bs.proposals = nil
+		e.maybeStart()
+	}
+}
+
+// validateBlock checks the structural integrity of a quorum-backed block:
+// the header's transaction commitment and the graph's shape.
+func (e *Executor) validateBlock(m *types.NewBlockMsg) bool {
+	if !m.Block.VerifyTxRoot() {
+		return false
+	}
+	if m.Graph == nil || m.Graph.N != len(m.Block.Txns) {
+		return false
+	}
+	return m.Graph.Validate() == nil
+}
+
+func (e *Executor) getBlockState(num uint64) *blockState {
+	bs, ok := e.blocks[num]
+	if !ok {
+		bs = &blockState{
+			num:          num,
+			ordererVotes: make(map[types.NodeID]types.Hash),
+			digestCount:  make(map[types.Hash]int),
+			proposals:    make(map[types.Hash]*types.NewBlockMsg),
+		}
+		e.blocks[num] = bs
+	}
+	return bs
+}
+
+// maybeStart begins execution of the next block in ledger order, if it is
+// validated and the previous block has finalized. Blocks execute one at a
+// time; the ordering pipeline runs ahead and later blocks buffer.
+func (e *Executor) maybeStart() {
+	next := e.cfg.Ledger.Height()
+	bs, ok := e.blocks[next]
+	if !ok || !bs.valid || bs.started || e.halted {
+		return
+	}
+	if bs.msg.Block.Header.PrevHash != e.cfg.Ledger.LastHash() {
+		// A quorum of orderers signed a block that does not extend this
+		// node's chain: beyond the fault assumption. Halt rather than
+		// diverge.
+		e.cfg.Logf("executor %s: block %d does not extend local chain; halting", e.cfg.ID, next)
+		e.halted = true
+		return
+	}
+	bs.started = true
+	n := len(bs.msg.Block.Txns)
+	bs.overlay = state.NewBlockOverlay(e.cfg.Store)
+	bs.isLocal = make([]bool, n)
+	bs.remaining = make([]int32, n)
+	bs.satisfied = make([]bool, n)
+	bs.inflight = make([]bool, n)
+	bs.execLocal = make([]bool, n)
+	bs.committed = make([]bool, n)
+	bs.final = make([]types.TxResult, n)
+	bs.votes = make([]map[types.Hash]*voteRec, n)
+	bs.voted = make([]map[types.NodeID]bool, n)
+	for i, tx := range bs.msg.Block.Txns {
+		bs.isLocal[i] = e.IsAgentFor(tx.App)
+		if bs.isLocal[i] {
+			bs.localTotal++
+		}
+		bs.remaining[i] = int32(len(bs.msg.Graph.Pred[i]))
+	}
+	if n == 0 {
+		e.finalize(bs)
+		return
+	}
+	// Algorithm 1 seed: transactions with no predecessors are ready.
+	for i := 0; i < n; i++ {
+		if bs.remaining[i] == 0 && bs.isLocal[i] {
+			e.dispatch(bs, i)
+		}
+	}
+	// Replay COMMIT messages that raced ahead of the block.
+	if buffered := e.pendingCommits[bs.num]; len(buffered) > 0 {
+		delete(e.pendingCommits, bs.num)
+		for _, m := range buffered {
+			e.applyCommitMsg(bs, m)
+		}
+	}
+}
+
+func (e *Executor) dispatch(bs *blockState, idx int) {
+	if bs.inflight[idx] || bs.execLocal[idx] || bs.committed[idx] {
+		return
+	}
+	bs.inflight[idx] = true
+	e.work.Push(workItem{bs: bs, idx: idx})
+}
+
+// handleExecDone implements the completion half of Algorithm 1 plus the
+// multicast decision of Algorithm 2.
+func (e *Executor) handleExecDone(num uint64, idx int, result types.TxResult) {
+	bs, ok := e.blocks[num]
+	if !ok || !bs.started {
+		return // block finalized while the worker ran (remote commit race)
+	}
+	bs.inflight[idx] = false
+	if bs.execLocal[idx] {
+		return
+	}
+	bs.execLocal[idx] = true
+	bs.localDone++
+	if !bs.committed[idx] && !result.Aborted {
+		// Make the result visible to dependent local transactions (Xe).
+		bs.overlay.Record(idx, result.Writes)
+	}
+	e.fireSatisfied(bs, idx)
+	// Stage the result for multicast and vote for it ourselves.
+	bs.outBuf = append(bs.outBuf, result)
+	e.addVote(bs, idx, result, e.cfg.ID)
+
+	// Algorithm 2: flush when a successor belongs to another application
+	// (its agents need this result to proceed), eagerly when configured,
+	// and always at the end of this node's work on the block so passive
+	// nodes and non-agent executors can commit.
+	flush := e.cfg.EagerCommit || bs.localDone == bs.localTotal
+	if !flush {
+		tx := bs.msg.Block.Txns[idx]
+		for _, succ := range bs.msg.Graph.Succ[idx] {
+			if bs.msg.Block.Txns[succ].App != tx.App {
+				flush = true
+				break
+			}
+		}
+	}
+	if flush {
+		e.flushCommits(bs)
+	}
+}
+
+// flushCommits multicasts the staged results (the paper's "removes all
+// the stored results from Xe and puts them in a commit message").
+func (e *Executor) flushCommits(bs *blockState) {
+	if len(bs.outBuf) == 0 {
+		return
+	}
+	msg := &types.CommitMsg{
+		BlockNum: bs.num,
+		Results:  bs.outBuf,
+		Executor: e.cfg.ID,
+	}
+	bs.outBuf = nil
+	digest := msg.Digest()
+	msg.Sig = e.cfg.Signer.Sign(digest[:])
+	if err := transport.Multicast(e.cfg.Endpoint, e.cfg.Executors, msg); err != nil {
+		e.cfg.Logf("executor %s: commit multicast for block %d: %v", e.cfg.ID, bs.num, err)
+	}
+	e.stats.commitMsg.Add(1)
+}
+
+// handleCommitMsg is the intake of Algorithm 3.
+func (e *Executor) handleCommitMsg(from types.NodeID, m *types.CommitMsg) {
+	if m.Executor != from {
+		return
+	}
+	if m.BlockNum < e.cfg.Ledger.Height() {
+		return // stale
+	}
+	if e.cfg.VerifySigs {
+		digest := m.Digest()
+		if err := e.cfg.Verifier.Verify(string(from), digest[:], m.Sig); err != nil {
+			e.cfg.Logf("executor %s: bad COMMIT signature from %s: %v", e.cfg.ID, from, err)
+			return
+		}
+	}
+	bs, ok := e.blocks[m.BlockNum]
+	if !ok || !bs.started {
+		// The block has not reached this node (or its quorum) yet;
+		// buffer and replay at start.
+		e.pendingCommits[m.BlockNum] = append(e.pendingCommits[m.BlockNum], m)
+		return
+	}
+	e.applyCommitMsg(bs, m)
+}
+
+func (e *Executor) applyCommitMsg(bs *blockState, m *types.CommitMsg) {
+	n := len(bs.msg.Block.Txns)
+	for i := range m.Results {
+		r := m.Results[i]
+		if r.Index < 0 || r.Index >= n {
+			continue
+		}
+		tx := bs.msg.Block.Txns[r.Index]
+		if tx.ID != r.TxID {
+			continue
+		}
+		// Algorithm 3 accepts a result only from agents of the
+		// transaction's application.
+		if !e.isAgentOf(tx.App, m.Executor) {
+			continue
+		}
+		e.addVote(bs, r.Index, r, m.Executor)
+	}
+}
+
+func (e *Executor) isAgentOf(app types.AppID, node types.NodeID) bool {
+	for _, agent := range e.cfg.AgentsOf[app] {
+		if agent == node {
+			return true
+		}
+	}
+	return false
+}
+
+// addVote counts one agent's result for a transaction; at tau(A) matching
+// results the transaction commits (Algorithm 3's "Matching records in
+// Re(x) >= tau(A)").
+func (e *Executor) addVote(bs *blockState, idx int, r types.TxResult, voter types.NodeID) {
+	if bs.committed[idx] {
+		return
+	}
+	if bs.voted[idx] == nil {
+		bs.voted[idx] = make(map[types.NodeID]bool, 2)
+		bs.votes[idx] = make(map[types.Hash]*voteRec, 1)
+	}
+	if bs.voted[idx][voter] {
+		return
+	}
+	bs.voted[idx][voter] = true
+	d := r.Digest()
+	rec, ok := bs.votes[idx][d]
+	if !ok {
+		rec = &voteRec{result: r}
+		bs.votes[idx][d] = rec
+	}
+	rec.count++
+	if rec.count >= e.tau(bs.msg.Block.Txns[idx].App) {
+		e.commitTx(bs, idx, rec.result)
+	}
+}
+
+func (e *Executor) tau(app types.AppID) int {
+	if t, ok := e.cfg.Tau[app]; ok && t > 0 {
+		return t
+	}
+	return 1
+}
+
+// commitTx marks one transaction committed, reflects its writes in the
+// block overlay, and unblocks dependent transactions.
+func (e *Executor) commitTx(bs *blockState, idx int, r types.TxResult) {
+	bs.committed[idx] = true
+	bs.final[idx] = r
+	bs.votes[idx] = nil
+	bs.voted[idx] = nil
+	if !r.Aborted {
+		bs.overlay.Record(idx, r.Writes)
+	} else {
+		e.stats.aborted.Add(1)
+	}
+	bs.commitCount++
+	e.stats.committed.Add(1)
+	e.fireSatisfied(bs, idx)
+	if bs.commitCount == len(bs.msg.Block.Txns) {
+		e.finalize(bs)
+	}
+}
+
+// fireSatisfied propagates "predecessor is in Ce ∪ Xe" to successors,
+// dispatching any local transaction whose predecessors are all satisfied.
+func (e *Executor) fireSatisfied(bs *blockState, idx int) {
+	if bs.satisfied[idx] {
+		return
+	}
+	bs.satisfied[idx] = true
+	for _, succ := range bs.msg.Graph.Succ[idx] {
+		bs.remaining[succ]--
+		if bs.remaining[succ] == 0 && bs.isLocal[succ] {
+			e.dispatch(bs, int(succ))
+		}
+	}
+}
+
+// finalize applies the block's net effect to the committed store, appends
+// the block to the ledger, and advances to the next block.
+func (e *Executor) finalize(bs *blockState) {
+	// Flush any straggler results (e.g. a block whose last local
+	// transactions committed via remote votes before local execution).
+	e.flushCommits(bs)
+	e.cfg.Store.Apply(bs.overlay.Final())
+	entry := ledger.Entry{Block: bs.msg.Block, Results: bs.final}
+	if err := e.cfg.Ledger.Append(entry); err != nil {
+		e.cfg.Logf("executor %s: ledger append failed for block %d: %v; halting", e.cfg.ID, bs.num, err)
+		e.halted = true
+		return
+	}
+	e.stats.blocks.Add(1)
+	delete(e.blocks, bs.num)
+	delete(e.pendingCommits, bs.num)
+	if e.cfg.OnCommit != nil {
+		e.cfg.OnCommit(bs.msg.Block, bs.final)
+	}
+	if e.cfg.NotifyClients {
+		for i, tx := range bs.msg.Block.Txns {
+			_ = e.cfg.Endpoint.Send(tx.Client, &types.CommitNotifyMsg{
+				TxID:        tx.ID,
+				BlockNum:    bs.num,
+				Aborted:     bs.final[i].Aborted,
+				AbortReason: bs.final[i].AbortReason,
+			})
+		}
+	}
+	e.maybeStart()
+}
+
+// String identifies the executor for logs.
+func (e *Executor) String() string {
+	return fmt.Sprintf("executor(%s)", e.cfg.ID)
+}

@@ -1,0 +1,140 @@
+// Package ledger implements the append-only hash-chained block ledger each
+// executor peer maintains. When a block of transactions is executed and
+// validated, the peer appends the block (with its final execution results)
+// to its copy of the ledger; the chain of header hashes makes any
+// retroactive tampering evident.
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"parblockchain/internal/types"
+)
+
+// Errors returned by Append and Verify.
+var (
+	// ErrBadNumber is returned when a block's number is not the next
+	// height.
+	ErrBadNumber = errors.New("ledger: block number out of sequence")
+	// ErrBadPrevHash is returned when a block's previous-hash pointer does
+	// not match the chain tip.
+	ErrBadPrevHash = errors.New("ledger: previous hash mismatch")
+	// ErrBadTxRoot is returned when a block's header does not commit to
+	// its transactions.
+	ErrBadTxRoot = errors.New("ledger: transaction merkle root mismatch")
+	// ErrNotFound is returned by Get for heights beyond the chain tip.
+	ErrNotFound = errors.New("ledger: block not found")
+)
+
+// Entry is one committed block together with the final execution result of
+// every transaction in it (in block order).
+type Entry struct {
+	// Block is the ordered block as received from the orderers.
+	Block *types.Block
+	// Results holds one result per transaction, in block order. Aborted
+	// transactions appear with their abort marker, mirroring the paper's
+	// (x, "abort") pairs.
+	Results []types.TxResult
+}
+
+// Ledger is an in-memory append-only hash chain of blocks. It is safe for
+// concurrent use.
+type Ledger struct {
+	mu      sync.RWMutex
+	entries []Entry
+}
+
+// New returns an empty ledger whose first block must carry number 0 and a
+// zero previous hash.
+func New() *Ledger { return &Ledger{} }
+
+// Height returns the number of committed blocks.
+func (l *Ledger) Height() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.entries))
+}
+
+// LastHash returns the hash of the newest block, or the zero hash for an
+// empty ledger — the value the next block's PrevHash must equal.
+func (l *Ledger) LastHash() types.Hash {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.entries) == 0 {
+		return types.ZeroHash
+	}
+	return l.entries[len(l.entries)-1].Block.Hash()
+}
+
+// Append adds a block and its results to the chain after checking the
+// height, the previous-hash pointer, the header's transaction commitment,
+// and that results align one-to-one with transactions.
+func (l *Ledger) Append(e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	next := uint64(len(l.entries))
+	if e.Block.Header.Number != next {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadNumber, e.Block.Header.Number, next)
+	}
+	prev := types.ZeroHash
+	if next > 0 {
+		prev = l.entries[next-1].Block.Hash()
+	}
+	if e.Block.Header.PrevHash != prev {
+		return fmt.Errorf("%w: block %d", ErrBadPrevHash, next)
+	}
+	if !e.Block.VerifyTxRoot() {
+		return fmt.Errorf("%w: block %d", ErrBadTxRoot, next)
+	}
+	if len(e.Results) != len(e.Block.Txns) {
+		return fmt.Errorf("ledger: block %d has %d results for %d transactions",
+			next, len(e.Results), len(e.Block.Txns))
+	}
+	l.entries = append(l.entries, e)
+	return nil
+}
+
+// Get returns the entry at the given height.
+func (l *Ledger) Get(height uint64) (Entry, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if height >= uint64(len(l.entries)) {
+		return Entry{}, fmt.Errorf("%w: height %d", ErrNotFound, height)
+	}
+	return l.entries[height], nil
+}
+
+// Verify re-validates the whole chain: numbering, hash links, and
+// transaction commitments. It returns the first violation found, if any.
+func (l *Ledger) Verify() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	prev := types.ZeroHash
+	for i, e := range l.entries {
+		if e.Block.Header.Number != uint64(i) {
+			return fmt.Errorf("%w: index %d holds block %d", ErrBadNumber, i, e.Block.Header.Number)
+		}
+		if e.Block.Header.PrevHash != prev {
+			return fmt.Errorf("%w: block %d", ErrBadPrevHash, i)
+		}
+		if !e.Block.VerifyTxRoot() {
+			return fmt.Errorf("%w: block %d", ErrBadTxRoot, i)
+		}
+		prev = e.Block.Hash()
+	}
+	return nil
+}
+
+// TxCount returns the total number of transactions across all committed
+// blocks.
+func (l *Ledger) TxCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	total := 0
+	for _, e := range l.entries {
+		total += len(e.Block.Txns)
+	}
+	return total
+}

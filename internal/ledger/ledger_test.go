@@ -1,0 +1,128 @@
+package ledger
+
+import (
+	"errors"
+	"testing"
+
+	"parblockchain/internal/types"
+)
+
+func tx(id string) *types.Transaction {
+	return &types.Transaction{ID: types.TxID(id), App: "app1", Client: "c1",
+		Op: types.Operation{Method: "m"}}
+}
+
+func entryFor(l *Ledger, ids ...string) Entry {
+	txns := make([]*types.Transaction, len(ids))
+	results := make([]types.TxResult, len(ids))
+	for i, id := range ids {
+		txns[i] = tx(id)
+		results[i] = types.TxResult{TxID: types.TxID(id), Index: i}
+	}
+	return Entry{
+		Block:   types.NewBlock(l.Height(), l.LastHash(), txns),
+		Results: results,
+	}
+}
+
+func TestAppendAndGet(t *testing.T) {
+	l := New()
+	if l.Height() != 0 || l.LastHash() != types.ZeroHash {
+		t.Fatal("fresh ledger must be empty with zero hash")
+	}
+	if err := l.Append(entryFor(l, "t1", "t2")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Append(entryFor(l, "t3")); err != nil {
+		t.Fatalf("Append 2: %v", err)
+	}
+	if l.Height() != 2 {
+		t.Fatalf("Height = %d, want 2", l.Height())
+	}
+	if l.TxCount() != 3 {
+		t.Fatalf("TxCount = %d, want 3", l.TxCount())
+	}
+	e, err := l.Get(1)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if e.Block.Txns[0].ID != "t3" {
+		t.Fatal("wrong block returned")
+	}
+	if _, err := l.Get(2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(2) err = %v, want ErrNotFound", err)
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestAppendRejectsWrongNumber(t *testing.T) {
+	l := New()
+	e := entryFor(l, "t1")
+	e.Block.Header.Number = 5
+	if err := l.Append(e); !errors.Is(err, ErrBadNumber) {
+		t.Fatalf("err = %v, want ErrBadNumber", err)
+	}
+}
+
+func TestAppendRejectsWrongPrevHash(t *testing.T) {
+	l := New()
+	if err := l.Append(entryFor(l, "t1")); err != nil {
+		t.Fatal(err)
+	}
+	bad := Entry{
+		Block:   types.NewBlock(1, types.ZeroHash, []*types.Transaction{tx("t2")}),
+		Results: []types.TxResult{{TxID: "t2"}},
+	}
+	if err := l.Append(bad); !errors.Is(err, ErrBadPrevHash) {
+		t.Fatalf("err = %v, want ErrBadPrevHash", err)
+	}
+}
+
+func TestAppendRejectsTamperedBody(t *testing.T) {
+	l := New()
+	e := entryFor(l, "t1")
+	e.Block.Txns = append(e.Block.Txns, tx("sneaky"))
+	e.Results = append(e.Results, types.TxResult{TxID: "sneaky"})
+	if err := l.Append(e); !errors.Is(err, ErrBadTxRoot) {
+		t.Fatalf("err = %v, want ErrBadTxRoot", err)
+	}
+}
+
+func TestAppendRejectsResultMismatch(t *testing.T) {
+	l := New()
+	e := entryFor(l, "t1", "t2")
+	e.Results = e.Results[:1]
+	if err := l.Append(e); err == nil {
+		t.Fatal("expected error for misaligned results")
+	}
+}
+
+func TestVerifyDetectsRewrittenHistory(t *testing.T) {
+	l := New()
+	for i := 0; i < 5; i++ {
+		if err := l.Append(entryFor(l, "t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("Verify clean chain: %v", err)
+	}
+	// Tamper with a middle block's body directly.
+	e, _ := l.Get(2)
+	e.Block.Txns[0].Op.Method = "evil"
+	if err := l.Verify(); err == nil {
+		t.Fatal("Verify must detect a tampered body")
+	}
+}
+
+func TestEmptyBlocksAllowed(t *testing.T) {
+	l := New()
+	if err := l.Append(entryFor(l)); err != nil {
+		t.Fatalf("empty block: %v", err)
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}

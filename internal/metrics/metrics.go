@@ -1,0 +1,184 @@
+// Package metrics provides the measurement instruments the evaluation
+// uses: a latency recorder with percentile snapshots and a throughput
+// meter that reports committed transactions per second over a steady-state
+// window, matching the paper's methodology ("throughput numbers are
+// reported as the average measured during the steady state").
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates latency samples. It is safe for concurrent
+// use. To bound memory on very long runs it keeps a uniform reservoir of
+// up to maxSamples samples; counts and the mean remain exact.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+	rngSeed uint64
+}
+
+// maxSamples bounds the reservoir size of a LatencyRecorder.
+const maxSamples = 1 << 18
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{samples: make([]time.Duration, 0, 1024), rngSeed: 0x9E3779B97F4A7C15}
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	r.sum += d
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.samples) < maxSamples {
+		r.samples = append(r.samples, d)
+		return
+	}
+	// Reservoir sampling keeps the retained set uniform.
+	r.rngSeed ^= r.rngSeed << 13
+	r.rngSeed ^= r.rngSeed >> 7
+	r.rngSeed ^= r.rngSeed << 17
+	if idx := r.rngSeed % uint64(r.count); idx < maxSamples {
+		r.samples[idx] = d
+	}
+}
+
+// Reset discards all samples, e.g. at the end of a warm-up phase.
+func (r *LatencyRecorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples = r.samples[:0]
+	r.count = 0
+	r.sum = 0
+	r.max = 0
+}
+
+// LatencyStats is a point-in-time summary of recorded latencies.
+type LatencyStats struct {
+	// Count is the total number of samples recorded.
+	Count int64
+	// Mean is the exact arithmetic mean.
+	Mean time.Duration
+	// P50, P90, P95, P99 are percentiles over the retained reservoir.
+	P50, P90, P95, P99 time.Duration
+	// Max is the exact maximum.
+	Max time.Duration
+}
+
+// Snapshot summarizes the recorded samples.
+func (r *LatencyRecorder) Snapshot() LatencyStats {
+	r.mu.Lock()
+	sorted := append([]time.Duration(nil), r.samples...)
+	stats := LatencyStats{Count: r.count, Max: r.max}
+	if r.count > 0 {
+		stats.Mean = r.sum / time.Duration(r.count)
+	}
+	r.mu.Unlock()
+	if len(sorted) == 0 {
+		return stats
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	stats.P50 = pct(0.50)
+	stats.P90 = pct(0.90)
+	stats.P95 = pct(0.95)
+	stats.P99 = pct(0.99)
+	return stats
+}
+
+// Meter measures throughput over an explicit steady-state window: Mark
+// commits as they happen, call WindowStart when warm-up ends and
+// WindowEnd when measurement stops.
+type Meter struct {
+	mu          sync.Mutex
+	total       int64
+	windowBase  int64
+	windowStart time.Time
+	windowEnd   time.Time
+	started     bool
+	ended       bool
+}
+
+// NewMeter returns a meter with no window set.
+func NewMeter() *Meter { return &Meter{} }
+
+// Mark counts n committed transactions.
+func (m *Meter) Mark(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total += int64(n)
+}
+
+// Total returns the all-time committed count.
+func (m *Meter) Total() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// WindowStart begins the steady-state measurement window.
+func (m *Meter) WindowStart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.windowBase = m.total
+	m.windowStart = time.Now()
+	m.started = true
+	m.ended = false
+}
+
+// WindowEnd closes the measurement window.
+func (m *Meter) WindowEnd() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.windowEnd = time.Now()
+	m.ended = true
+}
+
+// Throughput returns committed transactions per second within the window.
+// It returns 0 if the window was never started or is empty.
+func (m *Meter) Throughput() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		return 0
+	}
+	end := m.windowEnd
+	if !m.ended {
+		end = time.Now()
+	}
+	secs := end.Sub(m.windowStart).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(m.total-m.windowBase) / secs
+}
+
+// WindowCount returns the number of commits inside the window so far.
+func (m *Meter) WindowCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		return 0
+	}
+	return m.total - m.windowBase
+}

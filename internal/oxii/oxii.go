@@ -1,0 +1,326 @@
+// Package oxii assembles ParBlockchain networks: it wires the ordering
+// service (pluggable consensus + block cutting + dependency-graph
+// generation) and the executor fleet (Algorithms 1-3) over a transport,
+// generates node keys, installs contracts on each application's agents,
+// seeds genesis state, and provides the client driver used by examples
+// and benchmarks.
+//
+// This package is the system-level entry point of the reproduction: a
+// handful of lines create a full ParBlockchain deployment in-process.
+package oxii
+
+import (
+	"fmt"
+	"time"
+
+	"parblockchain/internal/consensus"
+	"parblockchain/internal/consensus/kafkaorder"
+	"parblockchain/internal/consensus/pbft"
+	"parblockchain/internal/consensus/raft"
+	"parblockchain/internal/contract"
+	"parblockchain/internal/cryptoutil"
+	"parblockchain/internal/depgraph"
+	"parblockchain/internal/execution"
+	"parblockchain/internal/ledger"
+	"parblockchain/internal/ordering"
+	"parblockchain/internal/state"
+	"parblockchain/internal/transport"
+	"parblockchain/internal/types"
+)
+
+// ConsensusKind selects the pluggable ordering protocol.
+type ConsensusKind string
+
+// The supported consensus plugs.
+const (
+	// ConsensusPBFT is Byzantine fault tolerant (3f+1).
+	ConsensusPBFT ConsensusKind = "pbft"
+	// ConsensusRaft is crash fault tolerant (2f+1).
+	ConsensusRaft ConsensusKind = "raft"
+	// ConsensusKafka is the Kafka-style ordering service of the paper's
+	// evaluation setup.
+	ConsensusKafka ConsensusKind = "kafka"
+)
+
+// Config describes a ParBlockchain deployment.
+type Config struct {
+	// Orderers names the ordering service members.
+	Orderers []types.NodeID
+	// Executors names all executor peers (agents and passive nodes).
+	Executors []types.NodeID
+	// Clients names the client identities (keys are generated for them so
+	// orderers can verify request signatures).
+	Clients []types.NodeID
+	// Agents maps each application to its agent subset of Executors
+	// (Sigma in the paper). Every agent gets the application's contract
+	// installed.
+	Agents map[types.AppID][]types.NodeID
+	// Contracts maps each application to its contract logic.
+	Contracts map[types.AppID]contract.Contract
+	// Tau is the per-application required number of matching results;
+	// missing entries default to 1.
+	Tau map[types.AppID]int
+	// Consensus picks the ordering protocol. Default ConsensusKafka (the
+	// paper's evaluation setup).
+	Consensus ConsensusKind
+	// ConsensusBatch tunes batching inside consensus.
+	ConsensusBatch consensus.BatchConfig
+	// MaxBlockTxns, MaxBlockBytes, MaxBlockInterval are the three block
+	// cut conditions (defaults 200 / 2MB / 100ms).
+	MaxBlockTxns     int
+	MaxBlockBytes    int
+	MaxBlockInterval time.Duration
+	// GraphMode selects the dependency rule (default Standard).
+	GraphMode depgraph.Mode
+	// UsePairwiseGraph selects the paper-faithful O(n^2) graph builder.
+	UsePairwiseGraph bool
+	// EagerCommit selects Algorithm 2's eager per-transaction multicast.
+	EagerCommit bool
+	// ExecWorkers sizes each executor's worker pool (default 8).
+	ExecWorkers int
+	// Crypto enables ed25519 signing and verification end to end. When
+	// false, no-op signers model the crypto-free ablation.
+	Crypto bool
+	// ACL restricts client/application pairs; nil allows all.
+	ACL *ordering.AccessControl
+	// Genesis seeds every executor's state store before startup.
+	Genesis []types.KV
+	// OnCommit observes finalized blocks at the observer executor
+	// (Executors[0]); used for metrics and client completion routing.
+	OnCommit execution.CommitHook
+	// Net is the transport; required.
+	Net *transport.InMemNetwork
+	// Logf receives diagnostics; nil uses the stdlib logger.
+	Logf func(format string, args ...any)
+}
+
+// Network is a running ParBlockchain deployment.
+type Network struct {
+	cfg       Config
+	Orderers  []*ordering.Orderer
+	Executors []*execution.Executor
+	// Stores and Ledgers are indexed like cfg.Executors.
+	Stores  []*state.KVStore
+	Ledgers []*ledger.Ledger
+	signers map[types.NodeID]cryptoutil.Signer
+	keyring *cryptoutil.KeyRing
+	clients map[types.NodeID]*Client
+	router  *CommitRouter
+}
+
+// New builds a ParBlockchain network. Call Start to run it.
+func New(cfg Config) (*Network, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("oxii: Config.Net is required")
+	}
+	if len(cfg.Orderers) == 0 || len(cfg.Executors) == 0 {
+		return nil, fmt.Errorf("oxii: need at least one orderer and one executor")
+	}
+	if cfg.Consensus == "" {
+		cfg.Consensus = ConsensusKafka
+	}
+	for app, agents := range cfg.Agents {
+		if len(agents) == 0 {
+			return nil, fmt.Errorf("oxii: application %s has no agents", app)
+		}
+		if _, ok := cfg.Contracts[app]; !ok {
+			return nil, fmt.Errorf("oxii: application %s has no contract", app)
+		}
+	}
+
+	nw := &Network{
+		cfg:     cfg,
+		signers: make(map[types.NodeID]cryptoutil.Signer),
+		keyring: cryptoutil.NewKeyRing(),
+		clients: make(map[types.NodeID]*Client),
+		router:  NewCommitRouter(),
+	}
+
+	// Keys for every identity in the deployment.
+	all := make([]types.NodeID, 0, len(cfg.Orderers)+len(cfg.Executors)+len(cfg.Clients))
+	all = append(all, cfg.Orderers...)
+	all = append(all, cfg.Executors...)
+	all = append(all, cfg.Clients...)
+	for _, id := range all {
+		if cfg.Crypto {
+			kp, err := cryptoutil.GenerateKeyPair(string(id))
+			if err != nil {
+				return nil, err
+			}
+			nw.keyring.Add(string(id), kp.Public())
+			nw.signers[id] = kp
+		} else {
+			nw.signers[id] = cryptoutil.NoopSigner{NodeID: string(id)}
+		}
+	}
+	verifier := nw.verifier()
+
+	// Executors.
+	for i, id := range cfg.Executors {
+		ep, err := cfg.Net.Endpoint(id)
+		if err != nil {
+			return nil, err
+		}
+		registry := contract.NewRegistry()
+		for app, agents := range cfg.Agents {
+			for _, agent := range agents {
+				if agent == id {
+					registry.Install(app, cfg.Contracts[app])
+				}
+			}
+		}
+		store := state.NewKVStore()
+		store.Apply(cfg.Genesis)
+		led := ledger.New()
+		// Only the observer (Executors[0]) routes client completions and
+		// feeds the user hook; hooks on every peer would duplicate them.
+		var hook execution.CommitHook
+		if i == 0 {
+			routerHook := nw.router.Hook()
+			userHook := cfg.OnCommit
+			hook = func(block *types.Block, results []types.TxResult) {
+				routerHook(block, results)
+				if userHook != nil {
+					userHook(block, results)
+				}
+			}
+		}
+		exec := execution.New(execution.Config{
+			ID:          id,
+			Endpoint:    ep,
+			Registry:    registry,
+			AgentsOf:    cfg.Agents,
+			Tau:         cfg.Tau,
+			OrderQuorum: nw.orderQuorum(),
+			Executors:   cfg.Executors,
+			Store:       store,
+			Ledger:      led,
+			Workers:     cfg.ExecWorkers,
+			EagerCommit: cfg.EagerCommit,
+			Signer:      nw.signers[id],
+			Verifier:    verifier,
+			VerifySigs:  cfg.Crypto,
+			OnCommit:    hook,
+			Logf:        cfg.Logf,
+		})
+		nw.Executors = append(nw.Executors, exec)
+		nw.Stores = append(nw.Stores, store)
+		nw.Ledgers = append(nw.Ledgers, led)
+	}
+
+	// Orderers with their consensus instances.
+	for _, id := range cfg.Orderers {
+		ep, err := cfg.Net.Endpoint(id)
+		if err != nil {
+			return nil, err
+		}
+		cons, err := buildConsensus(cfg.Consensus, id, cfg.Orderers, ep, cfg.ConsensusBatch)
+		if err != nil {
+			return nil, err
+		}
+		ord := ordering.New(ordering.Config{
+			ID:               id,
+			Endpoint:         ep,
+			Consensus:        cons,
+			Executors:        cfg.Executors,
+			Signer:           nw.signers[id],
+			Verifier:         verifier,
+			VerifyClientSigs: cfg.Crypto,
+			ACL:              cfg.ACL,
+			MaxBlockTxns:     cfg.MaxBlockTxns,
+			MaxBlockBytes:    cfg.MaxBlockBytes,
+			MaxBlockInterval: cfg.MaxBlockInterval,
+			BuildGraph:       true,
+			GraphMode:        cfg.GraphMode,
+			UsePairwiseGraph: cfg.UsePairwiseGraph,
+			Logf:             cfg.Logf,
+		})
+		nw.Orderers = append(nw.Orderers, ord)
+	}
+	return nw, nil
+}
+
+// verifier returns the verifier matching the crypto setting.
+func (nw *Network) verifier() cryptoutil.Verifier {
+	if nw.cfg.Crypto {
+		return nw.keyring
+	}
+	return cryptoutil.NoopVerifier{}
+}
+
+// orderQuorum returns the number of matching NEWBLOCK messages an executor
+// requires: f+1 under PBFT (a correct orderer among them), 1 under the
+// crash-fault-tolerant protocols where orderers do not lie.
+func (nw *Network) orderQuorum() int {
+	if nw.cfg.Consensus == ConsensusPBFT {
+		f := (len(nw.cfg.Orderers) - 1) / 3
+		return f + 1
+	}
+	return 1
+}
+
+func buildConsensus(kind ConsensusKind, id types.NodeID, members []types.NodeID,
+	ep transport.Endpoint, batch consensus.BatchConfig) (consensus.Node, error) {
+	sender := consensus.SenderFunc(ep.Send)
+	switch kind {
+	case ConsensusPBFT:
+		return pbft.New(pbft.Config{ID: id, Members: members, Sender: sender, Batch: batch}), nil
+	case ConsensusRaft:
+		return raft.New(raft.Config{ID: id, Members: members, Sender: sender}), nil
+	case ConsensusKafka, "":
+		return kafkaorder.New(kafkaorder.Config{ID: id, Members: members, Sender: sender, Batch: batch}), nil
+	default:
+		return nil, fmt.Errorf("oxii: unknown consensus kind %q", kind)
+	}
+}
+
+// Start launches every node. Executors start first so no NEWBLOCK is
+// dropped.
+func (nw *Network) Start() {
+	for _, e := range nw.Executors {
+		e.Start()
+	}
+	for _, o := range nw.Orderers {
+		o.Start()
+	}
+}
+
+// Stop shuts every node down and closes the transport endpoints owned by
+// nodes. The underlying transport itself belongs to the caller.
+func (nw *Network) Stop() {
+	for _, o := range nw.Orderers {
+		o.Stop()
+	}
+	for _, e := range nw.Executors {
+		e.Stop()
+	}
+	nw.router.Shutdown()
+}
+
+// Client returns (creating on first use) the driver for a configured
+// client identity.
+func (nw *Network) Client(id types.NodeID) (*Client, error) {
+	if c, ok := nw.clients[id]; ok {
+		return c, nil
+	}
+	signer, ok := nw.signers[id]
+	if !ok {
+		return nil, fmt.Errorf("oxii: unknown client %s (add it to Config.Clients)", id)
+	}
+	ep, err := nw.cfg.Net.Endpoint(id)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(id, ep, signer, nw.cfg.Orderers, nw.router)
+	nw.clients[id] = c
+	return c, nil
+}
+
+// Router exposes the commit router (for tests that register directly).
+func (nw *Network) Router() *CommitRouter { return nw.router }
+
+// ObserverStore returns the observer executor's state store.
+func (nw *Network) ObserverStore() *state.KVStore { return nw.Stores[0] }
+
+// ObserverLedger returns the observer executor's ledger.
+func (nw *Network) ObserverLedger() *ledger.Ledger { return nw.Ledgers[0] }

@@ -1,0 +1,116 @@
+package state
+
+import (
+	"sort"
+	"sync"
+
+	"parblockchain/internal/types"
+)
+
+// MVCCStore is a multi-version key-value store: every write creates a new
+// version stamped with the writer's global sequence number, and reads are
+// directed to the correct version for a reader's position in the log.
+// Section III-A of the paper observes that under such a store the
+// dependency-graph generator only needs to order "earlier writes, later
+// reads" pairs; this store is the substrate for that ablation (experiment
+// A2 in DESIGN.md).
+//
+// MVCCStore is safe for concurrent use.
+type MVCCStore struct {
+	mu   sync.RWMutex
+	data map[types.Key][]mvccVersion
+}
+
+type mvccVersion struct {
+	seq uint64
+	val []byte
+}
+
+// NewMVCCStore returns an empty multi-version store.
+func NewMVCCStore() *MVCCStore {
+	return &MVCCStore{data: make(map[types.Key][]mvccVersion)}
+}
+
+// Write installs a new version of key created by the transaction with the
+// given global sequence number. Versions of a key must be installed with
+// non-decreasing sequence numbers by the commit path; concurrent writers
+// of *different* keys may interleave freely.
+func (s *MVCCStore) Write(seq uint64, key types.Key, val []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	versions := s.data[key]
+	// Common case: append at the tail. Out-of-order installs (possible
+	// when independent transactions commit out of block order) insert at
+	// the right position to keep the chain sorted.
+	if n := len(versions); n == 0 || versions[n-1].seq <= seq {
+		s.data[key] = append(versions, mvccVersion{seq: seq, val: append([]byte(nil), val...)})
+		return
+	}
+	i := sort.Search(len(versions), func(i int) bool { return versions[i].seq > seq })
+	versions = append(versions, mvccVersion{})
+	copy(versions[i+1:], versions[i:])
+	versions[i] = mvccVersion{seq: seq, val: append([]byte(nil), val...)}
+	s.data[key] = versions
+}
+
+// ReadAsOf returns the newest version of key with sequence number at most
+// seq, i.e. the value a transaction at position seq in the log observes.
+func (s *MVCCStore) ReadAsOf(seq uint64, key types.Key) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	versions := s.data[key]
+	i := sort.Search(len(versions), func(i int) bool { return versions[i].seq > seq })
+	if i == 0 {
+		return nil, false
+	}
+	v := versions[i-1]
+	if v.val == nil {
+		return nil, false
+	}
+	return v.val, true
+}
+
+// Get returns the newest version of key, satisfying the Reader interface.
+func (s *MVCCStore) Get(key types.Key) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	versions := s.data[key]
+	if len(versions) == 0 {
+		return nil, false
+	}
+	v := versions[len(versions)-1]
+	if v.val == nil {
+		return nil, false
+	}
+	return v.val, true
+}
+
+// VersionCount returns the number of retained versions for key, for tests
+// and garbage-collection policies.
+func (s *MVCCStore) VersionCount(key types.Key) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data[key])
+}
+
+// Truncate discards all versions with sequence numbers strictly below
+// floor for every key, keeping at least the newest version. It returns the
+// number of versions discarded.
+func (s *MVCCStore) Truncate(floor uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for k, versions := range s.data {
+		i := sort.Search(len(versions), func(i int) bool { return versions[i].seq >= floor })
+		if i == len(versions) && i > 0 {
+			i = len(versions) - 1 // always keep the newest version
+		}
+		if i > 0 {
+			dropped += i
+			s.data[k] = append([]mvccVersion(nil), versions[i:]...)
+		}
+	}
+	return dropped
+}
+
+var _ Reader = (*MVCCStore)(nil)

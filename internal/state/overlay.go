@@ -1,0 +1,94 @@
+package state
+
+import (
+	"sort"
+	"sync"
+
+	"parblockchain/internal/types"
+)
+
+// BlockOverlay layers the in-flight results of one block's transactions
+// over the committed store. During OXII execution a transaction must read
+// the values written by its dependency-graph predecessors, which may be
+// locally executed but not yet globally committed; the overlay provides
+// that view without mutating the committed state until the whole block
+// finalizes.
+//
+// Writes are tagged with the writing transaction's index in the block.
+// Because any two writers of the same key conflict, the dependency graph
+// orders them, and the overlay retains the highest-index write — exactly
+// the value a sequential execution of the block would leave behind.
+//
+// BlockOverlay is safe for concurrent use: executor worker goroutines read
+// while the commit path records results.
+type BlockOverlay struct {
+	base Reader
+
+	mu     sync.RWMutex
+	writes map[types.Key]overlayWrite
+}
+
+type overlayWrite struct {
+	val []byte
+	idx int
+}
+
+// NewBlockOverlay returns an empty overlay over the committed base state.
+func NewBlockOverlay(base Reader) *BlockOverlay {
+	return &BlockOverlay{base: base, writes: make(map[types.Key]overlayWrite, 64)}
+}
+
+// Get returns the key's value as visible to transactions of this block:
+// the newest overlay write if present, otherwise the committed value.
+func (o *BlockOverlay) Get(key types.Key) ([]byte, bool) {
+	o.mu.RLock()
+	w, ok := o.writes[key]
+	o.mu.RUnlock()
+	if ok {
+		if w.val == nil {
+			return nil, false // deletion
+		}
+		return w.val, true
+	}
+	return o.base.Get(key)
+}
+
+// Record merges a transaction's writes into the overlay. Writes from a
+// lower-index transaction never clobber those of a higher-index one, which
+// makes Record order-insensitive: results may arrive in any commit order
+// and still converge to the sequential outcome.
+func (o *BlockOverlay) Record(idx int, writes []types.KV) {
+	if len(writes) == 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, kv := range writes {
+		if cur, ok := o.writes[kv.Key]; ok && cur.idx >= idx {
+			continue
+		}
+		o.writes[kv.Key] = overlayWrite{val: kv.Val, idx: idx}
+	}
+}
+
+// Final returns the overlay's net effect as a deterministic, key-sorted
+// batch, ready to apply to the committed store when the block finalizes.
+func (o *BlockOverlay) Final() []types.KV {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]types.KV, 0, len(o.writes))
+	for k, w := range o.writes {
+		out = append(out, types.KV{Key: k, Val: w.val})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Len returns the number of distinct keys written in the overlay.
+func (o *BlockOverlay) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.writes)
+}
+
+var _ Reader = (*BlockOverlay)(nil)

@@ -1,0 +1,153 @@
+// Package state implements the blockchain state (datastore) maintained by
+// executor peers: a versioned key-value store, an overlay view used during
+// block execution, and a multi-version store for the MVCC variant of the
+// dependency-graph generator discussed in Section III-A of the paper.
+package state
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"parblockchain/internal/types"
+)
+
+// Reader is the read-only view a smart contract executes against.
+type Reader interface {
+	// Get returns the current value of key and whether it exists.
+	Get(key types.Key) ([]byte, bool)
+}
+
+// VersionedReader additionally exposes per-key versions, which the XOV
+// baseline's endorsement phase records for MVCC validation.
+type VersionedReader interface {
+	Reader
+	// GetVersion returns the value, its version, and whether the key
+	// exists. Versions start at 1 on first write and increment on every
+	// subsequent write.
+	GetVersion(key types.Key) ([]byte, uint64, bool)
+}
+
+// KVStore is the committed blockchain state: a versioned in-memory
+// key-value map. It is safe for concurrent use; writers are expected to be
+// the single commit path of a node while readers may be many.
+type KVStore struct {
+	mu   sync.RWMutex
+	data map[types.Key]versioned
+}
+
+type versioned struct {
+	val []byte
+	ver uint64
+}
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore {
+	return &KVStore{data: make(map[types.Key]versioned)}
+}
+
+// Get returns the current value of key.
+func (s *KVStore) Get(key types.Key) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, false
+	}
+	return v.val, true
+}
+
+// GetVersion returns the value and version of key.
+func (s *KVStore) GetVersion(key types.Key) ([]byte, uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return v.val, v.ver, true
+}
+
+// Version returns the current version of key (0 if absent).
+func (s *KVStore) Version(key types.Key) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[key].ver
+}
+
+// Put writes one record, bumping its version.
+func (s *KVStore) Put(key types.Key, val []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(key, val)
+}
+
+func (s *KVStore) putLocked(key types.Key, val []byte) {
+	prev := s.data[key]
+	if val == nil {
+		delete(s.data, key)
+		return
+	}
+	s.data[key] = versioned{val: append([]byte(nil), val...), ver: prev.ver + 1}
+}
+
+// Apply writes a batch of records atomically, bumping each version. A nil
+// value deletes the record.
+func (s *KVStore) Apply(writes []types.KV) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, kv := range writes {
+		s.putLocked(kv.Key, kv.Val)
+	}
+}
+
+// Len returns the number of live records.
+func (s *KVStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Hash returns a deterministic digest over the full store contents
+// (sorted by key), used by tests and state-sync to compare replicas.
+func (s *KVStore) Hash() types.Hash {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	var scratch [8]byte
+	for _, k := range keys {
+		binary.BigEndian.PutUint64(scratch[:], uint64(len(k)))
+		h.Write(scratch[:])
+		h.Write([]byte(k))
+		v := s.data[k]
+		binary.BigEndian.PutUint64(scratch[:], uint64(len(v.val)))
+		h.Write(scratch[:])
+		h.Write(v.val)
+	}
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Snapshot returns a deep copy of the current contents, for tests and
+// state transfer.
+func (s *KVStore) Snapshot() map[types.Key][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[types.Key][]byte, len(s.data))
+	for k, v := range s.data {
+		out[k] = append([]byte(nil), v.val...)
+	}
+	return out
+}
+
+var (
+	_ Reader          = (*KVStore)(nil)
+	_ VersionedReader = (*KVStore)(nil)
+)

@@ -1,0 +1,319 @@
+package state
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"parblockchain/internal/types"
+)
+
+func TestKVStoreBasics(t *testing.T) {
+	s := NewKVStore()
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key should not exist")
+	}
+	if s.Version("missing") != 0 {
+		t.Fatal("missing key version should be 0")
+	}
+	s.Put("k", []byte("v1"))
+	val, ver, ok := s.GetVersion("k")
+	if !ok || string(val) != "v1" || ver != 1 {
+		t.Fatalf("GetVersion = %q %d %v", val, ver, ok)
+	}
+	s.Put("k", []byte("v2"))
+	if s.Version("k") != 2 {
+		t.Fatalf("version after rewrite = %d, want 2", s.Version("k"))
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestKVStoreDeleteViaNil(t *testing.T) {
+	s := NewKVStore()
+	s.Put("k", []byte("v"))
+	s.Apply([]types.KV{{Key: "k", Val: nil}})
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("nil value must delete")
+	}
+	if s.Len() != 0 {
+		t.Fatal("store should be empty")
+	}
+}
+
+func TestKVStoreApplyBumpsEachVersion(t *testing.T) {
+	s := NewKVStore()
+	s.Apply([]types.KV{
+		{Key: "a", Val: []byte("1")},
+		{Key: "b", Val: []byte("2")},
+	})
+	s.Apply([]types.KV{{Key: "a", Val: []byte("3")}})
+	if s.Version("a") != 2 || s.Version("b") != 1 {
+		t.Fatalf("versions = %d %d, want 2 1", s.Version("a"), s.Version("b"))
+	}
+}
+
+func TestKVStoreValueIsolation(t *testing.T) {
+	s := NewKVStore()
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	val, _ := s.Get("k")
+	if string(val) != "abc" {
+		t.Fatal("store must copy values on write")
+	}
+}
+
+func TestKVStoreHashIsOrderInsensitiveAndContentSensitive(t *testing.T) {
+	a, b := NewKVStore(), NewKVStore()
+	a.Put("x", []byte("1"))
+	a.Put("y", []byte("2"))
+	b.Put("y", []byte("2"))
+	b.Put("x", []byte("1"))
+	if a.Hash() != b.Hash() {
+		t.Fatal("insertion order must not affect the hash")
+	}
+	b.Put("x", []byte("9"))
+	if a.Hash() == b.Hash() {
+		t.Fatal("content must affect the hash")
+	}
+}
+
+func TestKVStoreSnapshotIsDeep(t *testing.T) {
+	s := NewKVStore()
+	s.Put("k", []byte("v"))
+	snap := s.Snapshot()
+	snap["k"][0] = 'X'
+	val, _ := s.Get("k")
+	if string(val) != "v" {
+		t.Fatal("snapshot must be a deep copy")
+	}
+}
+
+func TestKVStoreConcurrentAccess(t *testing.T) {
+	s := NewKVStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := types.Key(fmt.Sprintf("k%d", i%13))
+				s.Put(key, []byte{byte(w)})
+				s.Get(key)
+				s.Version(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 13 {
+		t.Fatalf("Len = %d, want 13", s.Len())
+	}
+}
+
+func TestOverlayReadThrough(t *testing.T) {
+	base := NewKVStore()
+	base.Put("a", []byte("base"))
+	o := NewBlockOverlay(base)
+	if v, ok := o.Get("a"); !ok || string(v) != "base" {
+		t.Fatal("overlay must read through to base")
+	}
+	o.Record(0, []types.KV{{Key: "a", Val: []byte("new")}})
+	if v, _ := o.Get("a"); string(v) != "new" {
+		t.Fatal("overlay write must shadow base")
+	}
+	if v, _ := base.Get("a"); string(v) != "base" {
+		t.Fatal("overlay must not mutate base")
+	}
+}
+
+func TestOverlayHighestIndexWins(t *testing.T) {
+	o := NewBlockOverlay(NewKVStore())
+	// Out-of-order commits: tx 5 lands before tx 2.
+	o.Record(5, []types.KV{{Key: "k", Val: []byte("five")}})
+	o.Record(2, []types.KV{{Key: "k", Val: []byte("two")}})
+	if v, _ := o.Get("k"); string(v) != "five" {
+		t.Fatalf("overlay = %q, want highest-index write", v)
+	}
+	o.Record(7, []types.KV{{Key: "k", Val: []byte("seven")}})
+	if v, _ := o.Get("k"); string(v) != "seven" {
+		t.Fatal("higher index must replace")
+	}
+	if o.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", o.Len())
+	}
+}
+
+func TestOverlayDeletionVisible(t *testing.T) {
+	base := NewKVStore()
+	base.Put("k", []byte("v"))
+	o := NewBlockOverlay(base)
+	o.Record(1, []types.KV{{Key: "k", Val: nil}})
+	if _, ok := o.Get("k"); ok {
+		t.Fatal("recorded deletion must hide the base value")
+	}
+}
+
+func TestOverlayFinalSorted(t *testing.T) {
+	o := NewBlockOverlay(NewKVStore())
+	o.Record(0, []types.KV{{Key: "z", Val: []byte("1")}, {Key: "a", Val: []byte("2")}})
+	o.Record(1, []types.KV{{Key: "m", Val: []byte("3")}})
+	final := o.Final()
+	keys := make([]string, len(final))
+	for i, kv := range final {
+		keys[i] = kv.Key
+	}
+	if !reflect.DeepEqual(keys, []string{"a", "m", "z"}) {
+		t.Fatalf("Final keys = %v, want sorted", keys)
+	}
+}
+
+// TestQuickOverlayEquivalentToSequential: recording writes tagged with
+// their index, in any arrival order, must produce the same final state as
+// applying them in index order.
+func TestQuickOverlayEquivalentToSequential(t *testing.T) {
+	f := func(perm []int, vals [][3]byte) bool {
+		n := len(vals)
+		if n == 0 {
+			return true
+		}
+		// Sequential reference.
+		want := make(map[types.Key][]byte)
+		for i := 0; i < n; i++ {
+			key := types.Key(fmt.Sprintf("k%d", int(vals[i][0])%3))
+			want[key] = []byte{vals[i][1]}
+		}
+		// Overlay with permuted arrival order.
+		o := NewBlockOverlay(NewKVStore())
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		for i, p := range perm {
+			if i < n {
+				j := ((p % n) + n) % n
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		for _, idx := range order {
+			key := types.Key(fmt.Sprintf("k%d", int(vals[idx][0])%3))
+			o.Record(idx, []types.KV{{Key: key, Val: []byte{vals[idx][1]}}})
+		}
+		// Compare: for each key, the last-index writer must win... which
+		// is what the sequential reference computed.
+		for k, v := range want {
+			got, ok := o.Get(k)
+			if !ok || !reflect.DeepEqual(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVCCReadAsOf(t *testing.T) {
+	s := NewMVCCStore()
+	s.Write(1, "k", []byte("v1"))
+	s.Write(5, "k", []byte("v5"))
+	s.Write(9, "k", []byte("v9"))
+	cases := []struct {
+		seq  uint64
+		want string
+		ok   bool
+	}{
+		{0, "", false},
+		{1, "v1", true},
+		{4, "v1", true},
+		{5, "v5", true},
+		{8, "v5", true},
+		{9, "v9", true},
+		{100, "v9", true},
+	}
+	for _, c := range cases {
+		got, ok := s.ReadAsOf(c.seq, "k")
+		if ok != c.ok || (ok && string(got) != c.want) {
+			t.Errorf("ReadAsOf(%d) = %q %v, want %q %v", c.seq, got, ok, c.want, c.ok)
+		}
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != "v9" {
+		t.Fatalf("Get = %q %v, want newest", v, ok)
+	}
+}
+
+func TestMVCCOutOfOrderInstall(t *testing.T) {
+	s := NewMVCCStore()
+	s.Write(9, "k", []byte("v9"))
+	s.Write(3, "k", []byte("v3")) // independent txn committing late
+	if v, _ := s.ReadAsOf(4, "k"); string(v) != "v3" {
+		t.Fatalf("ReadAsOf(4) = %q, want v3", v)
+	}
+	if v, _ := s.ReadAsOf(10, "k"); string(v) != "v9" {
+		t.Fatalf("ReadAsOf(10) = %q, want v9", v)
+	}
+	if s.VersionCount("k") != 2 {
+		t.Fatalf("VersionCount = %d, want 2", s.VersionCount("k"))
+	}
+}
+
+func TestMVCCDeletionVersions(t *testing.T) {
+	s := NewMVCCStore()
+	s.Write(1, "k", []byte("v"))
+	s.Write(2, "k", nil) // tombstone
+	if _, ok := s.ReadAsOf(2, "k"); ok {
+		t.Fatal("tombstone must hide the value")
+	}
+	if v, ok := s.ReadAsOf(1, "k"); !ok || string(v) != "v" {
+		t.Fatal("older version must survive the tombstone")
+	}
+}
+
+func TestMVCCTruncate(t *testing.T) {
+	s := NewMVCCStore()
+	for i := uint64(1); i <= 5; i++ {
+		s.Write(i, "k", []byte{byte(i)})
+	}
+	dropped := s.Truncate(4)
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	if s.VersionCount("k") != 2 {
+		t.Fatalf("VersionCount = %d, want 2", s.VersionCount("k"))
+	}
+	// Newest version always survives even with a floor beyond it.
+	dropped = s.Truncate(100)
+	if s.VersionCount("k") != 1 {
+		t.Fatalf("VersionCount = %d, want 1 after aggressive truncate", s.VersionCount("k"))
+	}
+	if v, ok := s.Get("k"); !ok || v[0] != 5 {
+		t.Fatal("newest version must survive truncation")
+	}
+	_ = dropped
+}
+
+func TestMVCCConcurrentDisjointWriters(t *testing.T) {
+	s := NewMVCCStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := types.Key(fmt.Sprintf("k%d", w))
+			for i := uint64(1); i <= 200; i++ {
+				s.Write(i, key, []byte{byte(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 4; w++ {
+		key := types.Key(fmt.Sprintf("k%d", w))
+		if s.VersionCount(key) != 200 {
+			t.Fatalf("%s has %d versions, want 200", key, s.VersionCount(key))
+		}
+	}
+}

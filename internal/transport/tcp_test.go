@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"parblockchain/internal/types"
+)
+
+type tcpPayload struct {
+	N    int
+	Text string
+}
+
+func init() {
+	RegisterWireTypes(tcpPayload{})
+}
+
+// tcpPair builds two connected TCP endpoints on loopback.
+func tcpPair(t *testing.T) (*TCPEndpoint, *TCPEndpoint) {
+	t.Helper()
+	book := make(map[types.NodeID]string)
+	a, err := NewTCPEndpoint(TCPConfig{ID: "a", ListenAddr: "127.0.0.1:0", Peers: book})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPEndpoint(TCPConfig{ID: "b", ListenAddr: "127.0.0.1:0", Peers: book})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	book["a"] = a.Addr()
+	book["b"] = b.Addr()
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+func TestTCPSendReceive(t *testing.T) {
+	a, b := tcpPair(t)
+	if err := a.Send("b", tcpPayload{N: 7, Text: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-b.Recv():
+		if msg.From != "a" {
+			t.Fatalf("From = %s", msg.From)
+		}
+		p, ok := msg.Payload.(tcpPayload)
+		if !ok || p.N != 7 || p.Text != "hello" {
+			t.Fatalf("payload = %#v", msg.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	a, b := tcpPair(t)
+	if err := a.Send("b", tcpPayload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Recv()
+	if err := b.Send("a", tcpPayload{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-a.Recv():
+		if msg.Payload.(tcpPayload).N != 2 {
+			t.Fatalf("payload = %#v", msg.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reverse delivery")
+	}
+}
+
+func TestTCPFIFO(t *testing.T) {
+	a, b := tcpPair(t)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", tcpPayload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case msg := <-b.Recv():
+			if msg.Payload.(tcpPayload).N != i {
+				t.Fatalf("out of order at %d: %#v", i, msg.Payload)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stalled at %d", i)
+		}
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, _ := tcpPair(t)
+	if err := a.Send("ghost", tcpPayload{}); err == nil {
+		t.Fatal("send to unknown peer must error")
+	}
+}
+
+func TestTCPSendAfterCloseErrors(t *testing.T) {
+	a, b := tcpPair(t)
+	a.Close()
+	if err := a.Send("b", tcpPayload{}); err == nil {
+		t.Fatal("send after close must error")
+	}
+	_ = b
+}
+
+func TestTCPCloseEndsRecv(t *testing.T) {
+	a, b := tcpPair(t)
+	_ = a
+	done := make(chan struct{})
+	go func() {
+		for range b.Recv() {
+		}
+		close(done)
+	}()
+	b.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not end on close")
+	}
+}
+
+func TestTCPManyPeers(t *testing.T) {
+	book := make(map[types.NodeID]string)
+	const n = 5
+	eps := make([]*TCPEndpoint, n)
+	for i := 0; i < n; i++ {
+		id := types.NodeID(fmt.Sprintf("n%d", i))
+		ep, err := NewTCPEndpoint(TCPConfig{ID: id, ListenAddr: "127.0.0.1:0", Peers: book})
+		if err != nil {
+			t.Fatal(err)
+		}
+		book[id] = ep.Addr()
+		eps[i] = ep
+		defer ep.Close()
+	}
+	// Everyone sends to everyone.
+	for i, from := range eps {
+		for j := range eps {
+			if i == j {
+				continue
+			}
+			to := types.NodeID(fmt.Sprintf("n%d", j))
+			if err := from.Send(to, tcpPayload{N: i*10 + j}); err != nil {
+				t.Fatalf("%d->%d: %v", i, j, err)
+			}
+		}
+	}
+	for j, ep := range eps {
+		got := 0
+		deadline := time.After(5 * time.Second)
+		for got < n-1 {
+			select {
+			case <-ep.Recv():
+				got++
+			case <-deadline:
+				t.Fatalf("node %d received %d of %d", j, got, n-1)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package types
+
+import (
+	"parblockchain/internal/depgraph"
+)
+
+// This file defines the protocol messages exchanged by ParBlockchain
+// nodes, following the paper's notation:
+//
+//	<REQUEST, op, A, ts_c, c>_sigma_c      client -> orderers
+//	<NEWBLOCK, n, B, G(B), A, o, h>_sigma_o orderers -> executors
+//	<COMMIT, S, e>_sigma_e                 executor -> executors
+//
+// The baselines reuse Request and add their own endorsement/validation
+// messages in their packages.
+
+// RequestMsg is a signed client request carrying one transaction. The
+// transaction embeds the operation, the application ID, the client
+// timestamp, and the client signature, so RequestMsg is a thin envelope.
+type RequestMsg struct {
+	// Tx is the requested transaction.
+	Tx *Transaction
+}
+
+// NewBlockMsg is the orderers' announcement of a freshly cut block
+// together with its dependency graph. Executors act on a block after
+// receiving a quorum of matching NewBlockMsg from distinct orderers.
+type NewBlockMsg struct {
+	// Block is the ordered batch B with header number n and previous
+	// hash h.
+	Block *Block
+	// Graph is the dependency graph G(B) over Block.Txns.
+	Graph *depgraph.Graph
+	// Apps lists the applications with transactions in the block.
+	Apps []AppID
+	// Orderer is the sending orderer o.
+	Orderer NodeID
+	// Sig is the orderer's signature over Digest().
+	Sig []byte
+}
+
+// Digest returns the signed digest of the message: the block hash bound to
+// the graph shape. Orderers that agree on the block necessarily agree on
+// the (deterministically generated) graph, so hashing the block identity
+// plus the edge count suffices to detect tampering with either.
+func (m *NewBlockMsg) Digest() Hash {
+	e := newEncoder()
+	bh := m.Block.Hash()
+	e.bytes(bh[:])
+	if m.Graph != nil {
+		e.u64(uint64(m.Graph.N))
+		e.u64(uint64(m.Graph.EdgeCount()))
+		for _, succ := range m.Graph.Succ {
+			e.u64(uint64(len(succ)))
+			for _, j := range succ {
+				e.u64(uint64(j))
+			}
+		}
+	}
+	return e.sum()
+}
+
+// CommitMsg carries the execution results S of one or more transactions
+// from an agent to all executor nodes (Algorithm 2). Results for several
+// transactions are batched per the paper's lazy multicast rule: an agent
+// flushes accumulated results when an executed transaction has a successor
+// owned by a different application, or at the end of its work on a block.
+type CommitMsg struct {
+	// BlockNum is the block the results belong to.
+	BlockNum uint64
+	// Results is the batched set S of (transaction, result) pairs.
+	Results []TxResult
+	// Executor is the sending agent e.
+	Executor NodeID
+	// Sig is the executor's signature over Digest().
+	Sig []byte
+}
+
+// Digest returns the signed digest of the commit message.
+func (m *CommitMsg) Digest() Hash {
+	e := newEncoder()
+	e.u64(m.BlockNum)
+	e.u64(uint64(len(m.Results)))
+	for i := range m.Results {
+		d := m.Results[i].Digest()
+		e.bytes(d[:])
+	}
+	e.str(string(m.Executor))
+	return e.sum()
+}
+
+// CommitNotifyMsg informs a client of its transaction's final outcome.
+// In-process deployments route completions through the observer
+// executor's commit hook instead; TCP clusters enable client notification
+// on a designated executor (execution.Config.NotifyClients).
+type CommitNotifyMsg struct {
+	// TxID identifies the client's transaction.
+	TxID TxID
+	// BlockNum is the block the transaction committed in.
+	BlockNum uint64
+	// Aborted reports the transaction's final outcome.
+	Aborted bool
+	// AbortReason explains an abort.
+	AbortReason string
+}
+
+// StateSyncMsg lets a passive (non-agent) node or a lagging replica learn
+// committed block results wholesale. It is also the message OX peers use
+// to announce deterministic execution completion in tests.
+type StateSyncMsg struct {
+	// BlockNum is the block whose final results are carried.
+	BlockNum uint64
+	// Results holds the committed result of every transaction in the
+	// block, in block order.
+	Results []TxResult
+	// From is the sending node.
+	From NodeID
+	// Sig is the sender's signature over the results digest.
+	Sig []byte
+}
+
+// Digest returns the signed digest of the state sync message.
+func (m *StateSyncMsg) Digest() Hash {
+	e := newEncoder()
+	e.u64(m.BlockNum)
+	for i := range m.Results {
+		d := m.Results[i].Digest()
+		e.bytes(d[:])
+	}
+	return e.sum()
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"testing"
+
+	"parblockchain/internal/depgraph"
+	"parblockchain/internal/types"
+)
+
+func apps(n int) []types.AppID {
+	out := make([]types.AppID, n)
+	for i := range out {
+		out[i] = types.AppID(string(rune('A' + i)))
+	}
+	return out
+}
+
+// graphOf builds the dependency graph of a generated block, the way the
+// orderers would.
+func graphOf(txns []*types.Transaction) *depgraph.Graph {
+	sets := make([]depgraph.RWSet, len(txns))
+	for i, tx := range txns {
+		sets[i] = depgraph.RWSet{Reads: tx.Op.Reads, Writes: tx.Op.Writes}
+		sets[i].Normalize()
+	}
+	return depgraph.Build(sets, depgraph.Standard)
+}
+
+func genBlock(g *Generator, n int) []*types.Transaction {
+	txns := make([]*types.Transaction, n)
+	for i := range txns {
+		txns[i] = g.Next("c1", uint64(i+1))
+	}
+	return txns
+}
+
+func TestNoContentionBlockIsConflictFree(t *testing.T) {
+	g := New(Config{Apps: apps(3), Contention: 0, Seed: 1})
+	txns := genBlock(g, 400)
+	if got := graphOf(txns).EdgeCount(); got != 0 {
+		t.Fatalf("no-contention block has %d edges, want 0", got)
+	}
+}
+
+func TestFullContentionBlockIsChain(t *testing.T) {
+	g := New(Config{Apps: apps(3), Contention: 1, Seed: 1})
+	txns := genBlock(g, 100)
+	graph := graphOf(txns)
+	if !graph.IsChain() {
+		t.Fatal("full-contention block must form a chain")
+	}
+	if got := graph.CriticalPathLen(); got != 100 {
+		t.Fatalf("critical path = %d, want 100", got)
+	}
+	// Intra-application mode: every conflicting transaction belongs to
+	// Apps[0], so the chain lives inside one application.
+	for i, tx := range txns {
+		if tx.App != "A" {
+			t.Fatalf("tx %d app = %s, want A (intra-app contention)", i, tx.App)
+		}
+	}
+}
+
+func TestCrossAppContentionAlternatesApplications(t *testing.T) {
+	g := New(Config{Apps: apps(3), Contention: 1, CrossApp: true, Seed: 1})
+	txns := genBlock(g, 30)
+	graph := graphOf(txns)
+	if !graph.IsChain() {
+		t.Fatal("cross-app full contention must still chain")
+	}
+	crossEdges := 0
+	for i, succ := range graph.Succ {
+		for _, j := range succ {
+			if txns[i].App != txns[j].App {
+				crossEdges++
+			}
+		}
+	}
+	if crossEdges == 0 {
+		t.Fatal("cross-app mode must produce cross-application edges")
+	}
+	// Consecutive conflicting transactions must belong to different
+	// applications ("a chain of transactions where consecutive
+	// transactions belong to different applications").
+	for i := 1; i < len(txns); i++ {
+		if txns[i].App == txns[i-1].App {
+			t.Fatalf("consecutive transactions %d,%d share app %s", i-1, i, txns[i].App)
+		}
+	}
+}
+
+func TestPartialContentionFraction(t *testing.T) {
+	g := New(Config{Apps: apps(3), Contention: 0.2, Seed: 42})
+	txns := genBlock(g, 2000)
+	hot := 0
+	for _, tx := range txns {
+		for _, k := range tx.Op.Writes {
+			if k == g.HotKey("A", 0) {
+				hot++
+				break
+			}
+		}
+	}
+	frac := float64(hot) / float64(len(txns))
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("hot fraction = %.3f, want ~0.20", frac)
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	g1 := New(Config{Apps: apps(2), Contention: 0.5, Seed: 99})
+	g2 := New(Config{Apps: apps(2), Contention: 0.5, Seed: 99})
+	for i := 0; i < 200; i++ {
+		a := g1.Next("c1", uint64(i))
+		b := g2.Next("c1", uint64(i))
+		if a.Digest() != b.Digest() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestGenesisCoversGeneratedAccounts(t *testing.T) {
+	g := New(Config{Apps: apps(2), Contention: 0.5, ColdAccountsPerApp: 50, Seed: 7})
+	genesis := make(map[types.Key]bool)
+	for _, kv := range g.Genesis() {
+		genesis[kv.Key] = true
+	}
+	for i := 0; i < 500; i++ {
+		tx := g.Next("c1", uint64(i))
+		// The transfer source must always be funded in genesis or be a
+		// hot account.
+		from := tx.Op.Params[0]
+		if !genesis[from] {
+			t.Fatalf("tx %d transfers from unfunded account %s", i, from)
+		}
+	}
+}
+
+func TestAbortFractionInjectsFailures(t *testing.T) {
+	g := New(Config{Apps: apps(1), AbortFraction: 1.0, Seed: 3})
+	tx := g.Next("c1", 1)
+	if tx.Op.Params[0] != g.poorKey("A") {
+		t.Fatalf("abort txn should draw from the poor account, got %s", tx.Op.Params[0])
+	}
+	// The poor account must not be funded.
+	for _, kv := range g.Genesis() {
+		if kv.Key == g.poorKey("A") {
+			t.Fatal("poor account must stay unfunded")
+		}
+	}
+}
+
+func TestColdKeysCycleWithoutIntraBlockReuse(t *testing.T) {
+	g := New(Config{Apps: apps(1), Contention: 0, ColdAccountsPerApp: 1000, Seed: 5})
+	seen := make(map[types.Key]int)
+	txns := genBlock(g, 400) // 800 cold accounts used, under the pool size
+	for i, tx := range txns {
+		for _, k := range tx.Op.Writes {
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("key %s reused by txns %d and %d", k, prev, i)
+			}
+			seen[k] = i
+		}
+	}
+}
+
+func TestFinalizeStampsIdentityAndSignature(t *testing.T) {
+	g := New(Config{Apps: apps(1), Seed: 1})
+	tx := g.Next("client-7", 42)
+	Finalize(tx, 12345, func(d []byte) []byte { return []byte("sig") })
+	if tx.ID == "" {
+		t.Fatal("Finalize must assign an ID")
+	}
+	if tx.SubmitUnixNano != 12345 {
+		t.Fatal("Finalize must stamp the submit time")
+	}
+	if string(tx.Sig) != "sig" {
+		t.Fatal("Finalize must attach the signature")
+	}
+	// Two different transactions from the same client must get distinct
+	// IDs.
+	tx2 := g.Next("client-7", 43)
+	Finalize(tx2, 12345, func(d []byte) []byte { return []byte("sig") })
+	if tx.ID == tx2.ID {
+		t.Fatal("IDs must be unique per (client, ts)")
+	}
+}
