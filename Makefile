@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt bench bench-baseline
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Hot-path microbenchmarks (state store, codec, parallel executor).
+bench:
+	$(GO) test -bench '.' -benchtime 200ms -run '^$$' ./internal/state/ ./internal/types/ ./internal/execution/
+
+# Record the microbenchmark numbers to BENCH_state.json.
+bench-baseline:
+	sh scripts/bench_baseline.sh BENCH_state.json

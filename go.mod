@@ -1,0 +1,3 @@
+module parblockchain
+
+go 1.24

@@ -200,7 +200,9 @@ func (p *Peer) executeReady() {
 }
 
 // executeBlock runs the block's transactions one after another — the OX
-// paradigm's sequential execution on every node.
+// paradigm's sequential execution on every node. Write sets are freshly
+// allocated by the contracts and handed to the overlay and then the store
+// by reference (the zero-copy ownership transfer at the commit boundary).
 func (p *Peer) executeBlock(block *types.Block) {
 	overlay := state.NewBlockOverlay(p.cfg.Store)
 	results := make([]types.TxResult, len(block.Txns))

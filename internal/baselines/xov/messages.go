@@ -56,7 +56,8 @@ type EndorsementMsg struct {
 // digests are equal, which is how the client checks the endorsement
 // policy.
 func (m *EndorsementMsg) ContentDigest() types.Hash {
-	w := types.NewByteWriter(256)
+	w := types.AcquireWriter()
+	defer types.ReleaseWriter(w)
 	writeEndorsementContent(w, string(m.TxID), m.ReadVers, m.Writes, m.Aborted, m.AbortReason)
 	return hashOf(w.Bytes())
 }
@@ -64,7 +65,8 @@ func (m *EndorsementMsg) ContentDigest() types.Hash {
 // SignedDigest hashes the content plus the endorser identity; it is what
 // the endorser signs.
 func (m *EndorsementMsg) SignedDigest() types.Hash {
-	w := types.NewByteWriter(256)
+	w := types.AcquireWriter()
+	defer types.ReleaseWriter(w)
 	writeEndorsementContent(w, string(m.TxID), m.ReadVers, m.Writes, m.Aborted, m.AbortReason)
 	w.Str(string(m.Endorser))
 	return hashOf(w.Bytes())
@@ -113,8 +115,16 @@ type EndorsedTx struct {
 
 // Marshal encodes the endorsed transaction for consensus ordering.
 func (e *EndorsedTx) Marshal() []byte {
-	w := types.NewByteWriter(512)
-	w.Blob(e.Tx.Marshal())
+	w := types.AcquireWriter()
+	defer types.ReleaseWriter(w)
+	// Embed the transaction as a length-prefixed blob without the
+	// intermediate allocation of Tx.Marshal: write a placeholder length,
+	// encode in place, backfill.
+	lenOff := w.Len()
+	w.U64(0)
+	txStart := w.Len()
+	e.Tx.MarshalTo(w)
+	w.PatchU64(lenOff, uint64(w.Len()-txStart))
 	w.U64(uint64(len(e.ReadVers)))
 	for _, rv := range e.ReadVers {
 		w.Str(rv.Key)
@@ -136,7 +146,7 @@ func (e *EndorsedTx) Marshal() []byte {
 		w.Str(string(id))
 		w.Blob(e.Sigs[i])
 	}
-	return w.Bytes()
+	return w.CloneBytes()
 }
 
 // UnmarshalEndorsedTx decodes an EndorsedTx.
@@ -198,7 +208,8 @@ type BlockMsg struct {
 
 // Digest hashes the block identity for signing and quorum matching.
 func (m *BlockMsg) Digest() types.Hash {
-	w := types.NewByteWriter(64 + 32*len(m.Items))
+	w := types.AcquireWriter()
+	defer types.ReleaseWriter(w)
 	w.U64(m.Number)
 	w.Blob(m.PrevHash[:])
 	w.U64(uint64(len(m.Items)))

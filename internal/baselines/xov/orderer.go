@@ -146,10 +146,12 @@ func (o *Orderer) deliverLoop() {
 			timerArmed = false
 			if len(o.pending) > 0 && !o.cutRequested {
 				o.cutRequested = true
-				w := types.NewByteWriter(16)
+				w := types.AcquireWriter()
 				w.Byte(payloadCut)
 				w.U64(o.nextNum)
-				_ = o.cfg.Consensus.Submit(w.Bytes())
+				payload := w.CloneBytes()
+				types.ReleaseWriter(w)
+				_ = o.cfg.Consensus.Submit(payload)
 			}
 		}
 	}

@@ -310,6 +310,10 @@ func (p *Peer) validateBlock(m *BlockMsg) {
 			result.Aborted = true
 			result.AbortReason = AbortMVCCConflict
 		default:
+			// Ownership of the endorsed write set transfers to the store
+			// (zero-copy): the slices were decoded from the wire (TCP) or
+			// built once by the endorser (in-process) and are immutable
+			// from here on.
 			p.cfg.Store.Apply(etx.Writes)
 			result.Writes = etx.Writes
 		}

@@ -189,6 +189,12 @@ type Result struct {
 	CommitMsgs uint64
 	// Errors counts operations that failed outright (timeouts).
 	Errors int64
+	// StateHash is the observer store's digest at the end of the run.
+	// The store maintains it incrementally, so sampling it is O(1) in
+	// state size; sweeps use it to cross-check that honest replicas
+	// converged (it is not an adversarially-robust commitment — see
+	// state.KVStore.Hash).
+	StateHash types.Hash
 }
 
 // String formats the point as a table row.
@@ -278,6 +284,7 @@ func Run(opts Options) (Result, error) {
 	var stopNet func()
 	var commitMsgs func() uint64
 	var retriesFn func() uint64
+	var stateHash func() types.Hash
 
 	graphMode := depgraph.Standard
 	if opts.GraphMultiVersion {
@@ -330,6 +337,7 @@ func Run(opts Options) (Result, error) {
 			}
 			return total
 		}
+		stateHash = func() types.Hash { return nw.ObserverStore().Hash() }
 	case SystemOX:
 		nw, err := ox.New(ox.Config{
 			Orderers:         orderers,
@@ -349,6 +357,7 @@ func Run(opts Options) (Result, error) {
 		}
 		nw.Start()
 		stopNet = nw.Stop
+		stateHash = func() types.Hash { return nw.ObserverStore().Hash() }
 		client, err := nw.Client(clientID)
 		if err != nil {
 			return Result{}, err
@@ -383,6 +392,7 @@ func Run(opts Options) (Result, error) {
 		}
 		nw.Start()
 		stopNet = nw.Stop
+		stateHash = func() types.Hash { return nw.ObserverStore().Hash() }
 		client, err := nw.Client(clientID)
 		if err != nil {
 			return Result{}, err
@@ -450,6 +460,9 @@ func Run(opts Options) (Result, error) {
 	}
 	if retriesFn != nil {
 		result.Retries = retriesFn()
+	}
+	if stateHash != nil {
+		result.StateHash = stateHash()
 	}
 	return result, nil
 }

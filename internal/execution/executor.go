@@ -248,6 +248,10 @@ func (e *Executor) recvLoop() {
 	}
 }
 
+// worker executes ready transactions against the block overlay. Reads are
+// zero-copy on both levels: overlay hits are a lock-free map lookup and
+// base-store hits take only a per-shard read lock, so workers executing
+// non-conflicting transactions proceed without contending on shared state.
 func (e *Executor) worker() {
 	defer e.wg.Done()
 	for {
@@ -621,6 +625,11 @@ func (e *Executor) fireSatisfied(bs *blockState, idx int) {
 
 // finalize applies the block's net effect to the committed store, appends
 // the block to the ledger, and advances to the next block.
+//
+// This is the commit boundary of the state ownership contract: the write
+// sets reaching the overlay were freshly allocated (by contract execution
+// or wire decoding) and are never mutated afterwards, so Final()'s value
+// slices transfer to the store without a defensive copy.
 func (e *Executor) finalize(bs *blockState) {
 	// Flush any straggler results (e.g. a block whose last local
 	// transactions committed via remote votes before local execution).

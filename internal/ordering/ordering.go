@@ -164,19 +164,25 @@ const (
 	payloadCut = 0x02
 )
 
-// encodeTxPayload wraps a transaction for consensus ordering.
+// encodeTxPayload wraps a transaction for consensus ordering: one pooled
+// encode, one exact-size allocation for the retained payload.
 func encodeTxPayload(tx *types.Transaction) []byte {
-	return append([]byte{payloadTx}, tx.Marshal()...)
+	w := types.AcquireWriter()
+	defer types.ReleaseWriter(w)
+	w.Byte(payloadTx)
+	tx.MarshalTo(w)
+	return w.CloneBytes()
 }
 
 // encodeCutPayload builds a cut marker. BlockNum scopes the marker to the
 // block it was requested for so that stale markers are ignored.
 func encodeCutPayload(blockNum uint64, orderer types.NodeID) []byte {
-	w := types.NewByteWriter(32)
+	w := types.AcquireWriter()
+	defer types.ReleaseWriter(w)
 	w.Byte(payloadCut)
 	w.U64(blockNum)
 	w.Str(string(orderer))
-	return w.Bytes()
+	return w.CloneBytes()
 }
 
 // New creates an orderer node. Call Start before use.

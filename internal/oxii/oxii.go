@@ -169,6 +169,9 @@ func New(cfg Config) (*Network, error) {
 				}
 			}
 		}
+		// Per the zero-copy state contract the genesis value slices end
+		// up shared by every node's store; that is safe because stores
+		// never mutate values and Genesis is not touched after setup.
 		store := state.NewKVStore()
 		store.Apply(cfg.Genesis)
 		led := ledger.New()

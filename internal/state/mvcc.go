@@ -15,10 +15,20 @@ import (
 // reads" pairs; this store is the substrate for that ablation (experiment
 // A2 in DESIGN.md).
 //
+// Like KVStore, the store is lock-striped across shardCount shards so
+// concurrent readers and writers of disjoint keys do not contend, and it
+// follows the package-level zero-copy ownership contract: values are
+// retained and returned by reference.
+//
 // MVCCStore is safe for concurrent use.
 type MVCCStore struct {
+	shards [shardCount]mvccShard
+}
+
+type mvccShard struct {
 	mu   sync.RWMutex
 	data map[types.Key][]mvccVersion
+	_    [64]byte // keep adjacent shards off each other's cache lines
 }
 
 type mvccVersion struct {
@@ -28,37 +38,48 @@ type mvccVersion struct {
 
 // NewMVCCStore returns an empty multi-version store.
 func NewMVCCStore() *MVCCStore {
-	return &MVCCStore{data: make(map[types.Key][]mvccVersion)}
+	s := &MVCCStore{}
+	for i := range s.shards {
+		s.shards[i].data = make(map[types.Key][]mvccVersion)
+	}
+	return s
+}
+
+func (s *MVCCStore) shard(key types.Key) *mvccShard {
+	return &s.shards[shardIndex(key)]
 }
 
 // Write installs a new version of key created by the transaction with the
-// given global sequence number. Versions of a key must be installed with
-// non-decreasing sequence numbers by the commit path; concurrent writers
-// of *different* keys may interleave freely.
+// given global sequence number. Ownership of val transfers to the store.
+// Versions of a key must be installed with non-decreasing sequence
+// numbers by the commit path; concurrent writers of *different* keys may
+// interleave freely.
 func (s *MVCCStore) Write(seq uint64, key types.Key, val []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	versions := s.data[key]
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	versions := sh.data[key]
 	// Common case: append at the tail. Out-of-order installs (possible
 	// when independent transactions commit out of block order) insert at
 	// the right position to keep the chain sorted.
 	if n := len(versions); n == 0 || versions[n-1].seq <= seq {
-		s.data[key] = append(versions, mvccVersion{seq: seq, val: append([]byte(nil), val...)})
+		sh.data[key] = append(versions, mvccVersion{seq: seq, val: val})
 		return
 	}
 	i := sort.Search(len(versions), func(i int) bool { return versions[i].seq > seq })
 	versions = append(versions, mvccVersion{})
 	copy(versions[i+1:], versions[i:])
-	versions[i] = mvccVersion{seq: seq, val: append([]byte(nil), val...)}
-	s.data[key] = versions
+	versions[i] = mvccVersion{seq: seq, val: val}
+	sh.data[key] = versions
 }
 
 // ReadAsOf returns the newest version of key with sequence number at most
 // seq, i.e. the value a transaction at position seq in the log observes.
 func (s *MVCCStore) ReadAsOf(seq uint64, key types.Key) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	versions := s.data[key]
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	versions := sh.data[key]
 	i := sort.Search(len(versions), func(i int) bool { return versions[i].seq > seq })
 	if i == 0 {
 		return nil, false
@@ -72,9 +93,10 @@ func (s *MVCCStore) ReadAsOf(seq uint64, key types.Key) ([]byte, bool) {
 
 // Get returns the newest version of key, satisfying the Reader interface.
 func (s *MVCCStore) Get(key types.Key) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	versions := s.data[key]
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	versions := sh.data[key]
 	if len(versions) == 0 {
 		return nil, false
 	}
@@ -88,27 +110,33 @@ func (s *MVCCStore) Get(key types.Key) ([]byte, bool) {
 // VersionCount returns the number of retained versions for key, for tests
 // and garbage-collection policies.
 func (s *MVCCStore) VersionCount(key types.Key) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.data[key])
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.data[key])
 }
 
 // Truncate discards all versions with sequence numbers strictly below
 // floor for every key, keeping at least the newest version. It returns the
-// number of versions discarded.
+// number of versions discarded. Shards truncate independently; Truncate
+// is not atomic with respect to concurrent writes, which is fine for its
+// garbage-collection role.
 func (s *MVCCStore) Truncate(floor uint64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	dropped := 0
-	for k, versions := range s.data {
-		i := sort.Search(len(versions), func(i int) bool { return versions[i].seq >= floor })
-		if i == len(versions) && i > 0 {
-			i = len(versions) - 1 // always keep the newest version
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for k, versions := range sh.data {
+			i := sort.Search(len(versions), func(i int) bool { return versions[i].seq >= floor })
+			if i == len(versions) && i > 0 {
+				i = len(versions) - 1 // always keep the newest version
+			}
+			if i > 0 {
+				dropped += i
+				sh.data[k] = append([]mvccVersion(nil), versions[i:]...)
+			}
 		}
-		if i > 0 {
-			dropped += i
-			s.data[k] = append([]mvccVersion(nil), versions[i:]...)
-		}
+		sh.mu.Unlock()
 	}
 	return dropped
 }

@@ -3,6 +3,7 @@ package state
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"parblockchain/internal/types"
 )
@@ -19,13 +20,22 @@ import (
 // orders them, and the overlay retains the highest-index write — exactly
 // the value a sequential execution of the block would leave behind.
 //
-// BlockOverlay is safe for concurrent use: executor worker goroutines read
-// while the commit path records results.
+// The read path is copy-on-write: Get loads an atomically published,
+// immutable view and performs a plain map lookup — no lock, no atomic
+// read-modify-write, no cache-line ping-pong between executor workers.
+// Record (the commit path, called once per transaction) builds a new view
+// from the current one and publishes it. That trades O(overlay) work per
+// Record for zero synchronization on the hot read path, which contract
+// execution hits once per read of every transaction in the block.
+//
+// BlockOverlay follows the package-level zero-copy ownership contract:
+// recorded write sets are retained by reference and returned slices are
+// shared.
 type BlockOverlay struct {
 	base Reader
 
-	mu     sync.RWMutex
-	writes map[types.Key]overlayWrite
+	mu   sync.Mutex // serializes writers
+	view atomic.Pointer[map[types.Key]overlayWrite]
 }
 
 type overlayWrite struct {
@@ -35,16 +45,17 @@ type overlayWrite struct {
 
 // NewBlockOverlay returns an empty overlay over the committed base state.
 func NewBlockOverlay(base Reader) *BlockOverlay {
-	return &BlockOverlay{base: base, writes: make(map[types.Key]overlayWrite, 64)}
+	o := &BlockOverlay{base: base}
+	empty := make(map[types.Key]overlayWrite)
+	o.view.Store(&empty)
+	return o
 }
 
 // Get returns the key's value as visible to transactions of this block:
 // the newest overlay write if present, otherwise the committed value.
+// Lock-free.
 func (o *BlockOverlay) Get(key types.Key) ([]byte, bool) {
-	o.mu.RLock()
-	w, ok := o.writes[key]
-	o.mu.RUnlock()
-	if ok {
+	if w, ok := (*o.view.Load())[key]; ok {
 		if w.val == nil {
 			return nil, false // deletion
 		}
@@ -63,21 +74,41 @@ func (o *BlockOverlay) Record(idx int, writes []types.KV) {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	cur := *o.view.Load()
+	// Skip the copy when every write is shadowed by a higher-index one —
+	// common when results arrive via both local execution and a remote
+	// commit quorum.
+	dirty := false
+	for i := range writes {
+		if w, ok := cur[writes[i].Key]; !ok || w.idx < idx {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return
+	}
+	next := make(map[types.Key]overlayWrite, len(cur)+len(writes))
+	for k, w := range cur {
+		next[k] = w
+	}
 	for _, kv := range writes {
-		if cur, ok := o.writes[kv.Key]; ok && cur.idx >= idx {
+		if w, ok := next[kv.Key]; ok && w.idx >= idx {
 			continue
 		}
-		o.writes[kv.Key] = overlayWrite{val: kv.Val, idx: idx}
+		next[kv.Key] = overlayWrite{val: kv.Val, idx: idx}
 	}
+	o.view.Store(&next)
 }
 
 // Final returns the overlay's net effect as a deterministic, key-sorted
 // batch, ready to apply to the committed store when the block finalizes.
+// The values are shared with the overlay; the commit path hands them
+// straight to KVStore.Apply, transferring ownership.
 func (o *BlockOverlay) Final() []types.KV {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	out := make([]types.KV, 0, len(o.writes))
-	for k, w := range o.writes {
+	view := *o.view.Load()
+	out := make([]types.KV, 0, len(view))
+	for k, w := range view {
 		out = append(out, types.KV{Key: k, Val: w.val})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
@@ -86,9 +117,7 @@ func (o *BlockOverlay) Final() []types.KV {
 
 // Len returns the number of distinct keys written in the overlay.
 func (o *BlockOverlay) Len() int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return len(o.writes)
+	return len(*o.view.Load())
 }
 
 var _ Reader = (*BlockOverlay)(nil)

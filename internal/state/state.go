@@ -2,18 +2,35 @@
 // executor peers: a versioned key-value store, an overlay view used during
 // block execution, and a multi-version store for the MVCC variant of the
 // dependency-graph generator discussed in Section III-A of the paper.
+//
+// # Ownership contract (zero-copy)
+//
+// The stores in this package are zero-copy: they neither copy values in on
+// write nor copy them out on read. Ownership of a value slice transfers to
+// the store on Put/Apply/Write/Record, and every read (Get, GetVersion,
+// ReadAsOf, Snapshot) returns the stored slice itself. Consequently:
+//
+//   - callers must not mutate a slice after handing it to a store, and
+//   - callers must treat every returned slice as read-only.
+//
+// The commit pipeline satisfies this naturally: write sets are either
+// freshly allocated by contract execution or freshly decoded from the
+// wire, and are never touched again after the commit boundary
+// (KVStore.Apply). This removes one allocation + copy per key per write
+// from the hot path.
 package state
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"sort"
 	"sync"
 
 	"parblockchain/internal/types"
 )
 
 // Reader is the read-only view a smart contract executes against.
+// Returned value slices are shared with the store: treat them as
+// immutable (see the package ownership contract).
 type Reader interface {
 	// Get returns the current value of key and whether it exists.
 	Get(key types.Key) ([]byte, bool)
@@ -29,40 +46,118 @@ type VersionedReader interface {
 	GetVersion(key types.Key) ([]byte, uint64, bool)
 }
 
+// shardBits fixes the lock-stripe fan-out of KVStore and MVCCStore.
+// 32 shards keeps the per-store footprint small while exceeding the worker
+// pool sizes used by the executors, so under a uniform key distribution
+// two workers rarely contend on the same stripe.
+const (
+	shardBits  = 5
+	shardCount = 1 << shardBits
+	shardMask  = shardCount - 1
+)
+
+// shardIndex dispatches a key to its stripe with FNV-1a, xor-folded so
+// that the high bits participate in the stripe choice. The function is a
+// pure function of the key bytes — replicas assign every key to the same
+// stripe, which keeps the per-shard digests comparable across nodes.
+func shardIndex(key types.Key) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int((h ^ h>>32) & shardMask)
+}
+
+// entryDigest hashes one live record with the same length-prefixed framing
+// the original full-store hash used. Small records (the common case) are
+// framed on the stack and hashed with the allocation-free sha256.Sum256.
+func entryDigest(key types.Key, val []byte) [sha256.Size]byte {
+	need := 16 + len(key) + len(val)
+	var stack [160]byte
+	var buf []byte
+	if need <= len(stack) {
+		buf = stack[:0]
+	} else {
+		buf = make([]byte, 0, need)
+	}
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], uint64(len(key)))
+	buf = append(buf, scratch[:]...)
+	buf = append(buf, key...)
+	binary.BigEndian.PutUint64(scratch[:], uint64(len(val)))
+	buf = append(buf, scratch[:]...)
+	buf = append(buf, val...)
+	return sha256.Sum256(buf)
+}
+
 // KVStore is the committed blockchain state: a versioned in-memory
-// key-value map. It is safe for concurrent use; writers are expected to be
-// the single commit path of a node while readers may be many.
+// key-value map, lock-striped across shardCount independent shards so
+// that parallel executor workers reading (and the commit path writing)
+// disjoint keys never contend on a shared lock.
+//
+// Each shard maintains a running digest — the XOR of entryDigest over its
+// live records. XOR is commutative and self-inverse, so the digest can be
+// updated in O(1) per write (fold the old entry out, the new one in) and
+// is independent of insertion order; Hash folds the shard digests
+// together in O(shardCount) instead of sorting and rehashing the whole
+// keyspace.
+//
+// KVStore is safe for concurrent use and follows the package-level
+// zero-copy ownership contract.
 type KVStore struct {
-	mu   sync.RWMutex
-	data map[types.Key]versioned
+	shards [shardCount]kvShard
+}
+
+type kvShard struct {
+	mu     sync.RWMutex
+	data   map[types.Key]versioned
+	digest [sha256.Size]byte // XOR of entryDigest over live records
+	_      [64]byte          // pad to its own cache lines: shards are hot and adjacent
 }
 
 type versioned struct {
 	val []byte
 	ver uint64
+	// dig caches entryDigest(key, val) so an overwrite or delete folds
+	// the old entry out of the shard digest without rehashing it: one
+	// SHA-256 per write instead of two.
+	dig [sha256.Size]byte
 }
 
 // NewKVStore returns an empty store.
 func NewKVStore() *KVStore {
-	return &KVStore{data: make(map[types.Key]versioned)}
+	s := &KVStore{}
+	for i := range s.shards {
+		s.shards[i].data = make(map[types.Key]versioned)
+	}
+	return s
 }
 
-// Get returns the current value of key.
+func (s *KVStore) shard(key types.Key) *kvShard {
+	return &s.shards[shardIndex(key)]
+}
+
+// Get returns the current value of key. The returned slice is the stored
+// one — read-only for the caller.
 func (s *KVStore) Get(key types.Key) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, ok := s.data[key]
+	sh := s.shard(key)
+	sh.mu.RLock()
+	v, ok := sh.data[key]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
 	return v.val, true
 }
 
-// GetVersion returns the value and version of key.
+// GetVersion returns the value and version of key. The returned slice is
+// the stored one — read-only for the caller.
 func (s *KVStore) GetVersion(key types.Key) ([]byte, uint64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, ok := s.data[key]
+	sh := s.shard(key)
+	sh.mu.RLock()
+	v, ok := sh.data[key]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, 0, false
 	}
@@ -71,78 +166,173 @@ func (s *KVStore) GetVersion(key types.Key) ([]byte, uint64, bool) {
 
 // Version returns the current version of key (0 if absent).
 func (s *KVStore) Version(key types.Key) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.data[key].ver
+	sh := s.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.data[key].ver
 }
 
-// Put writes one record, bumping its version.
+// Put writes one record, bumping its version. Ownership of val transfers
+// to the store; the caller must not mutate it afterwards. A nil value
+// deletes the record.
 func (s *KVStore) Put(key types.Key, val []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.putLocked(key, val)
+	sh := s.shard(key)
+	sh.mu.Lock()
+	sh.put(key, val)
+	sh.mu.Unlock()
 }
 
-func (s *KVStore) putLocked(key types.Key, val []byte) {
-	prev := s.data[key]
+// put applies one write under the shard lock, keeping the running digest
+// in sync with the map.
+func (sh *kvShard) put(key types.Key, val []byte) {
+	prev, existed := sh.data[key]
+	if existed {
+		xorDigest(&sh.digest, prev.dig)
+	}
 	if val == nil {
-		delete(s.data, key)
+		if existed {
+			delete(sh.data, key)
+		}
 		return
 	}
-	s.data[key] = versioned{val: append([]byte(nil), val...), ver: prev.ver + 1}
+	dig := entryDigest(key, val)
+	sh.data[key] = versioned{val: val, ver: prev.ver + 1, dig: dig}
+	xorDigest(&sh.digest, dig)
+}
+
+func xorDigest(acc *[sha256.Size]byte, d [sha256.Size]byte) {
+	for i := range acc {
+		acc[i] ^= d[i]
+	}
 }
 
 // Apply writes a batch of records atomically, bumping each version. A nil
-// value deletes the record.
+// value deletes the record. Ownership of the value slices transfers to
+// the store. Atomicity is provided by write-locking every touched shard
+// (in ascending order, deadlock-free against the lock-all readers) for
+// the duration of the batch.
 func (s *KVStore) Apply(writes []types.KV) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if len(writes) == 0 {
+		return
+	}
+	var touched [shardCount]bool
+	for i := range writes {
+		touched[shardIndex(writes[i].Key)] = true
+	}
+	for i := range s.shards {
+		if touched[i] {
+			s.shards[i].mu.Lock()
+		}
+	}
 	for _, kv := range writes {
-		s.putLocked(kv.Key, kv.Val)
+		s.shards[shardIndex(kv.Key)].put(kv.Key, kv.Val)
+	}
+	for i := range s.shards {
+		if touched[i] {
+			s.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// rlockAll read-locks every shard in ascending order, giving the caller a
+// consistent point-in-time view against Apply's multi-shard write locks.
+func (s *KVStore) rlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+}
+
+func (s *KVStore) runlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
 	}
 }
 
 // Len returns the number of live records.
 func (s *KVStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.data)
+	s.rlockAll()
+	defer s.runlockAll()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].data)
+	}
+	return n
 }
 
-// Hash returns a deterministic digest over the full store contents
-// (sorted by key), used by tests and state-sync to compare replicas.
+// Hash returns a deterministic digest over the full store contents, used
+// by tests and state-sync to compare replicas. It folds the incrementally
+// maintained per-shard digests together with the live record count, so
+// the cost is O(shardCount) regardless of store size, and the result
+// depends only on the set of live (key, value) pairs — replicas applying
+// the same writes in any interleaving consistent with the commit order
+// produce bit-identical hashes.
+//
+// The XOR fold makes this digest suitable for detecting divergence among
+// honest replicas only: XOR-combined hashes are not collision-resistant
+// against an adversary who chooses its own state (Bellare–Micciancio), so
+// a Byzantine replica could craft a different state with a matching
+// digest. Do not use Hash as a trust anchor across fault domains; the
+// BFT-grade commitments in this system are the per-transaction result
+// digests checked by Algorithm 3's tau-matching quorum.
 func (s *KVStore) Hash() types.Hash {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
+	var acc [sha256.Size]byte
+	var count uint64
+	s.rlockAll()
+	for i := range s.shards {
+		xorDigest(&acc, s.shards[i].digest)
+		count += uint64(len(s.shards[i].data))
 	}
-	sort.Strings(keys)
+	s.runlockAll()
 	h := sha256.New()
 	var scratch [8]byte
-	for _, k := range keys {
-		binary.BigEndian.PutUint64(scratch[:], uint64(len(k)))
-		h.Write(scratch[:])
-		h.Write([]byte(k))
-		v := s.data[k]
-		binary.BigEndian.PutUint64(scratch[:], uint64(len(v.val)))
-		h.Write(scratch[:])
-		h.Write(v.val)
-	}
+	binary.BigEndian.PutUint64(scratch[:], count)
+	h.Write(scratch[:])
+	h.Write(acc[:])
 	var out types.Hash
 	h.Sum(out[:0])
 	return out
 }
 
-// Snapshot returns a deep copy of the current contents, for tests and
-// state transfer.
+// rehash recomputes the store hash from scratch, ignoring the maintained
+// per-shard digests. Tests use it to assert the incremental digests never
+// drift from the map contents.
+func (s *KVStore) rehash() types.Hash {
+	var acc [sha256.Size]byte
+	var count uint64
+	s.rlockAll()
+	for i := range s.shards {
+		for k, v := range s.shards[i].data {
+			xorDigest(&acc, entryDigest(k, v.val))
+		}
+		count += uint64(len(s.shards[i].data))
+	}
+	s.runlockAll()
+	h := sha256.New()
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], count)
+	h.Write(scratch[:])
+	h.Write(acc[:])
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Snapshot returns a consistent point-in-time copy of the current
+// contents, for tests and state transfer. Per the package ownership
+// contract the value slices are shared with the store, not copied —
+// treat them as read-only.
 func (s *KVStore) Snapshot() map[types.Key][]byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[types.Key][]byte, len(s.data))
-	for k, v := range s.data {
-		out[k] = append([]byte(nil), v.val...)
+	s.rlockAll()
+	defer s.runlockAll()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].data)
+	}
+	out := make(map[types.Key][]byte, n)
+	for i := range s.shards {
+		for k, v := range s.shards[i].data {
+			out[k] = v.val
+		}
 	}
 	return out
 }

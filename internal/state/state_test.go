@@ -56,14 +56,16 @@ func TestKVStoreApplyBumpsEachVersion(t *testing.T) {
 	}
 }
 
-func TestKVStoreValueIsolation(t *testing.T) {
+// TestKVStoreOwnershipTransfer pins the zero-copy contract: Put takes
+// ownership of the value slice (no defensive copy), and Get returns the
+// stored slice itself. Callers must not mutate in either direction.
+func TestKVStoreOwnershipTransfer(t *testing.T) {
 	s := NewKVStore()
 	buf := []byte("abc")
 	s.Put("k", buf)
-	buf[0] = 'X'
 	val, _ := s.Get("k")
-	if string(val) != "abc" {
-		t.Fatal("store must copy values on write")
+	if &val[0] != &buf[0] {
+		t.Fatal("Put must retain the caller's slice and Get must return it (zero-copy)")
 	}
 }
 
@@ -82,14 +84,63 @@ func TestKVStoreHashIsOrderInsensitiveAndContentSensitive(t *testing.T) {
 	}
 }
 
-func TestKVStoreSnapshotIsDeep(t *testing.T) {
+// TestKVStoreSnapshotSharesValues pins Snapshot's side of the zero-copy
+// contract: the returned map is a fresh container, but the value slices
+// are shared with the store and read-only for the caller.
+func TestKVStoreSnapshotSharesValues(t *testing.T) {
 	s := NewKVStore()
-	s.Put("k", []byte("v"))
+	v := []byte("v")
+	s.Put("k", v)
 	snap := s.Snapshot()
-	snap["k"][0] = 'X'
-	val, _ := s.Get("k")
-	if string(val) != "v" {
-		t.Fatal("snapshot must be a deep copy")
+	if len(snap) != 1 || &snap["k"][0] != &v[0] {
+		t.Fatal("snapshot values must be shared with the store (zero-copy)")
+	}
+	// The container itself must be detached: mutating it must not affect
+	// the store.
+	delete(snap, "k")
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("snapshot map must be a copy of the key set")
+	}
+}
+
+// TestKVStoreIncrementalHashMatchesRehash drives the store through
+// overwrite and delete cycles and checks the incrementally maintained
+// digest never drifts from a from-scratch recompute.
+func TestKVStoreIncrementalHashMatchesRehash(t *testing.T) {
+	s := NewKVStore()
+	for i := 0; i < 200; i++ {
+		key := types.Key(fmt.Sprintf("k%d", i%17))
+		switch i % 5 {
+		case 4:
+			s.Put(key, nil) // delete
+		default:
+			s.Put(key, []byte(fmt.Sprintf("v%d", i)))
+		}
+		if s.Hash() != s.rehash() {
+			t.Fatalf("incremental hash diverged from recompute at step %d", i)
+		}
+	}
+}
+
+// TestKVStoreHashConvergesAcrossInterleavings applies the same batches to
+// two stores in different (per-key-order-preserving) interleavings and
+// expects identical hashes, the property replicas rely on.
+func TestKVStoreHashConvergesAcrossInterleavings(t *testing.T) {
+	batchA := []types.KV{{Key: "a", Val: []byte("1")}, {Key: "b", Val: []byte("2")}}
+	batchB := []types.KV{{Key: "c", Val: []byte("3")}, {Key: "d", Val: []byte("4")}}
+	x, y := NewKVStore(), NewKVStore()
+	x.Apply(batchA)
+	x.Apply(batchB)
+	y.Apply(batchB)
+	y.Apply(batchA)
+	if x.Hash() != y.Hash() {
+		t.Fatal("hash must depend only on final contents, not batch interleaving")
+	}
+	// Deleting everything must return both to the empty hash.
+	empty := NewKVStore().Hash()
+	x.Apply([]types.KV{{Key: "a"}, {Key: "b"}, {Key: "c"}, {Key: "d"}})
+	if x.Hash() != empty {
+		t.Fatal("deleting all records must restore the empty-store hash")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // This file implements a compact, deterministic binary codec for
@@ -26,8 +27,59 @@ func NewByteWriter(capacity int) *ByteWriter {
 	return &ByteWriter{buf: make([]byte, 0, capacity)}
 }
 
-// Bytes returns the accumulated encoding.
+// writerPool recycles codec buffers across the hot encoding paths
+// (transaction marshaling, message digests): the ordering pipeline
+// serializes every transaction at least once per submission, and without
+// pooling each encode pays the writer allocation plus its growth
+// reallocations.
+var writerPool = sync.Pool{
+	New: func() any { return &ByteWriter{buf: make([]byte, 0, 512)} },
+}
+
+// maxPooledWriterCap bounds the capacity of buffers returned to the pool
+// so one giant encoding does not pin memory for the process lifetime.
+const maxPooledWriterCap = 64 << 10
+
+// AcquireWriter returns an empty writer from the pool. Release it with
+// ReleaseWriter when the encoding is no longer referenced; if the encoded
+// bytes must outlive the writer, copy them out with CloneBytes first.
+func AcquireWriter() *ByteWriter {
+	w := writerPool.Get().(*ByteWriter)
+	w.Reset()
+	return w
+}
+
+// ReleaseWriter returns a writer to the pool. The caller must not touch
+// the writer or any un-cloned Bytes() result afterwards.
+func ReleaseWriter(w *ByteWriter) {
+	if cap(w.buf) > maxPooledWriterCap {
+		return
+	}
+	writerPool.Put(w)
+}
+
+// Reset empties the writer, retaining its capacity.
+func (w *ByteWriter) Reset() { w.buf = w.buf[:0] }
+
+// Len returns the number of bytes written so far, usable as an offset for
+// PatchU64.
+func (w *ByteWriter) Len() int { return len(w.buf) }
+
+// PatchU64 overwrites the 8 bytes at off with a big-endian uint64,
+// backfilling a length prefix written as a placeholder before the data.
+func (w *ByteWriter) PatchU64(off int, v uint64) {
+	binary.BigEndian.PutUint64(w.buf[off:], v)
+}
+
+// Bytes returns the accumulated encoding. The slice aliases the writer's
+// buffer: it is valid only until the writer is reset or released.
 func (w *ByteWriter) Bytes() []byte { return w.buf }
+
+// CloneBytes returns an exact-size copy of the accumulated encoding,
+// safe to retain after the writer is released.
+func (w *ByteWriter) CloneBytes() []byte {
+	return append(make([]byte, 0, len(w.buf)), w.buf...)
+}
 
 // U64 appends a fixed-width big-endian uint64.
 func (w *ByteWriter) U64(v uint64) {
@@ -153,7 +205,16 @@ func (r *ByteReader) Strs() []string {
 
 // Marshal encodes the transaction, including its signature.
 func (t *Transaction) Marshal() []byte {
-	w := NewByteWriter(256)
+	w := AcquireWriter()
+	defer ReleaseWriter(w)
+	t.MarshalTo(w)
+	return w.CloneBytes()
+}
+
+// MarshalTo appends the transaction's encoding to an existing writer,
+// letting enclosing encodings (consensus payloads, endorsed transactions)
+// embed it without an intermediate allocation.
+func (t *Transaction) MarshalTo(w *ByteWriter) {
 	w.Str(string(t.ID))
 	w.Str(string(t.App))
 	w.Str(string(t.Client))
@@ -164,7 +225,6 @@ func (t *Transaction) Marshal() []byte {
 	w.Strs(t.Op.Writes)
 	w.I64(t.SubmitUnixNano)
 	w.Blob(t.Sig)
-	return w.Bytes()
 }
 
 // UnmarshalTransaction decodes a transaction encoded by Marshal.

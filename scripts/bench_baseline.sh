@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench_baseline.sh — run the state/codec/executor microbenchmarks and
+# record the numbers as JSON (BENCH_state.json by default), establishing
+# the perf trajectory future PRs are measured against.
+#
+# Usage: scripts/bench_baseline.sh [output.json]
+set -eu
+
+out="${1:-BENCH_state.json}"
+benchtime="${BENCHTIME:-100ms}"
+
+raw=$(go test -bench '.' -benchtime "$benchtime" -run '^$' \
+	./internal/state/ ./internal/types/ ./internal/execution/)
+
+printf '%s\n' "$raw" | awk -v ncpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
+BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
+/^Benchmark/ {
+	name = $1; iters = $2; nsop = $3
+	extra = ""
+	for (i = 5; i < NF; i += 2) {
+		extra = extra sprintf(", \"%s\": %s", $(i+1), $i)
+	}
+	if (!first) printf ",\n"
+	first = 0
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}", name, iters, nsop, extra
+}
+/^cpu:/ { cpu = substr($0, 6); gsub(/^ +| +$/, "", cpu) }
+END {
+	printf "\n  ],\n"
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"gomaxprocs\": %s\n", (ncpu ? ncpu : "null")
+	print "}"
+}' >"$out"
+
+echo "wrote $out"
