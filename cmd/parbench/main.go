@@ -40,17 +40,19 @@ type config struct {
 	warmup   time.Duration
 	execCost time.Duration
 	crypto   bool
+	pipeline int
 }
 
 func run() error {
 	var cfg config
-	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations all")
+	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations pipeline all")
 	flag.BoolVar(&cfg.quick, "quick", false, "reduced sweep ranges for a fast pass")
 	flag.BoolVar(&cfg.csv, "csv", false, "emit raw CSV rows instead of tables")
 	flag.DurationVar(&cfg.duration, "dur", 2*time.Second, "steady-state measurement window per point")
 	flag.DurationVar(&cfg.warmup, "warmup", 500*time.Millisecond, "warm-up before measurement")
 	flag.DurationVar(&cfg.execCost, "execcost", time.Millisecond, "modeled contract service time")
 	flag.BoolVar(&cfg.crypto, "crypto", false, "enable ed25519 signing end to end")
+	flag.IntVar(&cfg.pipeline, "pipeline", 0, "executor pipeline depth for all OXII runs (1 = per-block barrier, 0 = default)")
 	flag.Parse()
 
 	figs := map[string]func(config) error{
@@ -64,8 +66,9 @@ func run() error {
 		"7c":        func(c config) error { return fig7(c, bench.GroupExecutors) },
 		"7d":        func(c config) error { return fig7(c, bench.GroupPassive) },
 		"ablations": ablations,
+		"pipeline":  figPipeline,
 	}
-	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations"}
+	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations", "pipeline"}
 
 	switch cfg.fig {
 	case "all":
@@ -89,10 +92,11 @@ func run() error {
 
 func (c config) base() bench.Options {
 	return bench.Options{
-		Duration: c.duration,
-		Warmup:   c.warmup,
-		ExecCost: c.execCost,
-		Crypto:   c.crypto,
+		Duration:      c.duration,
+		Warmup:        c.warmup,
+		ExecCost:      c.execCost,
+		Crypto:        c.crypto,
+		PipelineDepth: c.pipeline,
 	}
 }
 
@@ -169,6 +173,26 @@ func fig7(c config, moved bench.NodeGroup) error {
 		rows = append(rows, namedSeries{name: string(s.System), points: s.Points})
 	}
 	printSeries(c, fmt.Sprintf("Figure 7: %s moved to far zone", moved), rows)
+	return nil
+}
+
+// figPipeline sweeps the executor pipeline depth at moderate contention:
+// throughput vs PipelineDepth, the cross-block streaming experiment.
+func figPipeline(c config) error {
+	depths := []int{1, 2, 4, 8}
+	levels := c.clientLevels()
+	if c.quick {
+		depths = []int{1, 4}
+	}
+	series, err := bench.PipelineSweep(c.base(), 0.2, depths, levels, os.Stderr)
+	if err != nil {
+		return err
+	}
+	rows := make([]namedSeries, 0, len(series))
+	for _, s := range series {
+		rows = append(rows, namedSeries{name: fmt.Sprintf("depth=%d", s.Depth), points: s.Points})
+	}
+	printSeries(c, "Pipeline: throughput vs executor pipeline depth @ 20% contention", rows)
 	return nil
 }
 

@@ -190,6 +190,7 @@ func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 		Executors:     cfg.ExecutorIDs(),
 		Store:         store,
 		Ledger:        ledger.New(),
+		PipelineDepth: cfg.PipelineDepth,
 		Signer:        signer,
 		Verifier:      verifier,
 		VerifySigs:    cfg.Crypto,

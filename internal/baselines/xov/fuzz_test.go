@@ -1,0 +1,46 @@
+package xov
+
+import (
+	"bytes"
+	"testing"
+
+	"parblockchain/internal/types"
+)
+
+// FuzzUnmarshalEndorsedTx holds the XOV wire codec to the same contract
+// as the types codecs: arbitrary input errors rather than panicking, and
+// whatever decodes re-encodes stably.
+func FuzzUnmarshalEndorsedTx(f *testing.F) {
+	etx := &EndorsedTx{
+		Tx: &types.Transaction{
+			ID: "t1", App: "app1", Client: "c1", ClientTS: 3,
+			Op: types.Operation{Method: "transfer", Params: []string{"a", "b", "1"},
+				Reads: []string{"a", "b"}, Writes: []string{"a", "b"}},
+			Sig: []byte{1},
+		},
+		ReadVers:  []KeyVer{{Key: "a", Ver: 2}, {Key: "b", Ver: 1}},
+		Writes:    []types.KV{{Key: "a", Val: []byte("9")}},
+		Endorsers: []types.NodeID{"p1"},
+		Sigs:      [][]byte{{7}},
+	}
+	f.Add(etx.Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 24))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := UnmarshalEndorsedTx(data)
+		if err != nil {
+			return
+		}
+		if len(e.Endorsers) != len(e.Sigs) {
+			t.Fatal("decoder admitted misaligned endorsement evidence")
+		}
+		enc := e.Marshal()
+		e2, err := UnmarshalEndorsedTx(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if !bytes.Equal(enc, e2.Marshal()) {
+			t.Fatal("EndorsedTx encoding is not a fixed point")
+		}
+	})
+}

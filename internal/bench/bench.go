@@ -108,6 +108,10 @@ type Options struct {
 	GraphMultiVersion bool
 	// ExecWorkers sizes OXII executor pools (default 2*BlockTxns).
 	ExecWorkers int
+	// PipelineDepth bounds each OXII executor's window of in-flight
+	// blocks (cross-block pipelined execution). 1 is the paper's strict
+	// per-block barrier; 0 uses the executor default (4).
+	PipelineDepth int
 	// Seed fixes the workload stream.
 	Seed int64
 }
@@ -306,6 +310,7 @@ func Run(opts Options) (Result, error) {
 			UsePairwiseGraph: opts.UsePairwiseGraph,
 			EagerCommit:      opts.EagerCommit,
 			ExecWorkers:      opts.ExecWorkers,
+			PipelineDepth:    opts.PipelineDepth,
 			Crypto:           opts.Crypto,
 			Genesis:          genesis,
 			Net:              net,

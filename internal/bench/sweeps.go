@@ -174,3 +174,38 @@ func GeoSweep(base Options, moved NodeGroup, systems []System,
 	}
 	return series, nil
 }
+
+// PipelineSeries is one line of a pipeline-depth plot: the
+// throughput-latency curve of OXII at one executor pipeline depth.
+type PipelineSeries struct {
+	Depth  int
+	Points []SweepPoint
+}
+
+// PipelineSweep measures OXII throughput as the executors' cross-block
+// pipeline deepens, at a fixed contention level. Depth 1 is the paper's
+// per-block barrier; deeper windows let block n+1 execute while block n
+// is still committing, so the sweep exposes how much of the block-commit
+// latency the barrier was costing.
+func PipelineSweep(base Options, contention float64, depths []int,
+	clientLevels []int, progress io.Writer) ([]PipelineSeries, error) {
+	series := make([]PipelineSeries, 0, len(depths))
+	for _, depth := range depths {
+		opts := base
+		opts.System = SystemOXII
+		opts.Contention = contention
+		opts.PipelineDepth = depth
+		points, err := Curve(opts, clientLevels)
+		if err != nil {
+			return series, err
+		}
+		series = append(series, PipelineSeries{Depth: depth, Points: points})
+		if progress != nil {
+			peak := Peak(points)
+			fmt.Fprintf(progress, "pipeline depth=%-3d peak=%8.0f tx/s lat=%8s\n",
+				depth, peak.Result.Throughput,
+				peak.Result.AvgLatency.Round(time.Millisecond))
+		}
+	}
+	return series, nil
+}

@@ -34,6 +34,10 @@ type Config struct {
 	BlockTxns int `json:"blockTxns,omitempty"`
 	// BlockIntervalMs is the timeout cut in milliseconds (default 100).
 	BlockIntervalMs int `json:"blockIntervalMs,omitempty"`
+	// PipelineDepth bounds each executor's window of in-flight blocks
+	// (cross-block pipelined execution). 1 restores the per-block
+	// barrier; 0 uses the executor default.
+	PipelineDepth int `json:"pipelineDepth,omitempty"`
 	// Crypto enables deterministic demo keys and full verification.
 	Crypto bool `json:"crypto,omitempty"`
 	// Genesis seeds each executor's store with account balances.

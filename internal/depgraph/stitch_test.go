@@ -1,0 +1,172 @@
+package depgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func ref(block uint64, idx int32) TxRef { return TxRef{Block: block, Index: idx} }
+
+// refSet turns the stitcher's per-txn predecessor list into a
+// comparable set.
+func refSet(prs []TxRef) map[TxRef]bool {
+	out := make(map[TxRef]bool, len(prs))
+	for _, r := range prs {
+		out[r] = true
+	}
+	return out
+}
+
+func TestStitchCrossBlockConflictRules(t *testing.T) {
+	s := NewStitcher(Standard)
+	// Block 0: t0 writes a, t1 reads b.
+	got := s.AddBlock(0, []RWSet{
+		{Writes: []string{"a"}},
+		{Reads: []string{"b"}},
+	})
+	if len(got[0]) != 0 || len(got[1]) != 0 {
+		t.Fatalf("first block must have no cross-block preds: %v", got)
+	}
+	// Block 1: write-read (a), write-write would chain through readers
+	// (b), and an untouched key (c).
+	got = s.AddBlock(1, []RWSet{
+		{Reads: []string{"a"}},  // reads block0's write: edge to (0,0)
+		{Writes: []string{"b"}}, // writes a key block0 read: edge to (0,1)
+		{Writes: []string{"c"}}, // fresh key: no edge
+	})
+	if !refSet(got[0])[ref(0, 0)] || len(got[0]) != 1 {
+		t.Fatalf("read-after-write pred = %v, want [(0,0)]", got[0])
+	}
+	if !refSet(got[1])[ref(0, 1)] || len(got[1]) != 1 {
+		t.Fatalf("write-after-read pred = %v, want [(0,1)]", got[1])
+	}
+	if len(got[2]) != 0 {
+		t.Fatalf("fresh key must have no preds: %v", got[2])
+	}
+}
+
+func TestStitchIntraBlockConflictsNotReported(t *testing.T) {
+	s := NewStitcher(Standard)
+	got := s.AddBlock(0, []RWSet{
+		{Writes: []string{"k"}},
+		{Reads: []string{"k"}, Writes: []string{"k"}},
+	})
+	if len(got[0]) != 0 || len(got[1]) != 0 {
+		t.Fatalf("intra-block conflicts belong to the per-block graph: %v", got)
+	}
+}
+
+func TestStitchLaterWriterShadowsEarlierBlock(t *testing.T) {
+	s := NewStitcher(Standard)
+	s.AddBlock(0, []RWSet{{Writes: []string{"k"}}})
+	s.AddBlock(1, []RWSet{{Writes: []string{"k"}}})
+	got := s.AddBlock(2, []RWSet{{Reads: []string{"k"}}})
+	// Block 1's writer stands in for block 0's transitively.
+	if !refSet(got[0])[ref(1, 0)] || len(got[0]) != 1 {
+		t.Fatalf("preds = %v, want only the newest writer (1,0)", got[0])
+	}
+}
+
+func TestStitchRemovePurgesFinalizedBlock(t *testing.T) {
+	s := NewStitcher(Standard)
+	s.AddBlock(0, []RWSet{{Writes: []string{"k"}}, {Reads: []string{"r"}}})
+	s.Remove(0)
+	if s.Len() != 0 {
+		t.Fatalf("index holds %d keys after removing the only block", s.Len())
+	}
+	got := s.AddBlock(1, []RWSet{{Reads: []string{"k"}, Writes: []string{"r"}}})
+	if len(got[0]) != 0 {
+		t.Fatalf("finalized block must impose no edges: %v", got[0])
+	}
+}
+
+func TestStitchRemoveKeepsLaterBlocksIndexed(t *testing.T) {
+	s := NewStitcher(Standard)
+	s.AddBlock(0, []RWSet{{Writes: []string{"k"}}})
+	s.AddBlock(1, []RWSet{{Reads: []string{"k"}}})
+	s.Remove(0)
+	// Block 1's read survives the purge: a later writer of k must still
+	// order after it.
+	got := s.AddBlock(2, []RWSet{{Writes: []string{"k"}}})
+	if !refSet(got[0])[ref(1, 0)] || len(got[0]) != 1 {
+		t.Fatalf("preds = %v, want block 1's reader", got[0])
+	}
+}
+
+func TestStitchMultiVersionOnlyWriteReadOrders(t *testing.T) {
+	s := NewStitcher(MultiVersion)
+	s.AddBlock(0, []RWSet{{Writes: []string{"a"}, Reads: []string{"b"}}})
+	got := s.AddBlock(1, []RWSet{
+		{Writes: []string{"a"}}, // write-write: unordered under MVCC
+		{Writes: []string{"b"}}, // read-then-write: unordered under MVCC
+		{Reads: []string{"a"}},  // write-then-read: ordered
+	})
+	if len(got[0]) != 0 || len(got[1]) != 0 {
+		t.Fatalf("MVCC must not order ww/rw pairs: %v", got)
+	}
+	if !refSet(got[2])[ref(0, 0)] || len(got[2]) != 1 {
+		t.Fatalf("MVCC write->read pred = %v, want [(0,0)]", got[2])
+	}
+}
+
+// TestStitchPropertyWindowEqualsOneBigBlock is the core correctness
+// property: the per-block graphs plus the stitched cross-block edges of
+// a window must equal, edge for edge, the graph Build derives over the
+// concatenation of the window's transactions. The ordering the pipelined
+// executor enforces is therefore exactly the ordering a single giant
+// block would have had.
+func TestStitchPropertyWindowEqualsOneBigBlock(t *testing.T) {
+	for _, mode := range []Mode{Standard, MultiVersion} {
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 50; trial++ {
+			numBlocks := 2 + rng.Intn(3)
+			perBlock := make([][]RWSet, numBlocks)
+			var all []RWSet
+			for b := range perBlock {
+				perBlock[b] = randomSets(rng, 1+rng.Intn(8), 1+rng.Intn(5))
+				all = append(all, perBlock[b]...)
+			}
+			want := Build(all, mode)
+
+			// Window construction: per-block graphs + stitched edges,
+			// mapped into concatenated indices.
+			gotEdges := make(map[[2]int]bool)
+			offset := make([]int, numBlocks)
+			base := 0
+			for b := range perBlock {
+				offset[b] = base
+				base += len(perBlock[b])
+			}
+			s := NewStitcher(mode)
+			for b, sets := range perBlock {
+				g := Build(sets, mode)
+				for i, succ := range g.Succ {
+					for _, j := range succ {
+						gotEdges[[2]int{offset[b] + i, offset[b] + int(j)}] = true
+					}
+				}
+				for j, preds := range s.AddBlock(uint64(b), sets) {
+					for _, r := range preds {
+						gotEdges[[2]int{offset[r.Block] + int(r.Index), offset[b] + j}] = true
+					}
+				}
+			}
+
+			wantEdges := make(map[[2]int]bool)
+			for i, succ := range want.Succ {
+				for _, j := range succ {
+					wantEdges[[2]int{i, int(j)}] = true
+				}
+			}
+			if len(gotEdges) != len(wantEdges) {
+				t.Fatalf("mode %v trial %d: %d stitched edges, want %d",
+					mode, trial, len(gotEdges), len(wantEdges))
+			}
+			for e := range wantEdges {
+				if !gotEdges[e] {
+					t.Fatalf("mode %v trial %d: missing edge %v", mode, trial, e)
+				}
+			}
+		}
+	}
+}

@@ -13,6 +13,21 @@
 // satisfies its successors on the first of {executed locally, committed
 // globally}, which is equivalent to the paper's repeated scan but O(V+E)
 // per block.
+//
+// # Cross-block pipelining
+//
+// The paper's executor runs block n to full commitment before touching
+// block n+1, a barrier that caps throughput at (block latency x block
+// size). Here the executor instead admits up to Config.PipelineDepth
+// blocks into a sliding execution window: a cross-block stitcher
+// (depgraph.Stitcher) adds ordering edges from an admitted block's
+// transactions to conflicting, still-uncommitted transactions of earlier
+// in-flight blocks, and each block's overlay chains to its predecessor's
+// so reads observe the newest uncommitted write below them. Finalization
+// (ledger append + store apply, Algorithm 3's quorum rules) remains
+// strictly in block order, so the ledger and the incremental state hash
+// are bit-identical to the barrier version at any depth; PipelineDepth=1
+// restores the barrier exactly.
 package execution
 
 import (
@@ -23,6 +38,7 @@ import (
 
 	"parblockchain/internal/contract"
 	"parblockchain/internal/cryptoutil"
+	"parblockchain/internal/depgraph"
 	"parblockchain/internal/eventq"
 	"parblockchain/internal/ledger"
 	"parblockchain/internal/state"
@@ -62,6 +78,14 @@ type Config struct {
 	Ledger *ledger.Ledger
 	// Workers sizes the execution worker pool. Zero means 8.
 	Workers int
+	// PipelineDepth bounds the sliding window of blocks admitted into
+	// execution before the oldest finalizes. 1 restores the strict
+	// per-block barrier of the paper; zero means the default of 4.
+	PipelineDepth int
+	// GraphMode selects the conflict rule for cross-block stitching; it
+	// must match the mode the orderers built the per-block graphs with.
+	// Zero means depgraph.Standard.
+	GraphMode depgraph.Mode
 	// EagerCommit switches Algorithm 2 to its eager variant: a COMMIT per
 	// executed transaction (n*m messages per block) instead of the lazy
 	// cross-application cut rule. Exposed for the A1 ablation.
@@ -89,11 +113,21 @@ func (c Config) withDefaults() Config {
 	if c.OrderQuorum <= 0 {
 		c.OrderQuorum = 1
 	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = DefaultPipelineDepth
+	}
+	if c.GraphMode == 0 {
+		c.GraphMode = depgraph.Standard
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
 	return c
 }
+
+// DefaultPipelineDepth is the execution window used when Config leaves
+// PipelineDepth zero.
+const DefaultPipelineDepth = 4
 
 // Stats exposes executor counters for experiments.
 type Stats struct {
@@ -142,6 +176,16 @@ type Executor struct {
 	pendingCommits map[uint64][]*types.CommitMsg
 	halted         bool
 
+	// Pipeline state owned by the actor loop: the admission cursor, the
+	// hash chain over admitted blocks (which may run ahead of the
+	// ledger), the in-flight window in block order, and the cross-block
+	// dependency stitcher.
+	admitInit bool
+	nextAdmit uint64
+	admitPrev types.Hash
+	window    []*blockState
+	stitcher  *depgraph.Stitcher
+
 	stats struct {
 		executed  atomic.Uint64
 		committed atomic.Uint64
@@ -181,11 +225,22 @@ type blockState struct {
 	committed   []bool // Ce membership
 	final       []types.TxResult
 	commitCount int
+	complete    bool // every transaction committed; awaiting in-order finalize
 	votes       []map[types.Hash]*voteRec
 	voted       []map[types.NodeID]bool
 
+	// Cross-block edges: successors in later in-flight blocks waiting on
+	// this block's transactions, per transaction index.
+	crossSucc [][]crossRef
+
 	// Algorithm 2 buffer (this node's Xe awaiting multicast).
 	outBuf []types.TxResult
+}
+
+// crossRef addresses one transaction of a later in-flight block.
+type crossRef struct {
+	bs  *blockState
+	idx int
 }
 
 type voteRec struct {
@@ -195,12 +250,14 @@ type voteRec struct {
 
 // New creates an executor node. Call Start before use.
 func New(cfg Config) *Executor {
+	cfg = cfg.withDefaults()
 	return &Executor{
-		cfg:            cfg.withDefaults(),
+		cfg:            cfg,
 		mailbox:        eventq.New[event](),
 		work:           eventq.New[workItem](),
 		blocks:         make(map[uint64]*blockState),
 		pendingCommits: make(map[uint64][]*types.CommitMsg),
+		stitcher:       depgraph.NewStitcher(cfg.GraphMode),
 	}
 }
 
@@ -346,7 +403,7 @@ func (e *Executor) handleNewBlock(from types.NodeID, m *types.NewBlockMsg) {
 		bs.valid = true
 		bs.msg = proposal
 		bs.proposals = nil
-		e.maybeStart()
+		e.pump()
 	}
 }
 
@@ -376,26 +433,67 @@ func (e *Executor) getBlockState(num uint64) *blockState {
 	return bs
 }
 
-// maybeStart begins execution of the next block in ledger order, if it is
-// validated and the previous block has finalized. Blocks execute one at a
-// time; the ordering pipeline runs ahead and later blocks buffer.
-func (e *Executor) maybeStart() {
-	next := e.cfg.Ledger.Height()
-	bs, ok := e.blocks[next]
-	if !ok || !bs.valid || bs.started || e.halted {
-		return
+// pump drives the pipeline forward until it reaches a fixed point:
+// completed blocks finalize in strict block order (freeing window slots),
+// then validated blocks are admitted into the freed slots. Admission can
+// complete a block immediately (empty blocks, or blocks whose buffered
+// remote COMMITs already carry every result), so the loop repeats until
+// neither step makes progress. Only the actor loop calls pump; it must
+// never be invoked from inside admit/finalize/commitTx.
+func (e *Executor) pump() {
+	if !e.admitInit {
+		e.nextAdmit = e.cfg.Ledger.Height()
+		e.admitPrev = e.cfg.Ledger.LastHash()
+		e.admitInit = true
 	}
-	if bs.msg.Block.Header.PrevHash != e.cfg.Ledger.LastHash() {
+	for !e.halted {
+		progress := false
+		for len(e.window) > 0 && e.window[0].complete && !e.halted {
+			bs := e.window[0]
+			e.window = e.window[1:]
+			e.finalize(bs)
+			progress = true
+		}
+		for !e.halted && len(e.window) < e.cfg.PipelineDepth {
+			bs, ok := e.blocks[e.nextAdmit]
+			if !ok || !bs.valid || bs.started {
+				break
+			}
+			e.admit(bs)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// admit moves one validated block into the execution window: it chains
+// the block's overlay onto the newest in-flight predecessor, seeds
+// Algorithm 1's indegrees from the per-block graph plus the cross-block
+// edges the stitcher derives, dispatches the ready transactions, and
+// replays COMMIT messages that raced ahead of the block.
+func (e *Executor) admit(bs *blockState) {
+	if bs.msg.Block.Header.PrevHash != e.admitPrev {
 		// A quorum of orderers signed a block that does not extend this
 		// node's chain: beyond the fault assumption. Halt rather than
 		// diverge.
-		e.cfg.Logf("executor %s: block %d does not extend local chain; halting", e.cfg.ID, next)
+		e.cfg.Logf("executor %s: block %d does not extend local chain; halting", e.cfg.ID, bs.num)
 		e.halted = true
 		return
 	}
 	bs.started = true
+	e.nextAdmit++
+	e.admitPrev = bs.msg.Block.Hash()
+	// Reads must see the newest uncommitted write of any earlier in-flight
+	// block, so the overlay chains through the window down to the store.
+	var base state.Reader = e.cfg.Store
+	if len(e.window) > 0 {
+		base = e.window[len(e.window)-1].overlay
+	}
+	e.window = append(e.window, bs)
 	n := len(bs.msg.Block.Txns)
-	bs.overlay = state.NewBlockOverlay(e.cfg.Store)
+	bs.overlay = state.NewBlockOverlay(base)
 	bs.isLocal = make([]bool, n)
 	bs.remaining = make([]int32, n)
 	bs.satisfied = make([]bool, n)
@@ -405,6 +503,7 @@ func (e *Executor) maybeStart() {
 	bs.final = make([]types.TxResult, n)
 	bs.votes = make([]map[types.Hash]*voteRec, n)
 	bs.voted = make([]map[types.NodeID]bool, n)
+	bs.crossSucc = make([][]crossRef, n)
 	for i, tx := range bs.msg.Block.Txns {
 		bs.isLocal[i] = e.IsAgentFor(tx.App)
 		if bs.isLocal[i] {
@@ -412,11 +511,33 @@ func (e *Executor) maybeStart() {
 		}
 		bs.remaining[i] = int32(len(bs.msg.Graph.Pred[i]))
 	}
+	// Stitch the block into the window: an edge per conflicting,
+	// not-yet-satisfied transaction of an earlier in-flight block. A
+	// predecessor already in Ce ∪ Xe imposes no wait — its writes are
+	// visible through the overlay chain. At depth 1 the window is empty
+	// at every admission, so no cross edge can exist and the barrier
+	// configuration skips the stitch bookkeeping wholesale.
+	if e.cfg.PipelineDepth > 1 {
+		sets := make([]depgraph.RWSet, n)
+		for i, tx := range bs.msg.Block.Txns {
+			sets[i] = depgraph.RWSet{Reads: tx.Op.Reads, Writes: tx.Op.Writes}
+		}
+		for j, preds := range e.stitcher.AddBlock(bs.num, sets) {
+			for _, ref := range preds {
+				pred, ok := e.blocks[ref.Block]
+				if !ok || !pred.started || pred.satisfied[ref.Index] {
+					continue
+				}
+				pred.crossSucc[ref.Index] = append(pred.crossSucc[ref.Index], crossRef{bs: bs, idx: j})
+				bs.remaining[j]++
+			}
+		}
+	}
 	if n == 0 {
-		e.finalize(bs)
+		bs.complete = true
 		return
 	}
-	// Algorithm 1 seed: transactions with no predecessors are ready.
+	// Algorithm 1 seed: transactions with no unsatisfied predecessors.
 	for i := 0; i < n; i++ {
 		if bs.remaining[i] == 0 && bs.isLocal[i] {
 			e.dispatch(bs, i)
@@ -478,6 +599,7 @@ func (e *Executor) handleExecDone(num uint64, idx int, result types.TxResult) {
 	if flush {
 		e.flushCommits(bs)
 	}
+	e.pump()
 }
 
 // flushCommits multicasts the staged results (the paper's "removes all
@@ -523,6 +645,7 @@ func (e *Executor) handleCommitMsg(from types.NodeID, m *types.CommitMsg) {
 		return
 	}
 	e.applyCommitMsg(bs, m)
+	e.pump()
 }
 
 func (e *Executor) applyCommitMsg(bs *blockState, m *types.CommitMsg) {
@@ -604,12 +727,16 @@ func (e *Executor) commitTx(bs *blockState, idx int, r types.TxResult) {
 	e.stats.committed.Add(1)
 	e.fireSatisfied(bs, idx)
 	if bs.commitCount == len(bs.msg.Block.Txns) {
-		e.finalize(bs)
+		// Completion and finalization are decoupled under pipelining: a
+		// later block can complete while an earlier one is still voting.
+		// The pump finalizes completed blocks in strict block order.
+		bs.complete = true
 	}
 }
 
-// fireSatisfied propagates "predecessor is in Ce ∪ Xe" to successors,
-// dispatching any local transaction whose predecessors are all satisfied.
+// fireSatisfied propagates "predecessor is in Ce ∪ Xe" to successors —
+// both within the block and across the in-flight window — dispatching any
+// local transaction whose predecessors are all satisfied.
 func (e *Executor) fireSatisfied(bs *blockState, idx int) {
 	if bs.satisfied[idx] {
 		return
@@ -621,10 +748,19 @@ func (e *Executor) fireSatisfied(bs *blockState, idx int) {
 			e.dispatch(bs, int(succ))
 		}
 	}
+	for _, cr := range bs.crossSucc[idx] {
+		cr.bs.remaining[cr.idx]--
+		if cr.bs.remaining[cr.idx] == 0 && cr.bs.isLocal[cr.idx] {
+			e.dispatch(cr.bs, cr.idx)
+		}
+	}
+	bs.crossSucc[idx] = nil
 }
 
-// finalize applies the block's net effect to the committed store, appends
-// the block to the ledger, and advances to the next block.
+// finalize applies the block's net effect to the committed store and
+// appends the block to the ledger. The pump calls it for the oldest
+// in-flight block only, so the ledger and the store advance in strict
+// block order regardless of the pipeline depth.
 //
 // This is the commit boundary of the state ownership contract: the write
 // sets reaching the overlay were freshly allocated (by contract execution
@@ -635,6 +771,12 @@ func (e *Executor) finalize(bs *blockState) {
 	// transactions committed via remote votes before local execution).
 	e.flushCommits(bs)
 	e.cfg.Store.Apply(bs.overlay.Final())
+	// The successor chained its overlay onto this block's; now that the
+	// writes are in the store, rebase it there so finalized overlays are
+	// released and read chains stay bounded by the window.
+	if len(e.window) > 0 {
+		e.window[0].overlay.Rebase(e.cfg.Store)
+	}
 	entry := ledger.Entry{Block: bs.msg.Block, Results: bs.final}
 	if err := e.cfg.Ledger.Append(entry); err != nil {
 		e.cfg.Logf("executor %s: ledger append failed for block %d: %v; halting", e.cfg.ID, bs.num, err)
@@ -642,6 +784,9 @@ func (e *Executor) finalize(bs *blockState) {
 		return
 	}
 	e.stats.blocks.Add(1)
+	if e.cfg.PipelineDepth > 1 {
+		e.stitcher.Remove(bs.num)
+	}
 	delete(e.blocks, bs.num)
 	delete(e.pendingCommits, bs.num)
 	if e.cfg.OnCommit != nil {
@@ -657,7 +802,6 @@ func (e *Executor) finalize(bs *blockState) {
 			})
 		}
 	}
-	e.maybeStart()
 }
 
 // String identifies the executor for logs.

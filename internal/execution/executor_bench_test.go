@@ -3,6 +3,7 @@ package execution
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"parblockchain/internal/contract"
 	"parblockchain/internal/cryptoutil"
@@ -29,27 +30,35 @@ type benchRig struct {
 
 func newBenchRig(b *testing.B, workers int) *benchRig {
 	b.Helper()
-	r := &benchRig{commits: make(chan struct{}, 16)}
+	return newBenchRigDepth(b, workers, 1, contract.NewKV())
+}
+
+// newBenchRigDepth builds a rig with an explicit pipeline depth and
+// contract, for the cross-block pipelining benchmarks.
+func newBenchRigDepth(b *testing.B, workers, depth int, app1 contract.Contract) *benchRig {
+	b.Helper()
+	r := &benchRig{commits: make(chan struct{}, 64)}
 	r.net = transport.NewInMemNetwork(transport.InMemConfig{})
 	execEP, _ := r.net.Endpoint("e1")
 	r.orderer, _ = r.net.Endpoint("o1")
 	registry := contract.NewRegistry()
-	registry.Install("app1", contract.NewKV())
+	registry.Install("app1", app1)
 	r.store = state.NewKVStore()
 	cfg := Config{
-		ID:          "e1",
-		Endpoint:    execEP,
-		Registry:    registry,
-		AgentsOf:    map[types.AppID][]types.NodeID{"app1": {"e1"}},
-		OrderQuorum: 1,
-		Executors:   []types.NodeID{"e1"},
-		Store:       r.store,
-		Ledger:      ledger.New(),
-		Workers:     workers,
-		Signer:      cryptoutil.NoopSigner{NodeID: "e1"},
-		Verifier:    cryptoutil.NoopVerifier{},
-		OnCommit:    func(*types.Block, []types.TxResult) { r.commits <- struct{}{} },
-		Logf:        func(string, ...any) {},
+		ID:            "e1",
+		Endpoint:      execEP,
+		Registry:      registry,
+		AgentsOf:      map[types.AppID][]types.NodeID{"app1": {"e1"}},
+		OrderQuorum:   1,
+		Executors:     []types.NodeID{"e1"},
+		Store:         r.store,
+		Ledger:        ledger.New(),
+		Workers:       workers,
+		PipelineDepth: depth,
+		Signer:        cryptoutil.NoopSigner{NodeID: "e1"},
+		Verifier:      cryptoutil.NoopVerifier{},
+		OnCommit:      func(*types.Block, []types.TxResult) { r.commits <- struct{}{} },
+		Logf:          func(string, ...any) {},
 	}
 	r.exec = New(cfg)
 	r.exec.Start()
@@ -80,6 +89,34 @@ func (r *benchRig) runBlock(b *testing.B, txns []*types.Transaction) {
 		b.Fatal(err)
 	}
 	<-r.commits
+}
+
+// runBlocks streams a batch of blocks into the executor without waiting
+// between them, then waits for all of them to finalize — the driving
+// pattern the cross-block pipeline exists for.
+func (r *benchRig) runBlocks(b *testing.B, blocks [][]*types.Transaction) {
+	for _, txns := range blocks {
+		block := types.NewBlock(r.next, r.prev, txns)
+		r.next++
+		r.prev = block.Hash()
+		sets := make([]depgraph.RWSet, len(txns))
+		for i, tx := range txns {
+			sets[i] = depgraph.RWSet{Reads: tx.Op.Reads, Writes: tx.Op.Writes}
+			sets[i].Normalize()
+		}
+		msg := &types.NewBlockMsg{
+			Block:   block,
+			Graph:   depgraph.Build(sets, depgraph.Standard),
+			Apps:    block.Apps(),
+			Orderer: "o1",
+		}
+		if err := r.orderer.Send("e1", msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for range blocks {
+		<-r.commits
+	}
 }
 
 func independentBlock(blockNum, n int) []*types.Transaction {
@@ -135,5 +172,62 @@ func BenchmarkExecutorChainedBlock(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.runBlock(b, chainedBlock(i, blockTxns))
+	}
+}
+
+// crossChainedBlocks builds blocks that chain across block boundaries:
+// transaction 0 of every block appends to a shared "link" key, so each
+// block carries a stitched dependency on its predecessor, while the rest
+// of the block is a serial append chain on a per-block key. Under the
+// per-block barrier the per-block chains execute one block at a time;
+// with a deeper pipeline the chains of consecutive in-flight blocks run
+// concurrently as soon as the link transaction's predecessor executes.
+func crossChainedBlocks(startBlock, numBlocks, n int) [][]*types.Transaction {
+	blocks := make([][]*types.Transaction, numBlocks)
+	for bn := range blocks {
+		abs := startBlock + bn
+		txns := make([]*types.Transaction, n)
+		for i := range txns {
+			op := contract.AppendOp(fmt.Sprintf("hot-%d", abs), "x")
+			if i == 0 {
+				op = contract.AppendOp("link", "x")
+			}
+			tx := &types.Transaction{
+				App: "app1", Client: "c1", ClientTS: uint64(abs*n + i + 1),
+				Op: op,
+			}
+			tx.ID = types.TxID(fmt.Sprintf("tx-%d-%d", abs, i))
+			txns[i] = tx
+		}
+		blocks[bn] = txns
+	}
+	return blocks
+}
+
+// BenchmarkExecutorPipelined measures cross-block pipelined throughput
+// on the chained-across-blocks workload at the barrier depth (1) and the
+// default window (4). One iteration = a burst of 8 linked blocks of 32
+// transactions each, under a 100us modeled contract service time
+// (sleep-based, like the paper-calibrated bench harness, so the modeled
+// cost parallelizes with goroutines rather than host cores).
+func BenchmarkExecutorPipelined(b *testing.B) {
+	const (
+		blockTxns     = 32
+		blocksPerIter = 8
+	)
+	cost := contract.CostModel{Cost: 100 * time.Microsecond}
+	app := contract.WithCost(contract.NewKV(), cost)
+	for _, depth := range []int{1, 4} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			r := newBenchRigDepth(b, 8, depth, app)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.runBlocks(b, crossChainedBlocks(i*blocksPerIter, blocksPerIter, blockTxns))
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*blocksPerIter*blockTxns)/secs, "tx/s")
+			}
+		})
 	}
 }

@@ -1,0 +1,215 @@
+package execution
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"parblockchain/internal/contract"
+	"parblockchain/internal/cryptoutil"
+	"parblockchain/internal/depgraph"
+	"parblockchain/internal/ledger"
+	"parblockchain/internal/state"
+	"parblockchain/internal/transport"
+	"parblockchain/internal/types"
+	"parblockchain/internal/workload"
+)
+
+// This file property-tests the pipelining contract: streaming blocks
+// through the executor with a window of in-flight blocks (cross-block
+// stitching + chained overlays) must leave the ledger and the state
+// bit-identical to the strict per-block barrier, which in turn equals
+// the sequential OX-style execution of the same blocks. The suite runs
+// under -race in CI with the rest of the package.
+
+// equivApps is the application set of the equivalence traces; every app
+// is agented on the single executor under test.
+var equivApps = []types.AppID{"app1", "app2", "app3"}
+
+// tracedBlocks derives a deterministic block sequence from the workload
+// generator: the same seed always cuts the same chain of blocks.
+func tracedBlocks(seed int64, contention float64, numBlocks, blockTxns int) ([][]*types.Transaction, []types.KV) {
+	gen := workload.New(workload.Config{
+		Apps:               equivApps,
+		Contention:         contention,
+		ColdAccountsPerApp: 512,
+		Seed:               seed,
+	})
+	trace := gen.Trace("c1", numBlocks*blockTxns)
+	for i, tx := range trace {
+		tx.ID = types.TxID(fmt.Sprintf("eq-%d", i))
+	}
+	blocks := make([][]*types.Transaction, numBlocks)
+	for b := range blocks {
+		blocks[b] = trace[b*blockTxns : (b+1)*blockTxns]
+	}
+	return blocks, gen.Genesis()
+}
+
+// refResults executes the blocks strictly sequentially — the OX baseline
+// — returning the final state hash and every block's per-transaction
+// results.
+func refResults(genesis []types.KV, blocks [][]*types.Transaction) (types.Hash, [][]types.TxResult) {
+	store := state.NewKVStore()
+	store.Apply(genesis)
+	registry := contract.NewRegistry()
+	for _, app := range equivApps {
+		registry.Install(app, contract.NewAccounting())
+	}
+	all := make([][]types.TxResult, len(blocks))
+	for b, txns := range blocks {
+		overlay := state.NewBlockOverlay(store)
+		results := make([]types.TxResult, len(txns))
+		for i, tx := range txns {
+			r := types.TxResult{TxID: tx.ID, Index: i}
+			writes, err := registry.Execute(tx.App, overlay, tx.Op)
+			if err != nil {
+				r.Aborted = true
+				r.AbortReason = err.Error()
+			} else {
+				r.Writes = writes
+				overlay.Record(i, writes)
+			}
+			results[i] = r
+		}
+		store.Apply(overlay.Final())
+		all[b] = results
+	}
+	return store.Hash(), all
+}
+
+// runPipelined streams the blocks through one executor at the given
+// pipeline depth and returns the final state hash, the ledger, and the
+// finalized results per block (in finalization order).
+func runPipelined(t *testing.T, depth int, genesis []types.KV,
+	blocks [][]*types.Transaction) (types.Hash, *ledger.Ledger, [][]types.TxResult) {
+	t.Helper()
+	net := transport.NewInMemNetwork(transport.InMemConfig{})
+	defer net.Close()
+	execEP, _ := net.Endpoint("e1")
+	orderer, _ := net.Endpoint("o1")
+	registry := contract.NewRegistry()
+	agents := make(map[types.AppID][]types.NodeID, len(equivApps))
+	for _, app := range equivApps {
+		registry.Install(app, contract.NewAccounting())
+		agents[app] = []types.NodeID{"e1"}
+	}
+	store := state.NewKVStore()
+	store.Apply(genesis)
+	led := ledger.New()
+	commits := make(chan []types.TxResult, len(blocks))
+	exec := New(Config{
+		ID:            "e1",
+		Endpoint:      execEP,
+		Registry:      registry,
+		AgentsOf:      agents,
+		OrderQuorum:   1,
+		Executors:     []types.NodeID{"e1"},
+		Store:         store,
+		Ledger:        led,
+		Workers:       6,
+		PipelineDepth: depth,
+		Signer:        cryptoutil.NoopSigner{NodeID: "e1"},
+		Verifier:      cryptoutil.NoopVerifier{},
+		OnCommit: func(_ *types.Block, results []types.TxResult) {
+			commits <- results
+		},
+		Logf: func(string, ...any) {},
+	})
+	exec.Start()
+	defer exec.Stop()
+
+	var prev types.Hash
+	for num, txns := range blocks {
+		block := types.NewBlock(uint64(num), prev, txns)
+		prev = block.Hash()
+		sets := make([]depgraph.RWSet, len(txns))
+		for i, tx := range txns {
+			sets[i] = depgraph.RWSet{
+				Reads:  append([]string(nil), tx.Op.Reads...),
+				Writes: append([]string(nil), tx.Op.Writes...),
+			}
+			sets[i].Normalize()
+		}
+		msg := &types.NewBlockMsg{
+			Block:   block,
+			Graph:   depgraph.Build(sets, depgraph.Standard),
+			Apps:    block.Apps(),
+			Orderer: "o1",
+		}
+		if err := orderer.Send("e1", msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finalized := make([][]types.TxResult, 0, len(blocks))
+	for range blocks {
+		select {
+		case results := <-commits:
+			finalized = append(finalized, results)
+		case <-time.After(30 * time.Second):
+			t.Fatalf("depth %d: block %d did not finalize", depth, len(finalized))
+		}
+	}
+	return store.Hash(), led, finalized
+}
+
+// TestPipelineEquivalence asserts, for randomized traces at several
+// contention levels and pipeline depths 1/2/4/8, that the pipelined
+// executor's final state hash, ledger chain, and per-transaction results
+// are bit-identical to the sequential OX baseline.
+func TestPipelineEquivalence(t *testing.T) {
+	const (
+		numBlocks = 6
+		blockTxns = 20
+	)
+	depths := []int{1, 2, 4, 8}
+	for _, contention := range []float64{0, 0.4, 1.0} {
+		contention := contention
+		t.Run(fmt.Sprintf("contention=%.0f%%", contention*100), func(t *testing.T) {
+			seed := int64(1000 + int(contention*100))
+			blocks, genesis := tracedBlocks(seed, contention, numBlocks, blockTxns)
+			wantHash, wantResults := refResults(genesis, blocks)
+
+			var wantChain types.Hash
+			for _, depth := range depths {
+				gotHash, led, finalized := runPipelined(t, depth, genesis, blocks)
+				if gotHash != wantHash {
+					t.Fatalf("depth %d: state hash diverged from sequential baseline", depth)
+				}
+				if led.Height() != numBlocks {
+					t.Fatalf("depth %d: ledger height = %d, want %d", depth, led.Height(), numBlocks)
+				}
+				if err := led.Verify(); err != nil {
+					t.Fatalf("depth %d: ledger chain invalid: %v", depth, err)
+				}
+				if wantChain.IsZero() {
+					wantChain = led.LastHash()
+				} else if led.LastHash() != wantChain {
+					t.Fatalf("depth %d: ledger chain diverged across depths", depth)
+				}
+				for b, results := range finalized {
+					if len(results) != len(wantResults[b]) {
+						t.Fatalf("depth %d block %d: %d results, want %d",
+							depth, b, len(results), len(wantResults[b]))
+					}
+					for i := range results {
+						if results[i].Digest() != wantResults[b][i].Digest() {
+							t.Fatalf("depth %d block %d tx %d: result diverged from sequential baseline (aborted=%v/%v)",
+								depth, b, i, results[i].Aborted, wantResults[b][i].Aborted)
+						}
+					}
+					// Cross-check the ledger entry carries the same results.
+					entry, err := led.Get(uint64(b))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range entry.Results {
+						if entry.Results[i].Digest() != wantResults[b][i].Digest() {
+							t.Fatalf("depth %d block %d tx %d: ledger result diverged", depth, b, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}

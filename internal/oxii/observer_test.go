@@ -1,0 +1,30 @@
+package oxii
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanicWith asserts fn panics with a message mentioning executors,
+// the documented behavior of the observer accessors on a Network that
+// was not built by New.
+func mustPanicWith(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s on an executor-less network must panic", what)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "no executors") {
+			t.Fatalf("%s panic = %v, want a descriptive no-executors message", what, r)
+		}
+	}()
+	fn()
+}
+
+func TestObserverAccessorsPanicWithoutExecutors(t *testing.T) {
+	nw := &Network{} // bypasses New, which rejects executor-less configs
+	mustPanicWith(t, "ObserverStore", func() { nw.ObserverStore() })
+	mustPanicWith(t, "ObserverLedger", func() { nw.ObserverLedger() })
+}

@@ -78,6 +78,13 @@ type Config struct {
 	EagerCommit bool
 	// ExecWorkers sizes each executor's worker pool (default 8).
 	ExecWorkers int
+	// PipelineDepth bounds each executor's window of in-flight blocks:
+	// blocks stream through execution while earlier blocks are still
+	// committing, with cross-block conflicts stitched into the dependency
+	// graph. 1 restores the paper's strict per-block barrier; zero means
+	// the executor default (4). Finalization order and final state are
+	// identical at every depth.
+	PipelineDepth int
 	// Crypto enables ed25519 signing and verification end to end. When
 	// false, no-op signers model the crypto-free ablation.
 	Crypto bool
@@ -189,22 +196,24 @@ func New(cfg Config) (*Network, error) {
 			}
 		}
 		exec := execution.New(execution.Config{
-			ID:          id,
-			Endpoint:    ep,
-			Registry:    registry,
-			AgentsOf:    cfg.Agents,
-			Tau:         cfg.Tau,
-			OrderQuorum: nw.orderQuorum(),
-			Executors:   cfg.Executors,
-			Store:       store,
-			Ledger:      led,
-			Workers:     cfg.ExecWorkers,
-			EagerCommit: cfg.EagerCommit,
-			Signer:      nw.signers[id],
-			Verifier:    verifier,
-			VerifySigs:  cfg.Crypto,
-			OnCommit:    hook,
-			Logf:        cfg.Logf,
+			ID:            id,
+			Endpoint:      ep,
+			Registry:      registry,
+			AgentsOf:      cfg.Agents,
+			Tau:           cfg.Tau,
+			OrderQuorum:   nw.orderQuorum(),
+			Executors:     cfg.Executors,
+			Store:         store,
+			Ledger:        led,
+			Workers:       cfg.ExecWorkers,
+			PipelineDepth: cfg.PipelineDepth,
+			GraphMode:     cfg.GraphMode,
+			EagerCommit:   cfg.EagerCommit,
+			Signer:        nw.signers[id],
+			Verifier:      verifier,
+			VerifySigs:    cfg.Crypto,
+			OnCommit:      hook,
+			Logf:          cfg.Logf,
 		})
 		nw.Executors = append(nw.Executors, exec)
 		nw.Stores = append(nw.Stores, store)
@@ -322,8 +331,24 @@ func (nw *Network) Client(id types.NodeID) (*Client, error) {
 // Router exposes the commit router (for tests that register directly).
 func (nw *Network) Router() *CommitRouter { return nw.router }
 
-// ObserverStore returns the observer executor's state store.
-func (nw *Network) ObserverStore() *state.KVStore { return nw.Stores[0] }
+// ObserverStore returns the observer executor's (Executors[0]) state
+// store. It panics with a descriptive message if the network holds no
+// executors — possible only for a Network value not built by New, which
+// rejects executor-less configurations.
+func (nw *Network) ObserverStore() *state.KVStore {
+	if len(nw.Stores) == 0 {
+		panic("oxii: network has no executors; ObserverStore needs Executors[0] (construct the Network with New)")
+	}
+	return nw.Stores[0]
+}
 
-// ObserverLedger returns the observer executor's ledger.
-func (nw *Network) ObserverLedger() *ledger.Ledger { return nw.Ledgers[0] }
+// ObserverLedger returns the observer executor's (Executors[0]) ledger.
+// It panics with a descriptive message if the network holds no executors
+// — possible only for a Network value not built by New, which rejects
+// executor-less configurations.
+func (nw *Network) ObserverLedger() *ledger.Ledger {
+	if len(nw.Ledgers) == 0 {
+		panic("oxii: network has no executors; ObserverLedger needs Executors[0] (construct the Network with New)")
+	}
+	return nw.Ledgers[0]
+}

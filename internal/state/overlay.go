@@ -28,11 +28,18 @@ import (
 // Record for zero synchronization on the hot read path, which contract
 // execution hits once per read of every transaction in the block.
 //
+// Pipelined execution chains overlays: an in-flight block's overlay uses
+// its predecessor block's overlay as base, so reads fall through to the
+// newest uncommitted write below. When the predecessor finalizes (its
+// writes now live in the committed store), Rebase swings the base to the
+// store so the chain stays bounded by the pipeline window instead of
+// growing with chain height.
+//
 // BlockOverlay follows the package-level zero-copy ownership contract:
 // recorded write sets are retained by reference and returned slices are
 // shared.
 type BlockOverlay struct {
-	base Reader
+	base atomic.Pointer[Reader]
 
 	mu   sync.Mutex // serializes writers
 	view atomic.Pointer[map[types.Key]overlayWrite]
@@ -43,16 +50,19 @@ type overlayWrite struct {
 	idx int
 }
 
-// NewBlockOverlay returns an empty overlay over the committed base state.
+// NewBlockOverlay returns an empty overlay over the given base state —
+// the committed store, or the preceding in-flight block's overlay when
+// execution is pipelined.
 func NewBlockOverlay(base Reader) *BlockOverlay {
-	o := &BlockOverlay{base: base}
+	o := &BlockOverlay{}
+	o.base.Store(&base)
 	empty := make(map[types.Key]overlayWrite)
 	o.view.Store(&empty)
 	return o
 }
 
 // Get returns the key's value as visible to transactions of this block:
-// the newest overlay write if present, otherwise the committed value.
+// the newest overlay write if present, otherwise the base's value.
 // Lock-free.
 func (o *BlockOverlay) Get(key types.Key) ([]byte, bool) {
 	if w, ok := (*o.view.Load())[key]; ok {
@@ -61,7 +71,16 @@ func (o *BlockOverlay) Get(key types.Key) ([]byte, bool) {
 		}
 		return w.val, true
 	}
-	return o.base.Get(key)
+	return (*o.base.Load()).Get(key)
+}
+
+// Rebase atomically replaces the fall-through base. The caller must
+// guarantee the new base already reflects everything the old base made
+// visible (the pipelined executor rebases a block onto the committed
+// store only after applying the finalized predecessor's writes to it),
+// so concurrent readers see equivalent values through either base.
+func (o *BlockOverlay) Rebase(base Reader) {
+	o.base.Store(&base)
 }
 
 // Record merges a transaction's writes into the overlay. Writes from a

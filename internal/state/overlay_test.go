@@ -1,0 +1,60 @@
+package state
+
+import (
+	"testing"
+
+	"parblockchain/internal/types"
+)
+
+// TestOverlayChainReadsNewestPredecessorWrite covers the pipelined
+// chaining contract: an overlay stacked on another overlay sees the
+// predecessor's uncommitted writes, its own writes win, and deletions
+// shadow through the chain.
+func TestOverlayChainReadsNewestPredecessorWrite(t *testing.T) {
+	store := NewKVStore()
+	store.Apply([]types.KV{{Key: "a", Val: []byte("base")}, {Key: "d", Val: []byte("x")}})
+	prev := NewBlockOverlay(store)
+	prev.Record(0, []types.KV{{Key: "a", Val: []byte("prev")}, {Key: "d", Val: nil}})
+	next := NewBlockOverlay(prev)
+	if v, ok := next.Get("a"); !ok || string(v) != "prev" {
+		t.Fatalf("chained read = %q,%v, want predecessor's uncommitted write", v, ok)
+	}
+	if _, ok := next.Get("d"); ok {
+		t.Fatal("predecessor's deletion must shadow the store through the chain")
+	}
+	next.Record(0, []types.KV{{Key: "a", Val: []byte("next")}})
+	if v, _ := next.Get("a"); string(v) != "next" {
+		t.Fatalf("own write must win, got %q", v)
+	}
+}
+
+// TestOverlayRebase covers the finalize handoff: once a predecessor's
+// writes are applied to the store, rebasing its successor onto the store
+// must not change what the successor reads — and must release the
+// predecessor overlay from the read chain.
+func TestOverlayRebase(t *testing.T) {
+	store := NewKVStore()
+	store.Apply([]types.KV{{Key: "a", Val: []byte("base")}})
+	prev := NewBlockOverlay(store)
+	prev.Record(0, []types.KV{{Key: "a", Val: []byte("v1")}, {Key: "gone", Val: nil}, {Key: "b", Val: []byte("w")}})
+	next := NewBlockOverlay(prev)
+
+	// Finalize prev exactly as the executor does, then rebase.
+	store.Apply(prev.Final())
+	next.Rebase(store)
+
+	if v, ok := next.Get("a"); !ok || string(v) != "v1" {
+		t.Fatalf("post-rebase read = %q,%v, want finalized value v1", v, ok)
+	}
+	if v, ok := next.Get("b"); !ok || string(v) != "w" {
+		t.Fatalf("post-rebase read = %q,%v, want finalized value w", v, ok)
+	}
+	if _, ok := next.Get("gone"); ok {
+		t.Fatal("finalized deletion resurfaced after rebase")
+	}
+	// New store writes are now visible directly (prev is out of the chain).
+	store.Put("fresh", []byte("f"))
+	if v, ok := next.Get("fresh"); !ok || string(v) != "f" {
+		t.Fatalf("rebase did not swing reads to the store: %q,%v", v, ok)
+	}
+}

@@ -162,9 +162,12 @@ func (r *ByteReader) Byte() byte {
 }
 
 // Blob reads a length-prefixed byte slice (copied out of the buffer).
+// The length is validated against the remaining input before conversion,
+// so a hostile 2^63-scale prefix fails cleanly instead of overflowing
+// int and panicking on the slice bounds.
 func (r *ByteReader) Blob() []byte {
 	n := r.U64()
-	if r.err != nil || r.off+int(n) > len(r.buf) {
+	if r.err != nil || n > uint64(r.Remaining()) {
 		r.fail()
 		return nil
 	}
@@ -173,10 +176,11 @@ func (r *ByteReader) Blob() []byte {
 	return out
 }
 
-// Str reads a length-prefixed string.
+// Str reads a length-prefixed string. Like Blob, the length is checked
+// against the remaining input before the int conversion.
 func (r *ByteReader) Str() string {
 	n := r.U64()
-	if r.err != nil || r.off+int(n) > len(r.buf) {
+	if r.err != nil || n > uint64(r.Remaining()) {
 		r.fail()
 		return ""
 	}
@@ -230,6 +234,16 @@ func (t *Transaction) MarshalTo(w *ByteWriter) {
 // UnmarshalTransaction decodes a transaction encoded by Marshal.
 func UnmarshalTransaction(b []byte) (*Transaction, error) {
 	r := NewByteReader(b)
+	t := decodeTransaction(r)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decoding transaction: %w", err)
+	}
+	return t, nil
+}
+
+// decodeTransaction consumes one transaction encoding from the reader;
+// enclosing decoders (blocks, endorsed transactions) embed it.
+func decodeTransaction(r *ByteReader) *Transaction {
 	t := &Transaction{
 		ID:       TxID(r.Str()),
 		App:      AppID(r.Str()),
@@ -242,10 +256,7 @@ func UnmarshalTransaction(b []byte) (*Transaction, error) {
 	t.Op.Writes = r.Strs()
 	t.SubmitUnixNano = r.I64()
 	t.Sig = r.Blob()
-	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("decoding transaction: %w", err)
-	}
-	return t, nil
+	return t
 }
 
 // ApproxSize estimates the transaction's wire size for bandwidth modeling.

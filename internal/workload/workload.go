@@ -102,6 +102,25 @@ func New(cfg Config) *Generator {
 	}
 }
 
+// Seed returns the deterministic RNG seed the generator was built with.
+// Two generators with equal configs (and hence equal seeds) produce
+// identical streams; tests use this to reproduce a failing trace from a
+// logged seed.
+func (g *Generator) Seed() int64 { return g.cfg.Seed }
+
+// Trace deterministically materializes the next n transactions of the
+// stream for one client, with ClientTS 1..n relative to the generator's
+// current position. A fresh generator with the same config yields the
+// same trace bit for bit, which is what the pipeline-equivalence and
+// race suites replay across executor configurations.
+func (g *Generator) Trace(client types.NodeID, n int) []*types.Transaction {
+	out := make([]*types.Transaction, n)
+	for i := range out {
+		out[i] = g.Next(client, uint64(i+1))
+	}
+	return out
+}
+
 // HotKey returns the i-th hot account key for an application (or the
 // shared cross-application key when CrossApp is set).
 func (g *Generator) HotKey(app types.AppID, i int) types.Key {

@@ -119,6 +119,36 @@ func TestDeterministicStream(t *testing.T) {
 	}
 }
 
+// TestSeedReproducesTrace is the regression contract behind the
+// equivalence and race suites: the same seed must yield the same trace,
+// a different seed must not, and the generator must report the seed it
+// was built with so a failing trace can be replayed.
+func TestSeedReproducesTrace(t *testing.T) {
+	cfg := Config{Apps: apps(3), Contention: 0.4, Seed: 1234}
+	a := New(cfg).Trace("c1", 300)
+	b := New(cfg).Trace("c1", 300)
+	for i := range a {
+		if a[i].Digest() != b[i].Digest() {
+			t.Fatalf("same seed diverged at tx %d", i)
+		}
+	}
+	if got := New(cfg).Seed(); got != 1234 {
+		t.Fatalf("Seed() = %d, want 1234", got)
+	}
+	cfg.Seed = 4321
+	c := New(cfg).Trace("c1", 300)
+	same := true
+	for i := range a {
+		if a[i].Digest() != c[i].Digest() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 300-tx trace")
+	}
+}
+
 func TestGenesisCoversGeneratedAccounts(t *testing.T) {
 	g := New(Config{Apps: apps(2), Contention: 0.5, ColdAccountsPerApp: 50, Seed: 7})
 	genesis := make(map[types.Key]bool)

@@ -1,7 +1,10 @@
 #!/bin/sh
 # bench_baseline.sh — run the state/codec/executor microbenchmarks and
 # record the numbers as JSON (BENCH_state.json by default), establishing
-# the perf trajectory future PRs are measured against.
+# the perf trajectory future PRs are measured against. The executor
+# package includes BenchmarkExecutorPipelined/depth={1,4}, the
+# cross-block pipelining vs per-block barrier comparison; the depth=4
+# row is expected to stay well ahead of depth=1 (>=1.3x tx/s).
 #
 # Usage: scripts/bench_baseline.sh [output.json]
 set -eu
