@@ -8,6 +8,8 @@
 //	parbench -fig 7a..7d    geo-placement sweeps (Figure 7)
 //	parbench -fig ablations A1 (eager vs lazy COMMIT), A2 (MVCC graph
 //	                        rule), A4 (consensus plug comparison)
+//	parbench -fig pipeline  executor pipeline-depth sweep
+//	parbench -fig stream    orderer->executor segment-streaming sweep
 //	parbench -fig all       everything
 //
 // Use -quick for a fast smoke pass with reduced sweep ranges, -dur and
@@ -41,11 +43,12 @@ type config struct {
 	execCost time.Duration
 	crypto   bool
 	pipeline int
+	segTxns  int
 }
 
 func run() error {
 	var cfg config
-	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations pipeline all")
+	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations pipeline stream all")
 	flag.BoolVar(&cfg.quick, "quick", false, "reduced sweep ranges for a fast pass")
 	flag.BoolVar(&cfg.csv, "csv", false, "emit raw CSV rows instead of tables")
 	flag.DurationVar(&cfg.duration, "dur", 2*time.Second, "steady-state measurement window per point")
@@ -53,6 +56,7 @@ func run() error {
 	flag.DurationVar(&cfg.execCost, "execcost", time.Millisecond, "modeled contract service time")
 	flag.BoolVar(&cfg.crypto, "crypto", false, "enable ed25519 signing end to end")
 	flag.IntVar(&cfg.pipeline, "pipeline", 0, "executor pipeline depth for all OXII runs (1 = per-block barrier, 0 = default)")
+	flag.IntVar(&cfg.segTxns, "segtxns", 0, "orderer segment size for all OXII runs (0 = monolithic NEWBLOCK)")
 	flag.Parse()
 
 	figs := map[string]func(config) error{
@@ -67,8 +71,9 @@ func run() error {
 		"7d":        func(c config) error { return fig7(c, bench.GroupPassive) },
 		"ablations": ablations,
 		"pipeline":  figPipeline,
+		"stream":    figStream,
 	}
-	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations", "pipeline"}
+	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations", "pipeline", "stream"}
 
 	switch cfg.fig {
 	case "all":
@@ -97,6 +102,7 @@ func (c config) base() bench.Options {
 		ExecCost:      c.execCost,
 		Crypto:        c.crypto,
 		PipelineDepth: c.pipeline,
+		SegmentTxns:   c.segTxns,
 	}
 }
 
@@ -193,6 +199,31 @@ func figPipeline(c config) error {
 		rows = append(rows, namedSeries{name: fmt.Sprintf("depth=%d", s.Depth), points: s.Points})
 	}
 	printSeries(c, "Pipeline: throughput vs executor pipeline depth @ 20% contention", rows)
+	return nil
+}
+
+// figStream sweeps the orderer segment size at moderate contention:
+// monolithic NEWBLOCK vs segment streaming, the orderer->executor
+// streaming experiment.
+func figStream(c config) error {
+	segSizes := []int{0, 16, 64}
+	levels := c.clientLevels()
+	if c.quick {
+		segSizes = []int{0, 16}
+	}
+	series, err := bench.StreamSweep(c.base(), 0.2, segSizes, levels, os.Stderr)
+	if err != nil {
+		return err
+	}
+	rows := make([]namedSeries, 0, len(series))
+	for _, s := range series {
+		name := "monolithic"
+		if s.SegmentTxns > 0 {
+			name = fmt.Sprintf("seg=%d", s.SegmentTxns)
+		}
+		rows = append(rows, namedSeries{name: name, points: s.Points})
+	}
+	printSeries(c, "Stream: orderer->executor segment streaming @ 20% contention", rows)
 	return nil
 }
 

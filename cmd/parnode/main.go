@@ -158,6 +158,7 @@ func runOrderer(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 		MaxBlockTxns:     cfg.BlockTxns,
 		MaxBlockInterval: cfg.BlockInterval(),
 		BuildGraph:       true,
+		SegmentTxns:      cfg.SegmentTxns,
 	})
 	node.Start()
 	return node, nil

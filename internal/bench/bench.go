@@ -112,6 +112,11 @@ type Options struct {
 	// blocks (cross-block pipelined execution). 1 is the paper's strict
 	// per-block barrier; 0 uses the executor default (4).
 	PipelineDepth int
+	// SegmentTxns streams OXII blocks from orderers to executors in
+	// signed segments of this many transactions (orderer-side graph
+	// generation and dissemination move off the cut path). 0 keeps the
+	// monolithic NEWBLOCK.
+	SegmentTxns int
 	// Seed fixes the workload stream.
 	Seed int64
 }
@@ -311,6 +316,7 @@ func Run(opts Options) (Result, error) {
 			EagerCommit:      opts.EagerCommit,
 			ExecWorkers:      opts.ExecWorkers,
 			PipelineDepth:    opts.PipelineDepth,
+			SegmentTxns:      opts.SegmentTxns,
 			Crypto:           opts.Crypto,
 			Genesis:          genesis,
 			Net:              net,

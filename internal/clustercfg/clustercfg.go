@@ -38,6 +38,11 @@ type Config struct {
 	// (cross-block pipelined execution). 1 restores the per-block
 	// barrier; 0 uses the executor default.
 	PipelineDepth int `json:"pipelineDepth,omitempty"`
+	// SegmentTxns makes orderers stream blocks to executors in signed
+	// segments of this many transactions (plus a closing seal) instead of
+	// one monolithic NEWBLOCK per block. 0 keeps the monolithic wire
+	// format. Every orderer of a cluster must use the same value.
+	SegmentTxns int `json:"segmentTxns,omitempty"`
 	// Crypto enables deterministic demo keys and full verification.
 	Crypto bool `json:"crypto,omitempty"`
 	// Genesis seeds each executor's store with account balances.
@@ -75,6 +80,9 @@ func Load(path string) (*Config, error) {
 	}
 	if cfg.Consensus == "" {
 		cfg.Consensus = "kafka"
+	}
+	if cfg.SegmentTxns < 0 {
+		return nil, fmt.Errorf("clustercfg: %s: segmentTxns must be >= 0", path)
 	}
 	return &cfg, nil
 }

@@ -107,96 +107,16 @@ var ErrInvalid = errors.New("depgraph: invalid graph")
 // readers since that write, emitting only edges whose transitive closure
 // equals the full pairwise conflict relation. This is O(sum of access-set
 // sizes) per block rather than O(n^2) pairwise scans.
+//
+// Build is the batch form of the incremental Appender (append.go) and is
+// implemented on top of it, so a graph streamed out one transaction at a
+// time is identical, edge for edge, to the graph built at the block cut.
 func Build(sets []RWSet, mode Mode) *Graph {
-	n := len(sets)
-	g := &Graph{
-		N:    n,
-		Succ: make([][]int32, n),
-		Pred: make([][]int32, n),
+	a := NewAppender(mode)
+	for _, s := range sets {
+		a.Append(s)
 	}
-	// Per-key index. Standard mode tracks the last writer and the readers
-	// since that write, because write-write edges chain writers and make
-	// the last writer a transitive stand-in for its predecessors.
-	// MultiVersion mode tracks every writer: writers are mutually
-	// unordered there, so a reader depends on each of them directly.
-	type keyState struct {
-		lastWriter int32 // -1 when the key has not been written
-		readers    []int32
-		writers    []int32 // MultiVersion only
-	}
-	idx := make(map[string]*keyState, n)
-	state := func(k string) *keyState {
-		st, ok := idx[k]
-		if !ok {
-			st = &keyState{lastWriter: -1}
-			idx[k] = st
-		}
-		return st
-	}
-	// edges collects i->j pairs; deduped per j via a scratch set.
-	scratch := make(map[int32]bool, 8)
-	for j := 0; j < n; j++ {
-		clear(scratch)
-		if mode == Standard {
-			for _, k := range sets[j].Reads {
-				if st := state(k); st.lastWriter >= 0 {
-					scratch[st.lastWriter] = true
-				}
-			}
-			for _, k := range sets[j].Writes {
-				st := state(k)
-				if st.lastWriter >= 0 {
-					scratch[st.lastWriter] = true
-				}
-				for _, r := range st.readers {
-					scratch[r] = true
-				}
-			}
-		} else {
-			// MultiVersion: only earlier-write -> later-read is ordered,
-			// and every earlier writer of a read key is a predecessor.
-			for _, k := range sets[j].Reads {
-				for _, w := range state(k).writers {
-					scratch[w] = true
-				}
-			}
-		}
-		delete(scratch, int32(j)) // a txn never depends on itself
-		if len(scratch) > 0 {
-			preds := make([]int32, 0, len(scratch))
-			for p := range scratch {
-				preds = append(preds, p)
-			}
-			sort.Slice(preds, func(a, b int) bool { return preds[a] < preds[b] })
-			g.Pred[j] = preds
-			for _, p := range preds {
-				g.Succ[p] = append(g.Succ[p], int32(j))
-			}
-		}
-		// Update the index with j's own accesses. In Standard mode writes
-		// clear the reader list (subsequent conflicts with those readers
-		// are implied transitively through j); in MultiVersion mode the
-		// writer list only grows.
-		if mode == Standard {
-			for _, k := range sets[j].Writes {
-				st := state(k)
-				st.lastWriter = int32(j)
-				st.readers = st.readers[:0]
-			}
-			for _, k := range sets[j].Reads {
-				st := state(k)
-				if st.lastWriter != int32(j) { // read-own-write adds nothing
-					st.readers = append(st.readers, int32(j))
-				}
-			}
-		} else {
-			for _, k := range sets[j].Writes {
-				st := state(k)
-				st.writers = append(st.writers, int32(j))
-			}
-		}
-	}
-	return g
+	return a.Finish()
 }
 
 // BuildPairwise constructs the dependency graph by comparing every pair of

@@ -28,11 +28,31 @@
 // strictly in block order, so the ledger and the incremental state hash
 // are bit-identical to the barrier version at any depth; PipelineDepth=1
 // restores the barrier exactly.
+//
+// # Segment streaming
+//
+// With streaming orderers (ordering.Config.SegmentTxns > 0) a block
+// arrives not as one monolithic NEWBLOCK but as a sequence of signed
+// BlockSegmentMsg frames — transactions plus their incremental dependency
+// edges, shipped while consensus is still delivering the rest of the
+// block — closed by a BlockSealMsg carrying the header and a cumulative
+// digest over the segments. The executor admits segments into the
+// pipeline window as they arrive and speculatively executes ready
+// transactions against the in-flight overlay chain; every external or
+// durable effect — multicasting our own COMMIT votes, counting remote
+// ones, finalization, ledger append — waits until OrderQuorum matching
+// seals validate exactly the streamed content. The assembled block and graph are bit-identical to
+// the monolithic path's (depgraph.Appender == depgraph.Build, proven by
+// property test), so ledger and state hash do not depend on how the block
+// traveled. Blocks admitted from segments gate the admission of their
+// successor until their seal validates, which keeps the cross-block
+// stitcher's (block, index) order intact.
 package execution
 
 import (
 	"fmt"
 	"log"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -68,7 +88,8 @@ type Config struct {
 	// tau(A); missing entries default to 1.
 	Tau map[types.AppID]int
 	// OrderQuorum is the number of matching NEWBLOCK messages from
-	// distinct orderers needed to act on a block (f+1 under PBFT).
+	// distinct orderers needed to act on a block (f+1 under PBFT). The
+	// same quorum of matching BlockSealMsg validates a streamed block.
 	OrderQuorum int
 	// Executors lists all executor nodes: the COMMIT multicast targets.
 	Executors []types.NodeID
@@ -92,7 +113,7 @@ type Config struct {
 	EagerCommit bool
 	// Signer signs outbound COMMIT messages.
 	Signer cryptoutil.Signer
-	// Verifier checks NEWBLOCK and COMMIT signatures.
+	// Verifier checks NEWBLOCK, SEGMENT, SEAL, and COMMIT signatures.
 	Verifier cryptoutil.Verifier
 	// VerifySigs enables signature verification on inbound messages.
 	VerifySigs bool
@@ -129,6 +150,49 @@ func (c Config) withDefaults() Config {
 // PipelineDepth zero.
 const DefaultPipelineDepth = 4
 
+// The buffering horizon: NEWBLOCK, SEGMENT, SEAL, and COMMIT messages
+// for blocks at or beyond height + max(horizonBlocks*PipelineDepth,
+// minHorizon) are dropped instead of buffered, so a flood of far-future
+// messages cannot grow the per-block maps without bound. The horizon
+// scales with the pipeline window but keeps a generous absolute floor:
+// honest orderers legitimately cut well ahead of a lagging executor
+// (nothing in the protocol retransmits a dropped NEWBLOCK, so dropping
+// honest traffic would stall the node forever), and their run-ahead is
+// bounded by client flow control at a few hundred blocks, far under the
+// floor.
+const (
+	horizonBlocks = 4
+	minHorizon    = 512
+)
+
+// Per-block buffering caps, bounding the dimensions the block-number
+// horizon cannot: a single orderer streaming one block forever, or a
+// peer flooding COMMITs for one in-horizon block. Honest traffic sits
+// orders of magnitude below both (blocks are cut at MaxBlockTxns /
+// MaxBlockBytes, and an agent sends at most a handful of COMMIT flushes
+// per block), so hitting a cap marks the sender's stream broken or sheds
+// the message rather than buffering without bound.
+const (
+	maxStreamTxns = 1 << 17 // transactions buffered per (block, orderer) stream
+	// maxOrdererStreamBytes bounds the total segment payload buffered
+	// per sending orderer across every in-horizon block, so a faulty
+	// orderer streaming many blocks cannot multiply the per-stream bound
+	// by the horizon width. Per-orderer (not global) so one hostile
+	// orderer exhausts only its own budget, never an honest peer's.
+	// Honest steady state is window-depth blocks of at most MaxBlockBytes
+	// (~2 MB) each — two orders of magnitude below the budget.
+	maxOrdererStreamBytes = 64 << 20
+)
+
+// maxCommitBytesPerSender bounds the COMMIT payload buffered per sending
+// executor across every not-yet-applied block. Per-sender and in bytes —
+// not a per-block message count — because honest volume varies enormously
+// (EagerCommit sends one message per transaction), while an honest
+// sender's outstanding buffered results are bounded by its own pipeline
+// window; a flood exhausts only the flooder's budget. Messages beyond the
+// budget are dropped and counted (a var so tests can lower it).
+var maxCommitBytesPerSender = 128 << 20
+
 // Stats exposes executor counters for experiments.
 type Stats struct {
 	// TxExecuted counts transactions executed locally.
@@ -142,6 +206,15 @@ type Stats struct {
 	CommitMsgsSent uint64
 	// BlocksCommitted counts finalized blocks.
 	BlocksCommitted uint64
+	// SegmentsAdmitted counts block segments admitted into the window
+	// before their seal arrived.
+	SegmentsAdmitted uint64
+	// MsgsDroppedFuture counts messages dropped by the buffering bounds:
+	// block number at or beyond the horizon (height +
+	// max(4*PipelineDepth, 512); the floor exists because nothing
+	// retransmits a dropped announcement), or a per-block COMMIT buffer
+	// at capacity.
+	MsgsDroppedFuture uint64
 }
 
 type eventKind int
@@ -160,9 +233,14 @@ type event struct {
 	result types.TxResult
 }
 
+// workItem is one ready transaction handed to the worker pool. It carries
+// the transaction pointer itself: the actor may still be appending to the
+// block's transaction slice (segment streaming), so workers must not read
+// bs.txns.
 type workItem struct {
 	bs  *blockState
 	idx int
+	tx  *types.Transaction
 }
 
 // Executor is one executor node.
@@ -179,27 +257,56 @@ type Executor struct {
 	// Pipeline state owned by the actor loop: the admission cursor, the
 	// hash chain over admitted blocks (which may run ahead of the
 	// ledger), the in-flight window in block order, and the cross-block
-	// dependency stitcher.
+	// dependency stitcher. While the newest admitted block is a streamed
+	// block whose seal has not validated yet, admitPrev still names its
+	// predecessor's hash — no further admission happens until the seal
+	// supplies the block's own header, which is when admitPrev advances.
 	admitInit bool
 	nextAdmit uint64
 	admitPrev types.Hash
 	window    []*blockState
 	stitcher  *depgraph.Stitcher
 
+	// streamBytes and commitBytes track, per sender, the segment and
+	// COMMIT payload currently buffered across all blocks (the
+	// maxOrdererStreamBytes / maxCommitBytesPerSender budgets); owned by
+	// the actor loop.
+	streamBytes map[types.NodeID]int
+	commitBytes map[types.NodeID]int
+
 	stats struct {
-		executed  atomic.Uint64
-		committed atomic.Uint64
-		aborted   atomic.Uint64
-		commitMsg atomic.Uint64
-		blocks    atomic.Uint64
+		executed      atomic.Uint64
+		committed     atomic.Uint64
+		aborted       atomic.Uint64
+		commitMsg     atomic.Uint64
+		blocks        atomic.Uint64
+		segsAdmitted  atomic.Uint64
+		droppedFuture atomic.Uint64
 	}
 
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 }
 
+// segStream accumulates one orderer's segment stream for one block.
+// Once the stream is feeding an admitted block's execution directly, the
+// txns/preds buffers stop growing (the content lives in the blockState);
+// next keeps tracking the expected position so ordering is still checked.
+type segStream struct {
+	txns   []*types.Transaction
+	preds  [][]int32
+	segs   int        // segments received so far
+	next   int        // block index the next segment must start at
+	bytes  int        // approximate buffered payload size
+	cum    types.Hash // running cumulative digest
+	broken bool       // gap, malformed segment, or cap exceeded: unusable
+}
+
 // blockState tracks one in-flight block through validation, execution,
-// and commitment.
+// and commitment. A block's content arrives either as one monolithic
+// NEWBLOCK (txns/pred/succ installed wholesale at admission) or as a
+// stream of segments (arrays grow as segments are admitted; msg is
+// synthesized when the seal validates).
 type blockState struct {
 	num uint64
 
@@ -210,14 +317,33 @@ type blockState struct {
 	valid        bool
 	msg          *types.NewBlockMsg
 
-	// Execution (set at start).
+	// contentDone reports the block's full transaction list and graph are
+	// known and trusted (monolithic quorum, or streamed content matching
+	// a seal quorum). Only a contentDone block lets its successor into
+	// the window, which keeps stitcher order intact.
+	contentDone bool
+
+	// Streaming intake: per-orderer segment accumulation and seal votes.
+	streams   map[types.NodeID]*segStream
+	specFrom  types.NodeID // orderer whose stream feeds speculative admission
+	sealVotes map[types.NodeID]types.Hash
+	sealCount map[types.Hash]int
+	seals     map[types.Hash]*types.BlockSealMsg
+	sealed    *types.BlockSealMsg // quorum-validated seal awaiting content
+
+	// Execution state (Algorithm 1), indexed by block position. For
+	// streamed blocks these grow segment by segment.
 	started    bool
 	overlay    *state.BlockOverlay
+	txns       []*types.Transaction
+	pred       [][]int32 // per-block graph predecessors (sorted)
+	succ       [][]int32 // per-block graph successors (mirror of pred)
 	isLocal    []bool
 	remaining  []int32 // unsatisfied predecessor count
 	satisfied  []bool  // predecessor event fired (Ce ∪ Xe membership)
 	inflight   []bool
-	execLocal  []bool // Xe membership
+	execLocal  []bool     // Xe membership
+	prevAdmit  types.Hash // admitPrev at admission; streamed blocks check their seal against it
 	localTotal int
 	localDone  int
 
@@ -235,6 +361,26 @@ type blockState struct {
 
 	// Algorithm 2 buffer (this node's Xe awaiting multicast).
 	outBuf []types.TxResult
+}
+
+// growTo reserves capacity for n transactions in every per-transaction
+// array, so an admission that knows the block's full size (monolithic
+// NEWBLOCK, proposal adoption) pays one allocation per array instead of
+// repeated append growth. Streamed admissions grow organically.
+func (bs *blockState) growTo(n int) {
+	bs.txns = slices.Grow(bs.txns, n-len(bs.txns))
+	bs.pred = slices.Grow(bs.pred, n-len(bs.pred))
+	bs.succ = slices.Grow(bs.succ, n-len(bs.succ))
+	bs.isLocal = slices.Grow(bs.isLocal, n-len(bs.isLocal))
+	bs.remaining = slices.Grow(bs.remaining, n-len(bs.remaining))
+	bs.satisfied = slices.Grow(bs.satisfied, n-len(bs.satisfied))
+	bs.inflight = slices.Grow(bs.inflight, n-len(bs.inflight))
+	bs.execLocal = slices.Grow(bs.execLocal, n-len(bs.execLocal))
+	bs.committed = slices.Grow(bs.committed, n-len(bs.committed))
+	bs.final = slices.Grow(bs.final, n-len(bs.final))
+	bs.votes = slices.Grow(bs.votes, n-len(bs.votes))
+	bs.voted = slices.Grow(bs.voted, n-len(bs.voted))
+	bs.crossSucc = slices.Grow(bs.crossSucc, n-len(bs.crossSucc))
 }
 
 // crossRef addresses one transaction of a later in-flight block.
@@ -258,6 +404,8 @@ func New(cfg Config) *Executor {
 		blocks:         make(map[uint64]*blockState),
 		pendingCommits: make(map[uint64][]*types.CommitMsg),
 		stitcher:       depgraph.NewStitcher(cfg.GraphMode),
+		streamBytes:    make(map[types.NodeID]int),
+		commitBytes:    make(map[types.NodeID]int),
 	}
 }
 
@@ -284,11 +432,13 @@ func (e *Executor) Stop() {
 // Stats returns a snapshot of the executor's counters.
 func (e *Executor) Stats() Stats {
 	return Stats{
-		TxExecuted:      e.stats.executed.Load(),
-		TxCommitted:     e.stats.committed.Load(),
-		TxAborted:       e.stats.aborted.Load(),
-		CommitMsgsSent:  e.stats.commitMsg.Load(),
-		BlocksCommitted: e.stats.blocks.Load(),
+		TxExecuted:        e.stats.executed.Load(),
+		TxCommitted:       e.stats.committed.Load(),
+		TxAborted:         e.stats.aborted.Load(),
+		CommitMsgsSent:    e.stats.commitMsg.Load(),
+		BlocksCommitted:   e.stats.blocks.Load(),
+		SegmentsAdmitted:  e.stats.segsAdmitted.Load(),
+		MsgsDroppedFuture: e.stats.droppedFuture.Load(),
 	}
 }
 
@@ -316,7 +466,7 @@ func (e *Executor) worker() {
 		if !ok {
 			return
 		}
-		tx := item.bs.msg.Block.Txns[item.idx]
+		tx := item.tx
 		result := types.TxResult{TxID: tx.ID, Index: item.idx}
 		writes, err := e.cfg.Registry.Execute(tx.App, item.bs.overlay, tx.Op)
 		if err != nil {
@@ -356,12 +506,37 @@ func (e *Executor) handleMsg(msg transport.Message) {
 	switch m := msg.Payload.(type) {
 	case *types.NewBlockMsg:
 		e.handleNewBlock(msg.From, m)
+	case *types.BlockSegmentMsg:
+		e.handleSegment(msg.From, m)
+	case *types.BlockSealMsg:
+		e.handleSeal(msg.From, m)
 	case *types.CommitMsg:
 		e.handleCommitMsg(msg.From, m)
 	default:
-		// Unknown payloads are ignored; executors only speak NEWBLOCK
-		// and COMMIT.
+		// Unknown payloads are ignored; executors only speak NEWBLOCK,
+		// SEGMENT, SEAL, and COMMIT.
 	}
+}
+
+// haltf stops the executor's protocol progress after a fault-model
+// violation (a quorum endorsed content that contradicts the local chain)
+// or an unrecoverable speculation failure (the pinned segment stream of
+// an already-executing block broke or diverged from the sealed content —
+// executed state cannot be rolled back; ROADMAP lists speculative
+// rollback/re-pinning as a follow-on).
+func (e *Executor) haltf(format string, args ...any) {
+	e.cfg.Logf("executor %s: halting: %s", e.cfg.ID, fmt.Sprintf(format, args...))
+	e.halted = true
+}
+
+// beyondHorizon reports whether a block number is too far in the future
+// to buffer state for (the bounded-buffering horizon).
+func (e *Executor) beyondHorizon(num uint64) bool {
+	h := horizonBlocks * e.cfg.PipelineDepth
+	if h < minHorizon {
+		h = minHorizon
+	}
+	return num >= e.cfg.Ledger.Height()+uint64(h)
 }
 
 // handleNewBlock records one orderer's block announcement and validates
@@ -374,12 +549,9 @@ func (e *Executor) handleNewBlock(from types.NodeID, m *types.NewBlockMsg) {
 	if num < e.cfg.Ledger.Height() {
 		return // already committed
 	}
-	if e.cfg.VerifySigs {
-		digest := m.Digest()
-		if err := e.cfg.Verifier.Verify(string(from), digest[:], m.Sig); err != nil {
-			e.cfg.Logf("executor %s: bad NEWBLOCK signature from %s: %v", e.cfg.ID, from, err)
-			return
-		}
+	if e.beyondHorizon(num) {
+		e.stats.droppedFuture.Add(1)
+		return
 	}
 	bs := e.getBlockState(num)
 	if bs.valid {
@@ -388,7 +560,15 @@ func (e *Executor) handleNewBlock(from types.NodeID, m *types.NewBlockMsg) {
 	if _, dup := bs.ordererVotes[from]; dup {
 		return
 	}
+	// Digest (a hash over every transaction) only after the cheap
+	// early-outs: redundant post-quorum announcements cost nothing.
 	digest := m.Digest()
+	if e.cfg.VerifySigs {
+		if err := e.cfg.Verifier.Verify(string(from), digest[:], m.Sig); err != nil {
+			e.cfg.Logf("executor %s: bad NEWBLOCK signature from %s: %v", e.cfg.ID, from, err)
+			return
+		}
+	}
 	bs.ordererVotes[from] = digest
 	bs.digestCount[digest]++
 	if _, ok := bs.proposals[digest]; !ok {
@@ -400,9 +580,17 @@ func (e *Executor) handleNewBlock(from types.NodeID, m *types.NewBlockMsg) {
 			e.cfg.Logf("executor %s: block %d failed structural validation", e.cfg.ID, num)
 			return
 		}
-		bs.valid = true
-		bs.msg = proposal
 		bs.proposals = nil
+		if bs.started {
+			// The block is mid-stream in the window; the monolithic quorum
+			// must describe the same content.
+			e.adoptProposal(bs, proposal)
+		} else {
+			bs.valid = true
+			bs.contentDone = true
+			bs.msg = proposal
+			e.releaseStreams(bs)
+		}
 		e.pump()
 	}
 }
@@ -417,6 +605,378 @@ func (e *Executor) validateBlock(m *types.NewBlockMsg) bool {
 		return false
 	}
 	return m.Graph.Validate() == nil
+}
+
+// handleSegment accepts one streamed segment into the sender's per-block
+// stream and, when the sender is the block's pinned speculative source
+// and the block is already in the window, extends execution immediately.
+func (e *Executor) handleSegment(from types.NodeID, m *types.BlockSegmentMsg) {
+	if m.Orderer != from {
+		return
+	}
+	if m.BlockNum < e.cfg.Ledger.Height() {
+		return // already committed
+	}
+	if e.beyondHorizon(m.BlockNum) {
+		e.stats.droppedFuture.Add(1)
+		return
+	}
+	bs := e.getBlockState(m.BlockNum)
+	if bs.contentDone {
+		return // content already assembled and trusted
+	}
+	if bs.streams == nil {
+		bs.streams = make(map[types.NodeID]*segStream, 2)
+	}
+	st, ok := bs.streams[from]
+	if !ok {
+		st = &segStream{}
+		bs.streams[from] = st
+	}
+	if st.broken {
+		return
+	}
+	segBytes := 0
+	for _, tx := range m.Txns {
+		if tx != nil {
+			segBytes += tx.ApproxSize()
+		}
+	}
+	if !validSegment(m, st) ||
+		st.next+len(m.Txns) > maxStreamTxns ||
+		e.streamBytes[from]+segBytes > maxOrdererStreamBytes {
+		// Breaking an unverified stream is safe: the transport pins the
+		// sender identity, so this is the sender's own garbage.
+		e.breakStream(bs, from, st, m.Seg)
+		return
+	}
+	// Digest (a hash over every transaction) only after the cheap
+	// structural checks weeded out everything this node will not use.
+	digest := m.Digest()
+	if e.cfg.VerifySigs {
+		if err := e.cfg.Verifier.Verify(string(from), digest[:], m.Sig); err != nil {
+			e.cfg.Logf("executor %s: bad SEGMENT signature from %s: %v", e.cfg.ID, from, err)
+			return
+		}
+	}
+	st.cum = types.ChainSegmentDigest(st.cum, digest)
+	st.segs++
+	st.next += len(m.Txns)
+	if bs.specFrom == "" {
+		bs.specFrom = from
+	}
+	// The orderer's budget is charged either way: the content is retained
+	// (in the stream buffer, or in the blockState it feeds) until the
+	// block's seal validates, so un-sealed speculative content from one
+	// orderer stays bounded in bytes, not just transaction count.
+	st.bytes += segBytes
+	e.streamBytes[from] += segBytes
+	if bs.started && bs.specFrom == from {
+		// Feeding execution directly: the content lives in the
+		// blockState, so no second copy is buffered.
+		e.stats.segsAdmitted.Add(1)
+		e.extendSegment(bs, m.Txns, m.Preds)
+	} else {
+		st.txns = append(st.txns, m.Txns...)
+		st.preds = append(st.preds, m.Preds...)
+	}
+	if bs.sealed != nil {
+		e.maybeInstallSeal(bs)
+	}
+	e.pump()
+}
+
+// breakStream marks one orderer's stream unusable (gap, malformed
+// segment, or budget exceeded). Before admission the pin simply moves to
+// another orderer's healthy stream. After admission the block keeps
+// waiting: it can still complete via adoptStream from another orderer's
+// complete stream (which re-verifies the executed prefix), so one faulty
+// orderer costs at most its own stream, never a halt by itself.
+func (e *Executor) breakStream(bs *blockState, from types.NodeID, st *segStream, seg int) {
+	e.cfg.Logf("executor %s: segment stream from %s for block %d broke at segment %d",
+		e.cfg.ID, from, bs.num, seg)
+	st.broken = true
+	st.txns = nil
+	st.preds = nil
+	e.creditStreamBytes(from, st)
+	if bs.specFrom != from || bs.started {
+		return
+	}
+	bs.specFrom = ""
+	for id, other := range bs.streams {
+		if !other.broken && other.segs > 0 {
+			bs.specFrom = id
+			break
+		}
+	}
+}
+
+// creditStreamBytes returns a stream's buffered bytes to its orderer's
+// budget.
+func (e *Executor) creditStreamBytes(from types.NodeID, st *segStream) {
+	if st.bytes == 0 {
+		return
+	}
+	e.streamBytes[from] -= st.bytes
+	if e.streamBytes[from] <= 0 {
+		delete(e.streamBytes, from)
+	}
+	st.bytes = 0
+}
+
+// releaseStreams discards a block's buffered segment streams (its content
+// is installed, or the block state is being torn down), crediting every
+// sender's budget.
+func (e *Executor) releaseStreams(bs *blockState) {
+	for from, st := range bs.streams {
+		e.creditStreamBytes(from, st)
+	}
+	bs.streams = nil
+}
+
+// validSegment checks a segment's consistency with its stream: in-order,
+// gap-free, and structurally valid edges. The TCP decoder already
+// enforces the edge invariants; the in-process transport delivers structs
+// directly, so they are re-checked here.
+func validSegment(m *types.BlockSegmentMsg, st *segStream) bool {
+	// Honest orderers never emit an empty segment (emitSegment fires only
+	// with pending transactions), so one is hostile by definition — and
+	// accepting it would let a content-free segment capture the
+	// speculative pin.
+	if len(m.Txns) == 0 {
+		return false
+	}
+	if m.Seg != st.segs || m.Start != st.next || len(m.Preds) != len(m.Txns) {
+		return false
+	}
+	for i, preds := range m.Preds {
+		prev := int32(-1)
+		for _, p := range preds {
+			if p <= prev || int(p) >= m.Start+i {
+				return false
+			}
+			prev = p
+		}
+	}
+	for _, tx := range m.Txns {
+		if tx == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// handleSeal counts one orderer's seal for a streamed block; at
+// OrderQuorum matching seals the sealed content digest becomes trusted
+// and the block is installed as soon as a stream matches it.
+func (e *Executor) handleSeal(from types.NodeID, m *types.BlockSealMsg) {
+	if m.Orderer != from {
+		return
+	}
+	num := m.Header.Number
+	if num < e.cfg.Ledger.Height() {
+		return
+	}
+	if e.beyondHorizon(num) {
+		e.stats.droppedFuture.Add(1)
+		return
+	}
+	bs := e.getBlockState(num)
+	if bs.contentDone || bs.sealed != nil {
+		return
+	}
+	if bs.sealVotes == nil {
+		bs.sealVotes = make(map[types.NodeID]types.Hash, 2)
+		bs.sealCount = make(map[types.Hash]int, 1)
+		bs.seals = make(map[types.Hash]*types.BlockSealMsg, 1)
+	}
+	if _, dup := bs.sealVotes[from]; dup {
+		return
+	}
+	digest := m.Digest() // cheap (header-sized), after the early-outs
+	if e.cfg.VerifySigs {
+		if err := e.cfg.Verifier.Verify(string(from), digest[:], m.Sig); err != nil {
+			e.cfg.Logf("executor %s: bad SEAL signature from %s: %v", e.cfg.ID, from, err)
+			return
+		}
+	}
+	bs.sealVotes[from] = digest
+	bs.sealCount[digest]++
+	if _, ok := bs.seals[digest]; !ok {
+		bs.seals[digest] = m
+	}
+	if bs.sealCount[digest] >= e.cfg.OrderQuorum {
+		bs.sealed = bs.seals[digest]
+		bs.sealVotes = nil
+		bs.sealCount = nil
+		bs.seals = nil
+		e.maybeInstallSeal(bs)
+		e.pump()
+	}
+}
+
+// maybeInstallSeal tries to bind a quorum-validated seal to streamed
+// content. For a block already admitted speculatively, the pinned stream
+// is the fast path; if it stalls (a crashed pinned orderer) or breaks,
+// any other orderer's complete stream matching the seal serves instead,
+// with the executed prefix re-verified transaction by transaction. For
+// an unadmitted block any orderer's complete, matching stream installs
+// directly. Called whenever the seal or new segments arrive.
+func (e *Executor) maybeInstallSeal(bs *blockState) {
+	seal := bs.sealed
+	if seal == nil || bs.contentDone || e.halted {
+		return
+	}
+	if bs.started {
+		if st := bs.streams[bs.specFrom]; st != nil && !st.broken {
+			if st.segs > seal.Segments || (st.segs == seal.Segments && st.cum != seal.Cum) {
+				// The quorum sealed different content than this node
+				// executed speculatively: the pinned orderer equivocated,
+				// and executed state cannot be rolled back.
+				e.haltf("block %d speculative stream diverges from sealed content", bs.num)
+				return
+			}
+			if st.segs == seal.Segments {
+				e.finishStreamed(bs, seal)
+				return
+			}
+		}
+		// Pinned stream incomplete (crashed orderer?) or broken: recover
+		// from any complete matching stream. adoptStream verifies the
+		// executed prefix against it, so a wrong speculation still halts
+		// rather than finalize.
+		for _, st := range bs.streams {
+			if !st.broken && st.segs == seal.Segments && st.cum == seal.Cum {
+				e.adoptStream(bs, seal, st)
+				return
+			}
+		}
+		return // wait: the pinned or another stream may still complete
+	}
+	if seal.Segments == 0 {
+		e.installSealedContent(bs, seal, nil, nil)
+		return
+	}
+	for _, st := range bs.streams {
+		if !st.broken && st.segs == seal.Segments && st.cum == seal.Cum {
+			e.installSealedContent(bs, seal, st.txns, st.preds)
+			return
+		}
+	}
+	// No complete matching stream yet; segments still in flight.
+}
+
+// adoptStream completes a speculatively admitted block from a complete,
+// seal-matching stream of a different orderer than the one that fed the
+// speculation (which crashed or broke): the assembled content is
+// validated like a monolithic proposal and the executed prefix is
+// checked digest for digest before the remainder is admitted.
+func (e *Executor) adoptStream(bs *blockState, seal *types.BlockSealMsg, st *segStream) {
+	block := &types.Block{Header: seal.Header, Txns: st.txns}
+	graph := depgraph.FromPreds(st.preds)
+	msg := &types.NewBlockMsg{Block: block, Graph: graph, Apps: seal.Apps, Orderer: seal.Orderer}
+	if seal.Header.Count != len(st.txns) || !e.validateBlock(msg) {
+		// A quorum sealed content that does not validate structurally:
+		// beyond the fault assumption, same as finishStreamed's check.
+		e.haltf("block %d sealed stream failed structural validation", bs.num)
+		return
+	}
+	e.adoptProposal(bs, msg)
+}
+
+// installSealedContent assembles a not-yet-admitted streamed block into
+// the same shape a monolithic NEWBLOCK quorum produces; the normal
+// admission path takes it from there.
+func (e *Executor) installSealedContent(bs *blockState, seal *types.BlockSealMsg,
+	txns []*types.Transaction, preds [][]int32) {
+	block := &types.Block{Header: seal.Header, Txns: txns}
+	graph := depgraph.FromPreds(preds)
+	msg := &types.NewBlockMsg{Block: block, Graph: graph, Apps: seal.Apps, Orderer: seal.Orderer}
+	if !e.validateBlock(msg) || seal.Header.Count != len(txns) {
+		// An OrderQuorum of seals endorsed content whose header does not
+		// commit to it: beyond the fault assumption (and no retry is
+		// possible — each orderer seals a block exactly once).
+		e.haltf("block %d sealed stream failed structural validation", bs.num)
+		return
+	}
+	bs.valid = true
+	bs.contentDone = true
+	bs.msg = msg
+	bs.proposals = nil
+	e.releaseStreams(bs)
+}
+
+// finishStreamed completes a speculatively admitted block whose pinned
+// stream matches the sealed content: the header is verified against the
+// streamed transactions and the local chain, the synthesized NEWBLOCK
+// takes the place a monolithic quorum message would have, and buffered
+// remote COMMIT votes finally count.
+func (e *Executor) finishStreamed(bs *blockState, seal *types.BlockSealMsg) {
+	block := &types.Block{Header: seal.Header, Txns: bs.txns}
+	if seal.Header.Count != len(bs.txns) || !block.VerifyTxRoot() {
+		e.haltf("block %d seal does not commit to the streamed transactions", bs.num)
+		return
+	}
+	graph := &depgraph.Graph{N: len(bs.txns), Succ: bs.succ, Pred: bs.pred}
+	if err := graph.Validate(); err != nil {
+		e.haltf("block %d streamed graph invalid: %v", bs.num, err)
+		return
+	}
+	msg := &types.NewBlockMsg{Block: block, Graph: graph, Apps: seal.Apps, Orderer: seal.Orderer}
+	e.finishStarted(bs, msg)
+}
+
+// finishStarted installs trusted full content on a block that is already
+// executing in the window, advancing the admission hash chain and
+// releasing buffered votes. Callers guarantee msg's transactions extend
+// bs.txns exactly.
+func (e *Executor) finishStarted(bs *blockState, msg *types.NewBlockMsg) {
+	if msg.Block.Header.PrevHash != bs.prevAdmit {
+		e.haltf("block %d does not extend local chain", bs.num)
+		return
+	}
+	bs.valid = true
+	bs.contentDone = true
+	bs.msg = msg
+	bs.proposals = nil
+	e.releaseStreams(bs)
+	bs.sealed = nil
+	e.admitPrev = msg.Block.Hash()
+	// Results executed speculatively were held back from multicast until
+	// this moment; the content is now quorum-validated, so publish them.
+	e.flushCommits(bs)
+	e.replayPending(bs)
+	e.maybeComplete(bs)
+}
+
+// adoptProposal reconciles a monolithic NEWBLOCK quorum with a block
+// already admitted from segments: the speculative prefix must match the
+// quorum content — transaction digests AND dependency edges, since a
+// Byzantine stream could pair honest transactions with wrong edges and
+// wrong execution order — then the remainder is admitted and the block
+// finishes exactly as a sealed stream would.
+func (e *Executor) adoptProposal(bs *blockState, m *types.NewBlockMsg) {
+	n := len(bs.txns)
+	if n > len(m.Block.Txns) {
+		e.haltf("block %d stream ran past the quorum block (%d > %d txns)",
+			bs.num, n, len(m.Block.Txns))
+		return
+	}
+	for i := 0; i < n; i++ {
+		if bs.txns[i].Digest() != m.Block.Txns[i].Digest() {
+			e.haltf("block %d speculative prefix diverges from quorum content at %d", bs.num, i)
+			return
+		}
+		if !slices.Equal(bs.pred[i], m.Graph.Pred[i]) {
+			e.haltf("block %d speculative graph diverges from quorum graph at %d", bs.num, i)
+			return
+		}
+	}
+	if len(m.Block.Txns) > n {
+		bs.growTo(len(m.Block.Txns))
+		e.extendSegment(bs, m.Block.Txns[n:], m.Graph.Pred[n:])
+	}
+	e.finishStarted(bs, m)
 }
 
 func (e *Executor) getBlockState(num uint64) *blockState {
@@ -435,11 +995,16 @@ func (e *Executor) getBlockState(num uint64) *blockState {
 
 // pump drives the pipeline forward until it reaches a fixed point:
 // completed blocks finalize in strict block order (freeing window slots),
-// then validated blocks are admitted into the freed slots. Admission can
-// complete a block immediately (empty blocks, or blocks whose buffered
-// remote COMMITs already carry every result), so the loop repeats until
-// neither step makes progress. Only the actor loop calls pump; it must
-// never be invoked from inside admit/finalize/commitTx.
+// then blocks are admitted into the freed slots — validated monolithic
+// blocks wholesale, streamed blocks speculatively from their first
+// segment. A streamed block whose seal has not validated holds back the
+// admission of its successor (its transaction list is still growing, and
+// the cross-block stitcher requires strictly ordered extension), so the
+// window's tail is the only block that may be content-incomplete.
+// Admission can complete a block immediately (empty blocks, or blocks
+// whose buffered remote COMMITs already carry every result), so the loop
+// repeats until neither step makes progress. Only the actor loop calls
+// pump; it must never be invoked from inside admit/finalize/commitTx.
 func (e *Executor) pump() {
 	if !e.admitInit {
 		e.nextAdmit = e.cfg.Ledger.Height()
@@ -455,11 +1020,20 @@ func (e *Executor) pump() {
 			progress = true
 		}
 		for !e.halted && len(e.window) < e.cfg.PipelineDepth {
+			if len(e.window) > 0 && !e.window[len(e.window)-1].contentDone {
+				break // tail still streaming; successors wait for its seal
+			}
 			bs, ok := e.blocks[e.nextAdmit]
-			if !ok || !bs.valid || bs.started {
+			if !ok || bs.started {
 				break
 			}
-			e.admit(bs)
+			if bs.valid {
+				e.admit(bs)
+			} else if st := bs.streams[bs.specFrom]; st != nil && !st.broken && len(st.txns) > 0 {
+				e.admitStream(bs)
+			} else {
+				break
+			}
 			progress = true
 		}
 		if !progress {
@@ -468,62 +1042,116 @@ func (e *Executor) pump() {
 	}
 }
 
-// admit moves one validated block into the execution window: it chains
-// the block's overlay onto the newest in-flight predecessor, seeds
-// Algorithm 1's indegrees from the per-block graph plus the cross-block
-// edges the stitcher derives, dispatches the ready transactions, and
-// replays COMMIT messages that raced ahead of the block.
+// enterWindow performs the admission steps shared by both paths: chain
+// the block's overlay onto the newest in-flight predecessor (reads must
+// see the newest uncommitted write of any earlier in-flight block) and
+// record the expected previous-block hash.
+func (e *Executor) enterWindow(bs *blockState) {
+	bs.started = true
+	bs.prevAdmit = e.admitPrev
+	e.nextAdmit++
+	var base state.Reader = e.cfg.Store
+	if len(e.window) > 0 {
+		base = e.window[len(e.window)-1].overlay
+	}
+	bs.overlay = state.NewBlockOverlay(base)
+	e.window = append(e.window, bs)
+}
+
+// admit moves one fully validated block into the execution window: it
+// installs the block's transactions and graph wholesale, seeds Algorithm
+// 1's indegrees (plus the cross-block edges the stitcher derives),
+// dispatches the ready transactions, and replays COMMIT messages that
+// raced ahead of the block.
 func (e *Executor) admit(bs *blockState) {
 	if bs.msg.Block.Header.PrevHash != e.admitPrev {
 		// A quorum of orderers signed a block that does not extend this
 		// node's chain: beyond the fault assumption. Halt rather than
 		// diverge.
-		e.cfg.Logf("executor %s: block %d does not extend local chain; halting", e.cfg.ID, bs.num)
-		e.halted = true
+		e.haltf("block %d does not extend local chain", bs.num)
 		return
 	}
-	bs.started = true
-	e.nextAdmit++
+	e.enterWindow(bs)
 	e.admitPrev = bs.msg.Block.Hash()
-	// Reads must see the newest uncommitted write of any earlier in-flight
-	// block, so the overlay chains through the window down to the store.
-	var base state.Reader = e.cfg.Store
-	if len(e.window) > 0 {
-		base = e.window[len(e.window)-1].overlay
+	bs.growTo(len(bs.msg.Block.Txns))
+	e.extendSegment(bs, bs.msg.Block.Txns, bs.msg.Graph.Pred)
+	e.replayPending(bs)
+	e.maybeComplete(bs)
+}
+
+// admitStream moves a streamed block into the execution window before its
+// seal arrived, admitting whatever prefix its pinned stream holds.
+// Everything it executes is speculative in exactly one sense: it cannot
+// finalize (and remote votes do not count) until a seal quorum validates
+// the content. The overlay chain keeps its writes invisible to the
+// committed store either way.
+func (e *Executor) admitStream(bs *blockState) {
+	st := bs.streams[bs.specFrom]
+	e.enterWindow(bs)
+	e.stats.segsAdmitted.Add(uint64(st.segs))
+	e.extendSegment(bs, st.txns, st.preds)
+	// The content now lives in the blockState; drop the stream's copy
+	// (segs/next/cum keep tracking the stream for the seal match, and the
+	// bytes stay charged to the orderer until the seal validates).
+	st.txns = nil
+	st.preds = nil
+	if bs.sealed != nil {
+		e.maybeInstallSeal(bs)
 	}
-	e.window = append(e.window, bs)
-	n := len(bs.msg.Block.Txns)
-	bs.overlay = state.NewBlockOverlay(base)
-	bs.isLocal = make([]bool, n)
-	bs.remaining = make([]int32, n)
-	bs.satisfied = make([]bool, n)
-	bs.inflight = make([]bool, n)
-	bs.execLocal = make([]bool, n)
-	bs.committed = make([]bool, n)
-	bs.final = make([]types.TxResult, n)
-	bs.votes = make([]map[types.Hash]*voteRec, n)
-	bs.voted = make([]map[types.NodeID]bool, n)
-	bs.crossSucc = make([][]crossRef, n)
-	for i, tx := range bs.msg.Block.Txns {
-		bs.isLocal[i] = e.IsAgentFor(tx.App)
-		if bs.isLocal[i] {
+}
+
+// extendSegment appends transactions (with their intra-block predecessor
+// edges) to an in-window block, growing every per-transaction array,
+// stitching cross-block conflicts, and dispatching transactions that are
+// immediately ready. It is the single admission point for transactions in
+// both paths: monolithic admission is one big extend.
+func (e *Executor) extendSegment(bs *blockState, txns []*types.Transaction, preds [][]int32) {
+	if len(txns) == 0 {
+		return
+	}
+	start := len(bs.txns)
+	for i, tx := range txns {
+		j := start + i
+		bs.txns = append(bs.txns, tx)
+		bs.pred = append(bs.pred, preds[i])
+		bs.succ = append(bs.succ, nil)
+		local := e.IsAgentFor(tx.App)
+		bs.isLocal = append(bs.isLocal, local)
+		if local {
 			bs.localTotal++
 		}
-		bs.remaining[i] = int32(len(bs.msg.Graph.Pred[i]))
+		// Count only unsatisfied predecessors: a predecessor already in
+		// Ce ∪ Xe fired before this transaction existed and imposes no
+		// wait — its writes are visible through the overlay.
+		var waits int32
+		for _, p := range preds[i] {
+			bs.succ[p] = append(bs.succ[p], int32(j))
+			if !bs.satisfied[p] {
+				waits++
+			}
+		}
+		bs.remaining = append(bs.remaining, waits)
+		bs.satisfied = append(bs.satisfied, false)
+		bs.inflight = append(bs.inflight, false)
+		bs.execLocal = append(bs.execLocal, false)
+		bs.committed = append(bs.committed, false)
+		bs.final = append(bs.final, types.TxResult{})
+		bs.votes = append(bs.votes, nil)
+		bs.voted = append(bs.voted, nil)
+		bs.crossSucc = append(bs.crossSucc, nil)
 	}
-	// Stitch the block into the window: an edge per conflicting,
-	// not-yet-satisfied transaction of an earlier in-flight block. A
-	// predecessor already in Ce ∪ Xe imposes no wait — its writes are
-	// visible through the overlay chain. At depth 1 the window is empty
-	// at every admission, so no cross edge can exist and the barrier
-	// configuration skips the stitch bookkeeping wholesale.
+	// Stitch the new transactions into the window: an edge per
+	// conflicting, not-yet-satisfied transaction of an earlier in-flight
+	// block. At depth 1 the window never holds an earlier block, so the
+	// barrier configuration skips the stitch bookkeeping wholesale.
 	if e.cfg.PipelineDepth > 1 {
-		sets := make([]depgraph.RWSet, n)
-		for i, tx := range bs.msg.Block.Txns {
+		sets := make([]depgraph.RWSet, len(txns))
+		for i, tx := range txns {
 			sets[i] = depgraph.RWSet{Reads: tx.Op.Reads, Writes: tx.Op.Writes}
 		}
-		for j, preds := range e.stitcher.AddBlock(bs.num, sets) {
-			for _, ref := range preds {
+		for i, crossPreds := range e.stitcher.AddBlockAt(bs.num, start, sets) {
+			j := start + i
+			for _, ref := range crossPreds {
 				pred, ok := e.blocks[ref.Block]
 				if !ok || !pred.started || pred.satisfied[ref.Index] {
 					continue
@@ -533,22 +1161,49 @@ func (e *Executor) admit(bs *blockState) {
 			}
 		}
 	}
-	if n == 0 {
-		bs.complete = true
-		return
-	}
-	// Algorithm 1 seed: transactions with no unsatisfied predecessors.
-	for i := 0; i < n; i++ {
-		if bs.remaining[i] == 0 && bs.isLocal[i] {
-			e.dispatch(bs, i)
+	// Algorithm 1 seed: new transactions with no unsatisfied predecessors.
+	for i := range txns {
+		j := start + i
+		if bs.remaining[j] == 0 && bs.isLocal[j] {
+			e.dispatch(bs, j)
 		}
 	}
-	// Replay COMMIT messages that raced ahead of the block.
+}
+
+// replayPending applies COMMIT messages that arrived before the block was
+// both admitted and content-validated. Votes only ever count against
+// trusted content, so a Byzantine orderer cannot launder results through
+// a speculative stream.
+func (e *Executor) replayPending(bs *blockState) {
+	if !bs.started || !bs.valid {
+		return
+	}
 	if buffered := e.pendingCommits[bs.num]; len(buffered) > 0 {
 		delete(e.pendingCommits, bs.num)
 		for _, m := range buffered {
+			e.creditCommitBytes(m)
 			e.applyCommitMsg(bs, m)
 		}
+	}
+}
+
+// creditCommitBytes returns a buffered COMMIT's size to its sender's
+// budget.
+func (e *Executor) creditCommitBytes(m *types.CommitMsg) {
+	e.commitBytes[m.Executor] -= m.ApproxSize()
+	if e.commitBytes[m.Executor] <= 0 {
+		delete(e.commitBytes, m.Executor)
+	}
+}
+
+// maybeComplete marks a block complete once its full content is known and
+// every transaction committed.
+func (e *Executor) maybeComplete(bs *blockState) {
+	if bs.contentDone && bs.started && !bs.complete && bs.commitCount == len(bs.txns) {
+		// Completion and finalization are decoupled under pipelining: a
+		// later block can complete while an earlier one is still voting.
+		// The pump finalizes completed blocks in strict block order.
+		bs.complete = true
 	}
 }
 
@@ -557,7 +1212,7 @@ func (e *Executor) dispatch(bs *blockState, idx int) {
 		return
 	}
 	bs.inflight[idx] = true
-	e.work.Push(workItem{bs: bs, idx: idx})
+	e.work.Push(workItem{bs: bs, idx: idx, tx: bs.txns[idx]})
 }
 
 // handleExecDone implements the completion half of Algorithm 1 plus the
@@ -585,18 +1240,25 @@ func (e *Executor) handleExecDone(num uint64, idx int, result types.TxResult) {
 	// Algorithm 2: flush when a successor belongs to another application
 	// (its agents need this result to proceed), eagerly when configured,
 	// and always at the end of this node's work on the block so passive
-	// nodes and non-agent executors can commit.
+	// nodes and non-agent executors can commit. Under streaming, "end of
+	// work" can fire per segment; the extra flushes are harmless (votes
+	// are idempotent) and keep remote agents fed early. Results of
+	// speculative execution stay in outBuf until the content validates
+	// (finishStarted flushes then): multicasting a vote is an external
+	// effect, and publishing results derived from an unvalidated stream
+	// would let a Byzantine orderer launder wrong results through honest
+	// agents' signatures.
 	flush := e.cfg.EagerCommit || bs.localDone == bs.localTotal
 	if !flush {
-		tx := bs.msg.Block.Txns[idx]
-		for _, succ := range bs.msg.Graph.Succ[idx] {
-			if bs.msg.Block.Txns[succ].App != tx.App {
+		app := bs.txns[idx].App
+		for _, succ := range bs.succ[idx] {
+			if bs.txns[succ].App != app {
 				flush = true
 				break
 			}
 		}
 	}
-	if flush {
+	if flush && bs.valid {
 		e.flushCommits(bs)
 	}
 	e.pump()
@@ -630,6 +1292,10 @@ func (e *Executor) handleCommitMsg(from types.NodeID, m *types.CommitMsg) {
 	if m.BlockNum < e.cfg.Ledger.Height() {
 		return // stale
 	}
+	if e.beyondHorizon(m.BlockNum) {
+		e.stats.droppedFuture.Add(1)
+		return
+	}
 	if e.cfg.VerifySigs {
 		digest := m.Digest()
 		if err := e.cfg.Verifier.Verify(string(from), digest[:], m.Sig); err != nil {
@@ -638,9 +1304,18 @@ func (e *Executor) handleCommitMsg(from types.NodeID, m *types.CommitMsg) {
 		}
 	}
 	bs, ok := e.blocks[m.BlockNum]
-	if !ok || !bs.started {
-		// The block has not reached this node (or its quorum) yet;
-		// buffer and replay at start.
+	if !ok || !bs.started || !bs.valid {
+		// The block has not reached this node (or its quorum, or — for a
+		// streamed block — its seal) yet; buffer and replay once content
+		// is both admitted and trusted. The per-sender byte budget sheds
+		// floods without ever touching an honest sender, whose
+		// outstanding results are bounded by its own pipeline window.
+		size := m.ApproxSize()
+		if e.commitBytes[from]+size > maxCommitBytesPerSender {
+			e.stats.droppedFuture.Add(1)
+			return
+		}
+		e.commitBytes[from] += size
 		e.pendingCommits[m.BlockNum] = append(e.pendingCommits[m.BlockNum], m)
 		return
 	}
@@ -649,13 +1324,13 @@ func (e *Executor) handleCommitMsg(from types.NodeID, m *types.CommitMsg) {
 }
 
 func (e *Executor) applyCommitMsg(bs *blockState, m *types.CommitMsg) {
-	n := len(bs.msg.Block.Txns)
+	n := len(bs.txns)
 	for i := range m.Results {
 		r := m.Results[i]
 		if r.Index < 0 || r.Index >= n {
 			continue
 		}
-		tx := bs.msg.Block.Txns[r.Index]
+		tx := bs.txns[r.Index]
 		if tx.ID != r.TxID {
 			continue
 		}
@@ -699,7 +1374,7 @@ func (e *Executor) addVote(bs *blockState, idx int, r types.TxResult, voter type
 		bs.votes[idx][d] = rec
 	}
 	rec.count++
-	if rec.count >= e.tau(bs.msg.Block.Txns[idx].App) {
+	if rec.count >= e.tau(bs.txns[idx].App) {
 		e.commitTx(bs, idx, rec.result)
 	}
 }
@@ -726,23 +1401,20 @@ func (e *Executor) commitTx(bs *blockState, idx int, r types.TxResult) {
 	bs.commitCount++
 	e.stats.committed.Add(1)
 	e.fireSatisfied(bs, idx)
-	if bs.commitCount == len(bs.msg.Block.Txns) {
-		// Completion and finalization are decoupled under pipelining: a
-		// later block can complete while an earlier one is still voting.
-		// The pump finalizes completed blocks in strict block order.
-		bs.complete = true
-	}
+	e.maybeComplete(bs)
 }
 
 // fireSatisfied propagates "predecessor is in Ce ∪ Xe" to successors —
 // both within the block and across the in-flight window — dispatching any
-// local transaction whose predecessors are all satisfied.
+// local transaction whose predecessors are all satisfied. A transaction
+// appended (by a later segment) after this fires was never counted as
+// waiting on it, so firing exactly once remains correct under streaming.
 func (e *Executor) fireSatisfied(bs *blockState, idx int) {
 	if bs.satisfied[idx] {
 		return
 	}
 	bs.satisfied[idx] = true
-	for _, succ := range bs.msg.Graph.Succ[idx] {
+	for _, succ := range bs.succ[idx] {
 		bs.remaining[succ]--
 		if bs.remaining[succ] == 0 && bs.isLocal[succ] {
 			e.dispatch(bs, int(succ))
@@ -760,7 +1432,9 @@ func (e *Executor) fireSatisfied(bs *blockState, idx int) {
 // finalize applies the block's net effect to the committed store and
 // appends the block to the ledger. The pump calls it for the oldest
 // in-flight block only, so the ledger and the store advance in strict
-// block order regardless of the pipeline depth.
+// block order regardless of the pipeline depth. Streamed blocks reach
+// here only after their seal quorum validated the content, so the entry
+// appended is bit-identical to the monolithic path's.
 //
 // This is the commit boundary of the state ownership contract: the write
 // sets reaching the overlay were freshly allocated (by contract execution
@@ -779,21 +1453,24 @@ func (e *Executor) finalize(bs *blockState) {
 	}
 	entry := ledger.Entry{Block: bs.msg.Block, Results: bs.final}
 	if err := e.cfg.Ledger.Append(entry); err != nil {
-		e.cfg.Logf("executor %s: ledger append failed for block %d: %v; halting", e.cfg.ID, bs.num, err)
-		e.halted = true
+		e.haltf("ledger append failed for block %d: %v", bs.num, err)
 		return
 	}
 	e.stats.blocks.Add(1)
 	if e.cfg.PipelineDepth > 1 {
 		e.stitcher.Remove(bs.num)
 	}
+	e.releaseStreams(bs) // normally already nil; covers teardown paths
 	delete(e.blocks, bs.num)
+	for _, m := range e.pendingCommits[bs.num] {
+		e.creditCommitBytes(m) // normally drained at replay; covers races
+	}
 	delete(e.pendingCommits, bs.num)
 	if e.cfg.OnCommit != nil {
 		e.cfg.OnCommit(bs.msg.Block, bs.final)
 	}
 	if e.cfg.NotifyClients {
-		for i, tx := range bs.msg.Block.Txns {
+		for i, tx := range bs.txns {
 			_ = e.cfg.Endpoint.Send(tx.Client, &types.CommitNotifyMsg{
 				TxID:        tx.ID,
 				BlockNum:    bs.num,

@@ -95,8 +95,18 @@ type Config struct {
 	GraphMode depgraph.Mode
 	// UsePairwiseGraph selects the paper-faithful O(n^2) builder instead
 	// of the indexed one; Figure 5's block-size turnover is measured with
-	// pairwise generation (see DESIGN.md experiment A3).
+	// pairwise generation (see DESIGN.md experiment A3). Pairwise
+	// generation is inherently a cut-time batch, so it is ignored when
+	// SegmentTxns enables streaming.
 	UsePairwiseGraph bool
+	// SegmentTxns streams each block to the executors as it is built:
+	// every SegmentTxns ordered transactions are multicast in a signed
+	// BlockSegmentMsg carrying their incremental dependency edges, and
+	// the cut multicasts a small BlockSealMsg instead of a monolithic
+	// NEWBLOCK. Graph generation and dissemination move off the cut path
+	// entirely. Zero disables streaming (monolithic NEWBLOCK); streaming
+	// requires BuildGraph.
+	SegmentTxns int
 	// Logf receives diagnostic messages; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -126,12 +136,16 @@ type Stats struct {
 	BlocksCut uint64
 	// TxnsOrdered is the number of transactions placed into blocks.
 	TxnsOrdered uint64
-	// RequestsRejected counts requests dropped by signature or ACL
-	// checks.
+	// RequestsRejected counts requests dropped by signature or ACL checks
+	// at intake, plus ordered transactions dropped for non-canonical
+	// access sets at delivery.
 	RequestsRejected uint64
 	// GraphBuildNanos accumulates time spent generating dependency
-	// graphs.
+	// graphs. On the incremental path it is sampled (one append in 16,
+	// scaled), so treat it as an estimate.
 	GraphBuildNanos uint64
+	// SegmentsSent counts BlockSegmentMsg multicasts (streaming mode).
+	SegmentsSent uint64
 }
 
 // Orderer is one orderer node.
@@ -143,15 +157,39 @@ type Orderer struct {
 		txnsOrdered      atomic.Uint64
 		requestsRejected atomic.Uint64
 		graphBuildNanos  atomic.Uint64
+		segmentsSent     atomic.Uint64
 	}
 
 	// Block assembly state, owned by the delivery goroutine.
 	pending      []*types.Transaction
 	pendingBytes int
-	seenTx       map[types.TxID]bool
 	prevHash     types.Hash
 	nextNum      uint64
 	cutRequested bool // a cut marker for the current block is in flight
+
+	// Dedupe state: IDs already placed in a block, held across two
+	// generations so a rotation never forgets the block just cut (a late
+	// consensus retry of a recent transaction must still be dropped).
+	seenCur  map[types.TxID]bool
+	seenPrev map[types.TxID]bool
+
+	// Incremental graph state, owned by the delivery goroutine. The
+	// appender extends the current block's dependency graph as each
+	// ordered transaction is delivered — off the cut path — and
+	// pendingPreds holds, per pending transaction, the predecessor edges
+	// the appender derived for it. Nil when graphs are disabled or the
+	// pairwise cut-time builder is selected.
+	appender     *depgraph.Appender
+	pendingPreds [][]int32
+	graphTick    uint64 // sampling counter for the build-time stat
+
+	// Streaming state: the index of the first pending transaction not yet
+	// multicast in a segment, the number of segments emitted for the
+	// current block, and the cumulative segment digest the seal will
+	// carry.
+	segStart int
+	segSent  int
+	segCum   types.Hash
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -163,6 +201,19 @@ const (
 	payloadTx  = 0x01
 	payloadCut = 0x02
 )
+
+// canonicalKeys reports whether a declared access set is in canonical
+// form: strictly increasing (sorted, duplicate-free). Graph builders on
+// every node assume it, and it is covered by the client signature, so
+// non-canonical sets are rejected rather than repaired.
+func canonicalKeys(keys []types.Key) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
 
 // encodeTxPayload wraps a transaction for consensus ordering: one pooled
 // encode, one exact-size allocation for the retained payload.
@@ -187,11 +238,24 @@ func encodeCutPayload(blockNum uint64, orderer types.NodeID) []byte {
 
 // New creates an orderer node. Call Start before use.
 func New(cfg Config) *Orderer {
-	return &Orderer{
-		cfg:    cfg.withDefaults(),
-		seenTx: make(map[types.TxID]bool),
-		stopCh: make(chan struct{}),
+	o := &Orderer{
+		cfg:     cfg.withDefaults(),
+		seenCur: make(map[types.TxID]bool),
+		stopCh:  make(chan struct{}),
 	}
+	// The incremental appender serves both streaming (mandatory: segments
+	// carry its edges) and the monolithic indexed path (the graph is then
+	// ready at the cut instead of being built there). Only the
+	// paper-faithful pairwise ablation builds at cut time.
+	if o.cfg.BuildGraph && (o.cfg.SegmentTxns > 0 || !o.cfg.UsePairwiseGraph) {
+		o.appender = depgraph.NewAppender(o.cfg.GraphMode)
+	}
+	return o
+}
+
+// streaming reports whether this orderer ships blocks as segment streams.
+func (o *Orderer) streaming() bool {
+	return o.cfg.SegmentTxns > 0 && o.appender != nil
 }
 
 // Start launches the consensus instance, the receive loop, and the
@@ -220,6 +284,7 @@ func (o *Orderer) Stats() Stats {
 		TxnsOrdered:      o.stats.txnsOrdered.Load(),
 		RequestsRejected: o.stats.requestsRejected.Load(),
 		GraphBuildNanos:  o.stats.graphBuildNanos.Load(),
+		SegmentsSent:     o.stats.segmentsSent.Load(),
 	}
 }
 
@@ -325,12 +390,44 @@ func (o *Orderer) handleEntry(entry consensus.Entry) {
 			o.cfg.Logf("orderer %s: dropping malformed ordered payload: %v", o.cfg.ID, err)
 			return
 		}
-		if o.seenTx[tx.ID] {
+		if o.seenCur[tx.ID] || o.seenPrev[tx.ID] {
 			return // duplicate from a consensus retry; exactly-once per ID
 		}
-		o.seenTx[tx.ID] = true
+		if o.cfg.BuildGraph && (!canonicalKeys(tx.Op.Reads) || !canonicalKeys(tx.Op.Writes)) {
+			// Graph generation requires canonical (sorted, duplicate-free)
+			// access sets, and the sets are covered by the client signature
+			// — they cannot be repaired here without invalidating it.
+			// Clients canonicalize before signing (workload.Finalize), so
+			// only hostile or buggy submissions reach this branch; the
+			// check is deterministic, so every orderer drops identically.
+			o.stats.requestsRejected.Add(1)
+			o.cfg.Logf("orderer %s: dropping tx %s with non-canonical access sets", o.cfg.ID, tx.ID)
+			return
+		}
+		o.seenCur[tx.ID] = true
 		o.pending = append(o.pending, tx)
 		o.pendingBytes += tx.ApproxSize()
+		if o.appender != nil {
+			// Extend the block's dependency graph as the stream is
+			// delivered instead of at the cut. The build-time stat samples
+			// one append in 16 (scaled back up): per-append clock reads
+			// would cost a noticeable fraction of the sub-microsecond
+			// Append itself on this hot path.
+			var preds []int32
+			set := depgraph.RWSet{Reads: tx.Op.Reads, Writes: tx.Op.Writes}
+			if o.graphTick&15 == 0 {
+				start := time.Now()
+				preds = o.appender.Append(set)
+				o.stats.graphBuildNanos.Add(16 * uint64(time.Since(start)))
+			} else {
+				preds = o.appender.Append(set)
+			}
+			o.graphTick++
+			o.pendingPreds = append(o.pendingPreds, preds)
+			if o.streaming() && len(o.pending)-o.segStart >= o.cfg.SegmentTxns {
+				o.emitSegment()
+			}
+		}
 		if len(o.pending) >= o.cfg.MaxBlockTxns || o.pendingBytes >= o.cfg.MaxBlockBytes {
 			o.cutBlock()
 		}
@@ -348,12 +445,46 @@ func (o *Orderer) handleEntry(entry consensus.Entry) {
 	}
 }
 
-// cutBlock seals the pending transactions into a block, generates its
-// dependency graph, and multicasts the signed NEWBLOCK to all executors.
+// emitSegment multicasts the pending transactions not yet streamed, with
+// their incremental dependency edges, as one signed BlockSegmentMsg, and
+// folds the segment into the block's cumulative digest.
+func (o *Orderer) emitSegment() {
+	msg := &types.BlockSegmentMsg{
+		BlockNum: o.nextNum,
+		Seg:      o.segSent,
+		Start:    o.segStart,
+		Txns:     o.pending[o.segStart:len(o.pending):len(o.pending)],
+		Preds:    o.pendingPreds[o.segStart:len(o.pending):len(o.pending)],
+		Orderer:  o.cfg.ID,
+	}
+	digest := msg.Digest()
+	msg.Sig = o.cfg.Signer.Sign(digest[:])
+	if err := transport.Multicast(o.cfg.Endpoint, o.cfg.Executors, msg); err != nil {
+		o.cfg.Logf("orderer %s: multicast segment %d of block %d: %v",
+			o.cfg.ID, msg.Seg, o.nextNum, err)
+	}
+	o.segCum = types.ChainSegmentDigest(o.segCum, digest)
+	o.segSent++
+	o.segStart = len(o.pending)
+	o.stats.segmentsSent.Add(1)
+}
+
+// cutBlock seals the pending transactions into a block. In streaming mode
+// the transactions and their graph edges are already on the wire (modulo
+// a final partial segment), so the cut only multicasts a small signed
+// BlockSealMsg binding the header to the streamed content; in monolithic
+// mode it multicasts the classic NEWBLOCK with the full graph — taken
+// from the incremental appender, or built here when the paper-faithful
+// pairwise cost model is selected.
 func (o *Orderer) cutBlock() {
 	txns := o.pending
+	streamed := o.streaming()
+	if streamed && o.segStart < len(o.pending) {
+		o.emitSegment() // final partial segment
+	}
 	o.pending = nil
 	o.pendingBytes = 0
+	o.pendingPreds = nil
 	o.cutRequested = false
 
 	block := types.NewBlock(o.nextNum, o.prevHash, txns)
@@ -361,38 +492,60 @@ func (o *Orderer) cutBlock() {
 	o.prevHash = block.Hash()
 
 	var graph *depgraph.Graph
-	if o.cfg.BuildGraph {
+	if o.appender != nil {
+		graph = o.appender.Finish()
+	} else if o.cfg.BuildGraph {
+		// Pairwise cut-time generation (the paper-faithful cost model).
+		// Sets are canonical by the handleEntry admission check, so no
+		// normalization pass (which would mutate the signed transactions)
+		// is needed.
 		start := time.Now()
 		sets := make([]depgraph.RWSet, len(txns))
 		for i, tx := range txns {
 			sets[i] = depgraph.RWSet{Reads: tx.Op.Reads, Writes: tx.Op.Writes}
-			sets[i].Normalize()
 		}
-		if o.cfg.UsePairwiseGraph {
-			graph = depgraph.BuildPairwise(sets, o.cfg.GraphMode)
-		} else {
-			graph = depgraph.Build(sets, o.cfg.GraphMode)
-		}
+		graph = depgraph.BuildPairwise(sets, o.cfg.GraphMode)
 		o.stats.graphBuildNanos.Add(uint64(time.Since(start)))
 	}
 
-	msg := &types.NewBlockMsg{
-		Block:   block,
-		Graph:   graph,
-		Apps:    block.Apps(),
-		Orderer: o.cfg.ID,
-	}
-	digest := msg.Digest()
-	msg.Sig = o.cfg.Signer.Sign(digest[:])
-	if err := transport.Multicast(o.cfg.Endpoint, o.cfg.Executors, msg); err != nil {
-		o.cfg.Logf("orderer %s: multicast block %d: %v", o.cfg.ID, block.Header.Number, err)
+	if streamed {
+		seal := &types.BlockSealMsg{
+			Header:   block.Header,
+			Segments: o.segSent,
+			Cum:      o.segCum,
+			Apps:     block.Apps(),
+			Orderer:  o.cfg.ID,
+		}
+		digest := seal.Digest()
+		seal.Sig = o.cfg.Signer.Sign(digest[:])
+		if err := transport.Multicast(o.cfg.Endpoint, o.cfg.Executors, seal); err != nil {
+			o.cfg.Logf("orderer %s: multicast seal %d: %v", o.cfg.ID, block.Header.Number, err)
+		}
+		o.segSent = 0
+		o.segStart = 0
+		o.segCum = types.ZeroHash
+	} else {
+		msg := &types.NewBlockMsg{
+			Block:   block,
+			Graph:   graph,
+			Apps:    block.Apps(),
+			Orderer: o.cfg.ID,
+		}
+		digest := msg.Digest()
+		msg.Sig = o.cfg.Signer.Sign(digest[:])
+		if err := transport.Multicast(o.cfg.Endpoint, o.cfg.Executors, msg); err != nil {
+			o.cfg.Logf("orderer %s: multicast block %d: %v", o.cfg.ID, block.Header.Number, err)
+		}
 	}
 
 	o.stats.blocksCut.Add(1)
 	o.stats.txnsOrdered.Add(uint64(len(txns)))
-	// Bound the dedupe set: IDs older than a few blocks cannot recur
-	// because consensus retries are short-lived.
-	if len(o.seenTx) > 8*o.cfg.MaxBlockTxns {
-		o.seenTx = make(map[types.TxID]bool, 2*o.cfg.MaxBlockTxns)
+	// Bound the dedupe set with a two-generation rotation: the IDs of the
+	// block just cut always survive at least one more rotation (in
+	// seenPrev), so a late consensus retry of a recent transaction can
+	// never be re-ordered — unlike a wholesale reset, which forgot them.
+	if len(o.seenCur) >= 4*o.cfg.MaxBlockTxns {
+		o.seenPrev = o.seenCur
+		o.seenCur = make(map[types.TxID]bool, 2*o.cfg.MaxBlockTxns)
 	}
 }

@@ -85,6 +85,16 @@ type Config struct {
 	// the executor default (4). Finalization order and final state are
 	// identical at every depth.
 	PipelineDepth int
+	// SegmentTxns makes the orderers stream each block to the executors
+	// in signed segments of this many transactions (with incrementally
+	// generated dependency edges) as consensus delivers them, closed by a
+	// small seal message — instead of one monolithic NEWBLOCK at the cut.
+	// Executors begin executing a block's early transactions while its
+	// tail is still being ordered; finalization still waits for a quorum
+	// of matching seals, so ledger and state are identical either way.
+	// Zero keeps the monolithic NEWBLOCK wire format (also the right
+	// setting for deployments whose observer tooling consumes NEWBLOCK).
+	SegmentTxns int
 	// Crypto enables ed25519 signing and verification end to end. When
 	// false, no-op signers model the crypto-free ablation.
 	Crypto bool
@@ -245,6 +255,7 @@ func New(cfg Config) (*Network, error) {
 			BuildGraph:       true,
 			GraphMode:        cfg.GraphMode,
 			UsePairwiseGraph: cfg.UsePairwiseGraph,
+			SegmentTxns:      cfg.SegmentTxns,
 			Logf:             cfg.Logf,
 		})
 		nw.Orderers = append(nw.Orderers, ord)

@@ -1,8 +1,12 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -11,14 +15,24 @@ import (
 )
 
 // TCPConfig configures a TCP endpoint: one listening socket per node plus
-// an address book of peers. Frames are gob-encoded; per-link FIFO comes
-// from TCP's in-order delivery on a single connection per direction.
+// an address book of peers. Per-link FIFO comes from TCP's in-order
+// delivery on a single connection per direction.
+//
+// Frames are length-prefixed and tagged. The hot protocol payloads —
+// REQUEST, NEWBLOCK, COMMIT, and the streaming SEGMENT/SEAL messages —
+// travel as the fuzz-hardened binary encodings of internal/types, so the
+// wire format is deterministic, free of gob's reflection and per-stream
+// type headers, and hostile input fails in a bounded decoder instead of
+// gob's allocator. Everything else (consensus-internal payloads:
+// PBFT/Raft/Kafka messages, commit notifications, state sync) rides a
+// tagged gob escape hatch, encoded per frame with the types registered
+// via RegisterWireTypes.
 //
 // Peer identity is established by a handshake frame and then pinned to
 // the connection. Production deployments would authenticate links with
 // TLS; in this reproduction message-level signatures (REQUEST, NEWBLOCK,
-// COMMIT) provide end-to-end authenticity and the handshake provides
-// addressing.
+// SEGMENT, SEAL, COMMIT) provide end-to-end authenticity and the
+// handshake provides addressing.
 type TCPConfig struct {
 	// ID is this node's identity.
 	ID types.NodeID
@@ -34,19 +48,119 @@ type TCPConfig struct {
 }
 
 // RegisterWireTypes registers payload types with gob so they can travel
-// over TCP frames. Call it once per process with every concrete payload
-// the node sends or receives (e.g. &types.RequestMsg{}, pbft.PrePrepare{},
-// ...).
+// over the escape-hatch frames. Call it once per process with every
+// concrete payload the node sends or receives that is not one of the
+// binary-framed protocol messages (e.g. pbft.PrePrepare{}, raft
+// messages, &types.CommitNotifyMsg{}).
 func RegisterWireTypes(payloads ...any) {
 	for _, p := range payloads {
 		gob.Register(p)
 	}
 }
 
-// wireFrame is the unit of TCP exchange.
-type wireFrame struct {
-	From    types.NodeID
+// Frame tags. A frame on the wire is [u32 length][1-byte tag][body],
+// where length counts the tag byte plus the body.
+const (
+	frameGob      byte = 0 // body: gob(gobFrame)
+	frameHello    byte = 1 // body: sender NodeID (handshake, first frame)
+	frameRequest  byte = 2 // body: types.RequestMsg binary encoding
+	frameNewBlock byte = 3 // body: types.NewBlockMsg binary encoding
+	frameCommit   byte = 4 // body: types.CommitMsg binary encoding
+	frameSegment  byte = 5 // body: types.BlockSegmentMsg binary encoding
+	frameSeal     byte = 6 // body: types.BlockSealMsg binary encoding
+)
+
+// maxFrameBytes bounds a single inbound frame (64 MiB): far above any
+// real block, far below what a hostile length prefix could otherwise make
+// the reader allocate.
+const maxFrameBytes = 64 << 20
+
+// gobFrame wraps an escape-hatch payload for per-frame gob encoding. The
+// concrete type must be registered via RegisterWireTypes.
+type gobFrame struct {
 	Payload any
+}
+
+// encodeFrame serializes a payload into (tag, body). Binary-framed types
+// use their codecs; everything else goes through gob.
+func encodeFrame(payload any) (byte, []byte, error) {
+	switch p := payload.(type) {
+	case *types.RequestMsg:
+		return frameRequest, p.Marshal(), nil
+	case *types.NewBlockMsg:
+		return frameNewBlock, p.Marshal(), nil
+	case *types.CommitMsg:
+		return frameCommit, p.Marshal(), nil
+	case *types.BlockSegmentMsg:
+		return frameSegment, p.Marshal(), nil
+	case *types.BlockSealMsg:
+		return frameSeal, p.Marshal(), nil
+	default:
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(gobFrame{Payload: payload}); err != nil {
+			return 0, nil, fmt.Errorf("transport: gob-encoding %T: %w", payload, err)
+		}
+		return frameGob, buf.Bytes(), nil
+	}
+}
+
+// decodeFrame reverses encodeFrame. Binary decoders validate structure
+// (graph shape, edge ranges) before the payload reaches a node.
+func decodeFrame(tag byte, body []byte) (any, error) {
+	switch tag {
+	case frameRequest:
+		return types.UnmarshalRequestMsg(body)
+	case frameNewBlock:
+		return types.UnmarshalNewBlockMsg(body)
+	case frameCommit:
+		return types.UnmarshalCommitMsg(body)
+	case frameSegment:
+		return types.UnmarshalBlockSegmentMsg(body)
+	case frameSeal:
+		return types.UnmarshalBlockSealMsg(body)
+	case frameGob:
+		var f gobFrame
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+			return nil, fmt.Errorf("transport: gob frame: %w", err)
+		}
+		return f.Payload, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown frame tag %d", tag)
+	}
+}
+
+// writeFrame emits one length-prefixed frame.
+func writeFrame(w *bufio.Writer, tag byte, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(1+len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := w.WriteByte(tag); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame consumes one frame, enforcing the size bound before
+// allocating.
+func readFrame(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("transport: frame length %d out of bounds", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
 }
 
 // TCPEndpoint implements Endpoint over real sockets.
@@ -67,7 +181,7 @@ type TCPEndpoint struct {
 type outConn struct {
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
+	bw   *bufio.Writer
 }
 
 // NewTCPEndpoint starts listening and returns a ready endpoint.
@@ -115,6 +229,17 @@ func (e *TCPEndpoint) Send(to types.NodeID, payload any) error {
 		return ErrClosed
 	default:
 	}
+	tag, body, err := encodeFrame(payload)
+	if err != nil {
+		return err
+	}
+	return e.sendFrame(to, tag, body)
+}
+
+// sendFrame delivers one pre-encoded frame to a peer. Frame bodies are
+// destination-independent (identity rides the connection handshake), so
+// multicast encodes once and fans the same bytes out here.
+func (e *TCPEndpoint) sendFrame(to types.NodeID, tag byte, body []byte) error {
 	addr, ok := e.cfg.Peers[to]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, to)
@@ -125,11 +250,35 @@ func (e *TCPEndpoint) Send(to types.NodeID, payload any) error {
 	}
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
-	if err := conn.enc.Encode(wireFrame{From: e.cfg.ID, Payload: payload}); err != nil {
+	if err := writeFrame(conn.bw, tag, body); err != nil {
 		e.dropConn(to, conn)
 		return fmt.Errorf("transport: sending to %s: %w", to, err)
 	}
 	return nil
+}
+
+// multicast sends one payload to every destination except self, encoding
+// it exactly once; transport.Multicast dispatches here for TCP endpoints.
+func (e *TCPEndpoint) multicast(tos []types.NodeID, payload any) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	tag, body, err := encodeFrame(payload)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, to := range tos {
+		if to == e.cfg.ID {
+			continue
+		}
+		if err := e.sendFrame(to, tag, body); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 func (e *TCPEndpoint) getConn(to types.NodeID, addr string) (*outConn, error) {
@@ -143,9 +292,9 @@ func (e *TCPEndpoint) getConn(to types.NodeID, addr string) (*outConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing %s at %s: %w", to, addr, err)
 	}
-	c := &outConn{conn: raw, enc: gob.NewEncoder(raw)}
+	c := &outConn{conn: raw, bw: bufio.NewWriter(raw)}
 	// Handshake: announce our identity once per connection.
-	if err := c.enc.Encode(wireFrame{From: e.cfg.ID}); err != nil {
+	if err := writeFrame(c.bw, frameHello, []byte(e.cfg.ID)); err != nil {
 		raw.Close()
 		return nil, fmt.Errorf("transport: handshake with %s: %w", to, err)
 	}
@@ -191,8 +340,9 @@ func (e *TCPEndpoint) acceptLoop() {
 }
 
 // readLoop consumes frames from one inbound connection. The first frame
-// is the handshake pinning the sender identity; subsequent frames must
-// carry the same identity.
+// must be the handshake pinning the sender identity; a decode failure on
+// any later frame drops the link (the peer is broken or hostile — there
+// is no way to resynchronize a corrupt length-prefixed stream).
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
 	defer func() {
@@ -201,24 +351,22 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		delete(e.inbound, conn)
 		e.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	var hello wireFrame
-	if err := dec.Decode(&hello); err != nil || hello.From == "" {
+	br := bufio.NewReader(conn)
+	tag, body, err := readFrame(br)
+	if err != nil || tag != frameHello || len(body) == 0 {
 		return
 	}
-	from := hello.From
-	if hello.Payload != nil {
-		e.in.push(Message{From: from, To: e.cfg.ID, Payload: hello.Payload})
-	}
+	from := types.NodeID(body)
 	for {
-		var frame wireFrame
-		if err := dec.Decode(&frame); err != nil {
+		tag, body, err := readFrame(br)
+		if err != nil {
 			return
 		}
-		if frame.From != from {
-			return // identity switch mid-connection: drop the link
+		payload, err := decodeFrame(tag, body)
+		if err != nil {
+			return // undecodable frame: drop the link
 		}
-		e.in.push(Message{From: from, To: e.cfg.ID, Payload: frame.Payload})
+		e.in.push(Message{From: from, To: e.cfg.ID, Payload: payload})
 	}
 }
 
@@ -250,7 +398,7 @@ func (e *TCPEndpoint) Close() {
 			delete(e.conns, id)
 		}
 		for conn := range e.inbound {
-			conn.Close() // unblocks the readLoop's Decode
+			conn.Close() // unblocks the readLoop's readFrame
 		}
 		e.mu.Unlock()
 		e.in.close()

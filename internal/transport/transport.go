@@ -50,11 +50,22 @@ type Endpoint interface {
 	Close()
 }
 
+// multicaster is the optional capability an Endpoint can implement to
+// serialize a payload once and fan the encoded frame out, instead of
+// re-marshaling per destination (the TCP endpoint does).
+type multicaster interface {
+	multicast(tos []types.NodeID, payload any) error
+}
+
 // Multicast sends payload to every listed destination, skipping the
 // sender itself. Errors for individual destinations are ignored beyond
 // the first, matching best-effort multicast semantics; reliability comes
-// from protocol-level quorums.
+// from protocol-level quorums. Endpoints implementing the multicaster
+// capability encode the payload exactly once.
 func Multicast(ep Endpoint, tos []types.NodeID, payload any) error {
+	if mc, ok := ep.(multicaster); ok {
+		return mc.multicast(tos, payload)
+	}
 	var firstErr error
 	for _, to := range tos {
 		if to == ep.ID() {

@@ -190,10 +190,13 @@ func (r *ByteReader) Str() string {
 }
 
 // Strs reads a count-prefixed list of strings. A zero count decodes to
-// nil so that round trips preserve nil slices.
+// nil so that round trips preserve nil slices. The count is bounded by
+// the smallest possible encoding of one string (its 8-byte length
+// prefix), so a hostile count cannot reserve a slice whose element count
+// exceeds what the input could possibly back.
 func (r *ByteReader) Strs() []string {
 	n := r.U64()
-	if r.err != nil || n > uint64(r.Remaining()) {
+	if r.err != nil || n > uint64(r.Remaining())/8 {
 		r.fail()
 		return nil
 	}

@@ -230,6 +230,13 @@ func (g *Generator) nextColdKey(app types.AppID) types.Key {
 // SubmitUnixNano, derives the ID from the digest, and signs with the
 // client's signer.
 func Finalize(tx *types.Transaction, nowUnixNano int64, sign func(digest []byte) []byte) {
+	// Canonicalize the declared access sets before anything commits to
+	// the transaction's bytes: the digest (hence ID and signature) must
+	// cover the same ordering the orderers' graph builders and the
+	// ledger's Merkle commitment see, so no node ever needs to mutate a
+	// signed transaction. Orderers drop non-canonical sets outright.
+	tx.Op.Reads = types.NormalizeKeys(tx.Op.Reads)
+	tx.Op.Writes = types.NormalizeKeys(tx.Op.Writes)
 	tx.SubmitUnixNano = nowUnixNano
 	digest := tx.Digest()
 	tx.ID = types.TxID(digest.String()[:16] + "-" + string(tx.Client))

@@ -4,7 +4,11 @@
 # the perf trajectory future PRs are measured against. The executor
 # package includes BenchmarkExecutorPipelined/depth={1,4}, the
 # cross-block pipelining vs per-block barrier comparison; the depth=4
-# row is expected to stay well ahead of depth=1 (>=1.3x tx/s).
+# row is expected to stay well ahead of depth=1 (>=1.3x tx/s). It also
+# includes BenchmarkOrdererStreaming/{monolithic,segment=16}: the
+# segment=16 first-exec-ns metric (time from first ordered transaction to
+# first execution) is expected to stay well below the monolithic row's —
+# graph generation and block dissemination off the critical path.
 #
 # Usage: scripts/bench_baseline.sh [output.json]
 set -eu
