@@ -10,6 +10,7 @@
 //	                        rule), A4 (consensus plug comparison)
 //	parbench -fig pipeline  executor pipeline-depth sweep
 //	parbench -fig stream    orderer->executor segment-streaming sweep
+//	parbench -fig durability  WAL fsync cost on the finalize hot path
 //	parbench -fig all       everything
 //
 // Use -quick for a fast smoke pass with reduced sweep ranges, -dur and
@@ -25,6 +26,7 @@ import (
 
 	"parblockchain/internal/bench"
 	"parblockchain/internal/oxii"
+	"parblockchain/internal/persist"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 
 type config struct {
 	fig      string
+	fsync    string
 	quick    bool
 	csv      bool
 	duration time.Duration
@@ -48,7 +51,7 @@ type config struct {
 
 func run() error {
 	var cfg config
-	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations pipeline stream all")
+	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations pipeline stream durability all")
 	flag.BoolVar(&cfg.quick, "quick", false, "reduced sweep ranges for a fast pass")
 	flag.BoolVar(&cfg.csv, "csv", false, "emit raw CSV rows instead of tables")
 	flag.DurationVar(&cfg.duration, "dur", 2*time.Second, "steady-state measurement window per point")
@@ -57,23 +60,25 @@ func run() error {
 	flag.BoolVar(&cfg.crypto, "crypto", false, "enable ed25519 signing end to end")
 	flag.IntVar(&cfg.pipeline, "pipeline", 0, "executor pipeline depth for all OXII runs (1 = per-block barrier, 0 = default)")
 	flag.IntVar(&cfg.segTxns, "segtxns", 0, "orderer segment size for all OXII runs (0 = monolithic NEWBLOCK)")
+	flag.StringVar(&cfg.fsync, "fsync", "group", "WAL fsync policy for the durability sweep: group, always, or never")
 	flag.Parse()
 
 	figs := map[string]func(config) error{
 		"5a": fig5, "5b": fig5,
-		"6a":        func(c config) error { return fig6(c, 0.0) },
-		"6b":        func(c config) error { return fig6(c, 0.2) },
-		"6c":        func(c config) error { return fig6(c, 0.8) },
-		"6d":        func(c config) error { return fig6(c, 1.0) },
-		"7a":        func(c config) error { return fig7(c, bench.GroupClients) },
-		"7b":        func(c config) error { return fig7(c, bench.GroupOrderers) },
-		"7c":        func(c config) error { return fig7(c, bench.GroupExecutors) },
-		"7d":        func(c config) error { return fig7(c, bench.GroupPassive) },
-		"ablations": ablations,
-		"pipeline":  figPipeline,
-		"stream":    figStream,
+		"6a":         func(c config) error { return fig6(c, 0.0) },
+		"6b":         func(c config) error { return fig6(c, 0.2) },
+		"6c":         func(c config) error { return fig6(c, 0.8) },
+		"6d":         func(c config) error { return fig6(c, 1.0) },
+		"7a":         func(c config) error { return fig7(c, bench.GroupClients) },
+		"7b":         func(c config) error { return fig7(c, bench.GroupOrderers) },
+		"7c":         func(c config) error { return fig7(c, bench.GroupExecutors) },
+		"7d":         func(c config) error { return fig7(c, bench.GroupPassive) },
+		"ablations":  ablations,
+		"pipeline":   figPipeline,
+		"stream":     figStream,
+		"durability": figDurability,
 	}
-	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations", "pipeline", "stream"}
+	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations", "pipeline", "stream", "durability"}
 
 	switch cfg.fig {
 	case "all":
@@ -325,4 +330,31 @@ func printSeries(c config, title string, series []namedSeries) {
 				p.Result.P95.Round(time.Millisecond), p.Result.Aborted)
 		}
 	}
+}
+
+// figDurability measures the durability subsystem's cost on the
+// finalize hot path: OXII in-memory vs WAL-backed at the per-block
+// barrier (depth 1) and a pipelined depth (4), where the group-commit
+// policy amortizes one fsync over each finalize batch.
+func figDurability(c config) error {
+	fsync, err := persist.ParseFsyncPolicy(c.fsync)
+	if err != nil {
+		return err
+	}
+	depths := []int{1, 4}
+	levels := c.clientLevels()
+	series, err := bench.DurabilitySweep(c.base(), 0.2, depths, fsync, levels, os.Stderr)
+	if err != nil {
+		return err
+	}
+	rows := make([]namedSeries, 0, len(series))
+	for _, s := range series {
+		name := fmt.Sprintf("depth=%d/in-memory", s.Depth)
+		if s.Durable {
+			name = fmt.Sprintf("depth=%d/wal-%s", s.Depth, s.Fsync)
+		}
+		rows = append(rows, namedSeries{name: name, points: s.Points})
+	}
+	printSeries(c, "Durability: WAL fsync cost on the finalize path @ 20% contention", rows)
+	return nil
 }

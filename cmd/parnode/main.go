@@ -28,6 +28,7 @@ import (
 	"parblockchain/internal/execution"
 	"parblockchain/internal/ledger"
 	"parblockchain/internal/ordering"
+	"parblockchain/internal/persist"
 	"parblockchain/internal/state"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
@@ -93,8 +94,14 @@ func run(configPath string, id types.NodeID) error {
 		stop = node.Stop
 		log.Printf("orderer %s listening on %s", id, ep.Addr())
 	case has(cfg.Executors, id):
-		node := runExecutor(cfg, id, ep, signer, verifier)
-		stop = node.Stop
+		node, closeDurability, err := runExecutor(cfg, id, ep, signer, verifier)
+		if err != nil {
+			return err
+		}
+		stop = func() {
+			node.Stop()
+			closeDurability()
+		}
 		log.Printf("executor %s listening on %s (observer=%v)", id, ep.Addr(), string(id) == cfg.Observer)
 	default:
 		return fmt.Errorf("parnode: %s is neither an orderer nor an executor", id)
@@ -165,7 +172,7 @@ func runOrderer(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 }
 
 func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
-	signer cryptoutil.Signer, verifier cryptoutil.Verifier) *execution.Executor {
+	signer cryptoutil.Signer, verifier cryptoutil.Verifier) (*execution.Executor, func(), error) {
 	registry := contract.NewRegistry()
 	for app, agents := range cfg.AgentsOf() {
 		for _, agent := range agents {
@@ -176,8 +183,40 @@ func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 			}
 		}
 	}
-	store := state.NewKVStore()
-	store.Apply(cfg.GenesisKVs(contract.EncodeBalance))
+	genesis := cfg.GenesisKVs(contract.EncodeBalance)
+	var (
+		store           *state.KVStore
+		led             *ledger.Ledger
+		mgr             *persist.Manager
+		closeDurability = func() {}
+	)
+	if dataDir := cfg.NodeDataDir(id); dataDir != "" {
+		fsync, err := persist.ParseFsyncPolicy(cfg.FsyncPolicy)
+		if err != nil {
+			return nil, nil, err // unreachable: Load validated the policy
+		}
+		var rec *persist.Recovered
+		mgr, rec, err = persist.Open(persist.Config{
+			Dir:              dataDir,
+			Fsync:            fsync,
+			SnapshotInterval: cfg.SnapshotIntervalBlocks,
+		}, genesis)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parnode: %w", err)
+		}
+		store, led = rec.Store, rec.Ledger
+		closeDurability = func() {
+			if err := mgr.Close(); err != nil {
+				log.Printf("parnode: closing durability manager: %v", err)
+			}
+		}
+		log.Printf("executor %s durable under %s: height %d (snapshot %d + %d WAL records)",
+			id, dataDir, led.Height(), rec.SnapshotHeight, rec.Replayed)
+	} else {
+		store = state.NewKVStore()
+		store.Apply(genesis)
+		led = ledger.New()
+	}
 	quorum := 1
 	if cfg.Consensus == "pbft" {
 		quorum = (len(cfg.Orderers)-1)/3 + 1
@@ -190,13 +229,14 @@ func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 		OrderQuorum:   quorum,
 		Executors:     cfg.ExecutorIDs(),
 		Store:         store,
-		Ledger:        ledger.New(),
+		Ledger:        led,
 		PipelineDepth: cfg.PipelineDepth,
 		Signer:        signer,
 		Verifier:      verifier,
 		VerifySigs:    cfg.Crypto,
+		Persist:       mgr,
 		NotifyClients: string(id) == cfg.Observer,
 	})
 	node.Start()
-	return node
+	return node, closeDurability, nil
 }

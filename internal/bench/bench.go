@@ -24,6 +24,7 @@ import (
 	"parblockchain/internal/depgraph"
 	"parblockchain/internal/metrics"
 	"parblockchain/internal/oxii"
+	"parblockchain/internal/persist"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
 	"parblockchain/internal/workload"
@@ -117,6 +118,18 @@ type Options struct {
 	// generation and dissemination move off the cut path). 0 keeps the
 	// monolithic NEWBLOCK.
 	SegmentTxns int
+	// DataDir enables the durability subsystem for OXII runs: every
+	// executor write-ahead-logs finalized blocks (and snapshots state)
+	// under DataDir/<id>, putting the fsync cost on the finalize path.
+	// Empty keeps ledger and state in memory. Sweeps use a fresh temp
+	// directory per point.
+	DataDir string
+	// FsyncPolicy is the WAL fsync policy for durable runs (empty =
+	// group commit: one fsync per finalize batch).
+	FsyncPolicy persist.FsyncPolicy
+	// SnapshotInterval is the number of blocks between snapshots for
+	// durable runs (0 = persist default, negative disables).
+	SnapshotInterval int
 	// Seed fixes the workload stream.
 	Seed int64
 }
@@ -204,6 +217,12 @@ type Result struct {
 	// converged (it is not an adversarially-robust commitment — see
 	// state.KVStore.Hash).
 	StateHash types.Hash
+	// WALAppends and WALSyncs are the observer executor's durability
+	// counters for the whole run (0 without Options.DataDir). Syncs <<
+	// Appends is the group-commit amortization: pipelined blocks
+	// finalizing in one batch share a single fsync.
+	WALAppends uint64
+	WALSyncs   uint64
 }
 
 // String formats the point as a table row.
@@ -294,6 +313,7 @@ func Run(opts Options) (Result, error) {
 	var commitMsgs func() uint64
 	var retriesFn func() uint64
 	var stateHash func() types.Hash
+	var walStats func() persist.Stats
 
 	graphMode := depgraph.Standard
 	if opts.GraphMultiVersion {
@@ -317,6 +337,9 @@ func Run(opts Options) (Result, error) {
 			ExecWorkers:      opts.ExecWorkers,
 			PipelineDepth:    opts.PipelineDepth,
 			SegmentTxns:      opts.SegmentTxns,
+			DataDir:          opts.DataDir,
+			FsyncPolicy:      opts.FsyncPolicy,
+			SnapshotInterval: opts.SnapshotInterval,
 			Crypto:           opts.Crypto,
 			Genesis:          genesis,
 			Net:              net,
@@ -349,6 +372,12 @@ func Run(opts Options) (Result, error) {
 			return total
 		}
 		stateHash = func() types.Hash { return nw.ObserverStore().Hash() }
+		walStats = func() persist.Stats {
+			if len(nw.Persists) == 0 || nw.Persists[0] == nil {
+				return persist.Stats{}
+			}
+			return nw.Persists[0].Stats()
+		}
 	case SystemOX:
 		nw, err := ox.New(ox.Config{
 			Orderers:         orderers,
@@ -474,6 +503,10 @@ func Run(opts Options) (Result, error) {
 	}
 	if stateHash != nil {
 		result.StateHash = stateHash()
+	}
+	if walStats != nil {
+		st := walStats()
+		result.WALAppends, result.WALSyncs = st.Appends, st.Syncs
 	}
 	return result, nil
 }

@@ -138,3 +138,31 @@ func TestGeoSweepSkipsOXForExecutorPlacements(t *testing.T) {
 		t.Fatalf("series = %d, want 1", len(series))
 	}
 }
+
+func TestRunOXIIDurable(t *testing.T) {
+	opts := short(SystemOXII)
+	opts.DataDir = t.TempDir()
+	opts.PipelineDepth = 4
+	r, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput <= 0 || r.Errors != 0 {
+		t.Fatalf("bad durable result: %+v", r)
+	}
+	if r.WALAppends == 0 {
+		t.Fatal("durable run logged no WAL records")
+	}
+	if r.WALSyncs == 0 || r.WALSyncs > r.WALAppends {
+		t.Fatalf("group-commit accounting broken: %d syncs for %d appends",
+			r.WALSyncs, r.WALAppends)
+	}
+	// In-memory runs must not report durability counters.
+	r2, err := Run(short(SystemOXII))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.WALAppends != 0 || r2.WALSyncs != 0 {
+		t.Fatalf("in-memory run reported WAL activity: %+v", r2)
+	}
+}

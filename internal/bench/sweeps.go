@@ -3,7 +3,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
+
+	"parblockchain/internal/persist"
 )
 
 // This file implements the per-figure experiment sweeps of the paper's
@@ -245,6 +248,92 @@ func PipelineSweep(base Options, contention float64, depths []int,
 			fmt.Fprintf(progress, "pipeline depth=%-3d peak=%8.0f tx/s lat=%8s\n",
 				depth, peak.Result.Throughput,
 				peak.Result.AvgLatency.Round(time.Millisecond))
+		}
+	}
+	return series, nil
+}
+
+// durableCurve is Curve with a fresh temp data directory per point
+// (removed afterwards), so every measurement starts from genesis.
+func durableCurve(opts Options, clientLevels []int) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(clientLevels))
+	for _, c := range clientLevels {
+		dir, err := os.MkdirTemp("", "parbench-durability-")
+		if err != nil {
+			return points, err
+		}
+		opts.Clients = c
+		opts.DataDir = dir
+		r, err := Run(opts)
+		os.RemoveAll(dir)
+		if err != nil {
+			return points, err
+		}
+		points = append(points, SweepPoint{Clients: c, Result: r})
+	}
+	return points, nil
+}
+
+// DurabilitySeries is one line of a durability plot: OXII's
+// throughput-latency curve at one pipeline depth with durability on or
+// off. For durable series, WALAppends/WALSyncs of the peak point expose
+// the group-commit amortization (syncs per appended block).
+type DurabilitySeries struct {
+	Depth   int
+	Durable bool
+	Fsync   persist.FsyncPolicy
+	Points  []SweepPoint
+}
+
+// DurabilitySweep measures the cost of the durability subsystem on the
+// finalize hot path: for each pipeline depth it runs OXII in-memory and
+// with a WAL under the given fsync policy (fresh temp directory per
+// point, removed afterwards). Deeper pipelines finalize more blocks per
+// batch, so the group-commit policy amortizes the fsync cost the sweep
+// isolates.
+func DurabilitySweep(base Options, contention float64, depths []int, fsync persist.FsyncPolicy,
+	clientLevels []int, progress io.Writer) ([]DurabilitySeries, error) {
+	series := make([]DurabilitySeries, 0, 2*len(depths))
+	for _, depth := range depths {
+		for _, durable := range []bool{false, true} {
+			opts := base
+			opts.System = SystemOXII
+			opts.Contention = contention
+			opts.PipelineDepth = depth
+			var points []SweepPoint
+			var err error
+			if durable {
+				opts.FsyncPolicy = fsync
+				// Every point gets a fresh directory: reusing one would
+				// make the next point's executors resume at the previous
+				// run's height while its fresh orderers cut from block 0.
+				points, err = durableCurve(opts, clientLevels)
+			} else {
+				points, err = Curve(opts, clientLevels)
+			}
+			if err != nil {
+				return series, err
+			}
+			s := DurabilitySeries{Depth: depth, Durable: durable, Points: points}
+			if durable {
+				s.Fsync = fsync
+			}
+			series = append(series, s)
+			if progress != nil {
+				peak := Peak(points)
+				mode := "in-memory"
+				if durable {
+					mode = "durable/" + string(fsync)
+				}
+				line := fmt.Sprintf("durability depth=%-3d %-16s peak=%8.0f tx/s lat=%8s",
+					depth, mode, peak.Result.Throughput,
+					peak.Result.AvgLatency.Round(time.Millisecond))
+				if durable && peak.Result.WALAppends > 0 {
+					line += fmt.Sprintf("  fsyncs/block=%.2f",
+						float64(peak.Result.WALSyncs)/float64(peak.Result.WALAppends))
+				}
+				fmt.Fprintln(progress, line)
+			}
 		}
 	}
 	return series, nil

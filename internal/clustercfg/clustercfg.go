@@ -8,9 +8,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
+	"parblockchain/internal/persist"
 	"parblockchain/internal/types"
 )
 
@@ -43,6 +45,25 @@ type Config struct {
 	// one monolithic NEWBLOCK per block. 0 keeps the monolithic wire
 	// format. Every orderer of a cluster must use the same value.
 	SegmentTxns int `json:"segmentTxns,omitempty"`
+	// DataDir roots the durability subsystem: each executor keeps its
+	// write-ahead log and state snapshots under DataDir/<node-id>, and a
+	// restarted node resumes from its durable height instead of genesis.
+	// Empty keeps ledger and state in memory. Relative paths resolve
+	// against each node's working directory, so multi-host clusters
+	// usually want an absolute path. Only executors persist: restarting
+	// an executor into a running cluster recovers from disk, but
+	// restarting the whole cluster (orderers included) re-cuts from
+	// block 0 against executors that are already ahead — orderer
+	// durability is a ROADMAP follow-on.
+	DataDir string `json:"dataDir,omitempty"`
+	// FsyncPolicy is "group" (default: one fsync per finalize batch),
+	// "always" (one per block), or "never" (page cache only). Ignored
+	// without DataDir.
+	FsyncPolicy string `json:"fsyncPolicy,omitempty"`
+	// SnapshotIntervalBlocks is the number of blocks between state
+	// snapshots and WAL truncations (0 = persist default, negative
+	// disables snapshots). Ignored without DataDir.
+	SnapshotIntervalBlocks int `json:"snapshotIntervalBlocks,omitempty"`
 	// Crypto enables deterministic demo keys and full verification.
 	Crypto bool `json:"crypto,omitempty"`
 	// Genesis seeds each executor's store with account balances.
@@ -84,7 +105,25 @@ func Load(path string) (*Config, error) {
 	if cfg.SegmentTxns < 0 {
 		return nil, fmt.Errorf("clustercfg: %s: segmentTxns must be >= 0", path)
 	}
+	if _, err := persist.ParseFsyncPolicy(cfg.FsyncPolicy); err != nil {
+		return nil, fmt.Errorf("clustercfg: %s: %w", path, err)
+	}
+	if cfg.DataDir == "" && cfg.FsyncPolicy != "" {
+		return nil, fmt.Errorf("clustercfg: %s: fsyncPolicy requires dataDir", path)
+	}
+	if cfg.DataDir == "" && cfg.SnapshotIntervalBlocks != 0 {
+		return nil, fmt.Errorf("clustercfg: %s: snapshotIntervalBlocks requires dataDir", path)
+	}
 	return &cfg, nil
+}
+
+// NodeDataDir returns the durability directory for one node, or "" when
+// the cluster runs in memory.
+func (c *Config) NodeDataDir(id types.NodeID) string {
+	if c.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.DataDir, string(id))
 }
 
 // OrdererIDs returns the orderer identities in sorted (deterministic)

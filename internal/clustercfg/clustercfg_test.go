@@ -87,3 +87,56 @@ func TestLoadMissingFile(t *testing.T) {
 		t.Fatal("missing file must be rejected")
 	}
 }
+
+func TestLoadDurabilityFields(t *testing.T) {
+	good := `{
+  "orderers": {"o1": "x"},
+  "executors": {"e1": "y"},
+  "dataDir": "/var/lib/parblockchain",
+  "fsyncPolicy": "always",
+  "snapshotIntervalBlocks": 256
+}`
+	cfg, err := Load(write(t, good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NodeDataDir("e1") != filepath.Join("/var/lib/parblockchain", "e1") {
+		t.Fatalf("NodeDataDir = %q", cfg.NodeDataDir("e1"))
+	}
+	if cfg.FsyncPolicy != "always" || cfg.SnapshotIntervalBlocks != 256 {
+		t.Fatalf("durability fields not loaded: %+v", cfg)
+	}
+
+	// In-memory cluster: NodeDataDir must stay empty.
+	inmem := `{"orderers": {"o1": "x"}, "executors": {"e1": "y"}}`
+	cfg, err = Load(write(t, inmem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NodeDataDir("e1") != "" {
+		t.Fatalf("in-memory NodeDataDir = %q", cfg.NodeDataDir("e1"))
+	}
+}
+
+func TestLoadRejectsBadFsyncPolicy(t *testing.T) {
+	bad := `{
+  "orderers": {"o1": "x"},
+  "executors": {"e1": "y"},
+  "dataDir": "/tmp/d",
+  "fsyncPolicy": "sometimes"
+}`
+	if _, err := Load(write(t, bad)); err == nil {
+		t.Fatal("bogus fsync policy must be rejected")
+	}
+}
+
+func TestLoadRejectsFsyncWithoutDataDir(t *testing.T) {
+	bad := `{
+  "orderers": {"o1": "x"},
+  "executors": {"e1": "y"},
+  "fsyncPolicy": "group"
+}`
+	if _, err := Load(write(t, bad)); err == nil {
+		t.Fatal("fsyncPolicy without dataDir must be rejected")
+	}
+}

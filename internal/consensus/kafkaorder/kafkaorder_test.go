@@ -1,4 +1,4 @@
-package kafkaorder
+package kafkaorder_test
 
 import (
 	"fmt"
@@ -6,11 +6,12 @@ import (
 	"time"
 
 	"parblockchain/internal/consensus"
+	"parblockchain/internal/consensus/kafkaorder"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
 )
 
-func newCluster(t *testing.T, n int) (*transport.InMemNetwork, []*Node, []types.NodeID) {
+func newCluster(t *testing.T, n int) (*transport.InMemNetwork, []*kafkaorder.Node, []types.NodeID) {
 	t.Helper()
 	net := transport.NewInMemNetwork(transport.InMemConfig{
 		Latency: transport.ConstantLatency(200 * time.Microsecond),
@@ -19,20 +20,20 @@ func newCluster(t *testing.T, n int) (*transport.InMemNetwork, []*Node, []types.
 	for i := range ids {
 		ids[i] = types.NodeID(fmt.Sprintf("k%d", i+1))
 	}
-	nodes := make([]*Node, n)
+	nodes := make([]*kafkaorder.Node, n)
 	for i, id := range ids {
 		ep, err := net.Endpoint(id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		node := New(Config{
+		node := kafkaorder.New(kafkaorder.Config{
 			ID:      id,
 			Members: ids,
 			Sender:  consensus.SenderFunc(ep.Send),
 			Batch:   consensus.BatchConfig{MaxMsgs: 4, MaxDelayMillis: 2},
 		})
 		nodes[i] = node
-		go func(ep transport.Endpoint, node *Node) {
+		go func(ep transport.Endpoint, node *kafkaorder.Node) {
 			for msg := range ep.Recv() {
 				node.Step(msg.From, msg.Payload)
 			}
@@ -48,7 +49,7 @@ func newCluster(t *testing.T, n int) (*transport.InMemNetwork, []*Node, []types.
 	return net, nodes, ids
 }
 
-func collect(t *testing.T, n *Node, k int, timeout time.Duration) []consensus.Entry {
+func collect(t *testing.T, n *kafkaorder.Node, k int, timeout time.Duration) []consensus.Entry {
 	t.Helper()
 	out := make([]consensus.Entry, 0, k)
 	deadline := time.After(timeout)
@@ -131,15 +132,15 @@ func TestAckQuorumConfigurable(t *testing.T) {
 	}
 	// AckQuorum 3 requires every broker; isolate one and the batch must
 	// NOT commit.
-	nodes := make([]*Node, 3)
+	nodes := make([]*kafkaorder.Node, 3)
 	for i, id := range ids {
-		nodes[i] = New(Config{
+		nodes[i] = kafkaorder.New(kafkaorder.Config{
 			ID: id, Members: ids,
 			Sender:    consensus.SenderFunc(eps[id].Send),
 			Batch:     consensus.BatchConfig{MaxMsgs: 1, MaxDelayMillis: 1},
 			AckQuorum: 3,
 		})
-		go func(ep transport.Endpoint, node *Node) {
+		go func(ep transport.Endpoint, node *kafkaorder.Node) {
 			for msg := range ep.Recv() {
 				node.Step(msg.From, msg.Payload)
 			}

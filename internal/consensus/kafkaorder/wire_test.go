@@ -1,0 +1,83 @@
+package kafkaorder
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestWireRoundTrips pins every kafkaorder wire codec: decode(encode(m))
+// == m for each protocol message.
+func TestWireRoundTrips(t *testing.T) {
+	cases := []struct {
+		name   string
+		msg    any
+		enc    []byte
+		decode func([]byte) (any, error)
+	}{
+		{"Forward", Forward{Payload: []byte("p")}, Forward{Payload: []byte("p")}.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalForward(b) }},
+		{"Append", Append{Seq: 3, Batch: [][]byte{[]byte("a"), []byte("bb")}},
+			Append{Seq: 3, Batch: [][]byte{[]byte("a"), []byte("bb")}}.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalAppend(b) }},
+		{"EmptyAppend", Append{Seq: 4}, Append{Seq: 4}.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalAppend(b) }},
+		{"Ack", Ack{Seq: 3}, Ack{Seq: 3}.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalAck(b) }},
+		{"CommitAnn", CommitAnn{Seq: 3}, CommitAnn{Seq: 3}.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalCommitAnn(b) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := c.decode(c.enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, c.msg) {
+				t.Fatalf("round trip changed the message: %#v != %#v", got, c.msg)
+			}
+			if _, err := c.decode(append(append([]byte{}, c.enc...), 0x00)); err == nil {
+				t.Fatal("trailing byte accepted")
+			}
+		})
+	}
+}
+
+// TestWireMalformedRejected: truncated and hostile inputs error instead
+// of panicking or over-allocating.
+func TestWireMalformedRejected(t *testing.T) {
+	good := Append{Seq: 1, Batch: [][]byte{[]byte("x")}}.Marshal()
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := UnmarshalAppend(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// A batch count promising more payloads than the input could hold
+	// must fail before allocation.
+	hostile := append([]byte{}, good[:8]...) // seq
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	if _, err := UnmarshalAppend(hostile); err == nil {
+		t.Fatal("hostile batch count accepted")
+	}
+}
+
+func FuzzUnmarshalAppend(f *testing.F) {
+	f.Add(Append{Seq: 3, Batch: [][]byte{[]byte("a"), []byte("bb")}}.Marshal())
+	f.Add(Append{}.Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 24))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalAppend(data)
+		if err != nil {
+			return
+		}
+		enc := m.Marshal()
+		m2, err := UnmarshalAppend(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if !bytes.Equal(enc, m2.Marshal()) {
+			t.Fatal("Append encoding is not a fixed point")
+		}
+	})
+}

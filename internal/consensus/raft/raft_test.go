@@ -1,4 +1,4 @@
-package raft
+package raft_test
 
 import (
 	"fmt"
@@ -6,13 +6,14 @@ import (
 	"time"
 
 	"parblockchain/internal/consensus"
+	"parblockchain/internal/consensus/raft"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
 )
 
 type cluster struct {
 	net   *transport.InMemNetwork
-	nodes []*Node
+	nodes []*raft.Node
 	ids   []types.NodeID
 }
 
@@ -29,7 +30,7 @@ func newCluster(t *testing.T, n int) *cluster {
 		if err != nil {
 			t.Fatal(err)
 		}
-		node := New(Config{
+		node := raft.New(raft.Config{
 			ID:              id,
 			Members:         c.ids,
 			Sender:          consensus.SenderFunc(ep.Send),
@@ -37,7 +38,7 @@ func newCluster(t *testing.T, n int) *cluster {
 			Seed:            int64(i + 1),
 		})
 		c.nodes = append(c.nodes, node)
-		go func(ep transport.Endpoint, node *Node) {
+		go func(ep transport.Endpoint, node *raft.Node) {
 			for msg := range ep.Recv() {
 				node.Step(msg.From, msg.Payload)
 			}
@@ -53,7 +54,7 @@ func newCluster(t *testing.T, n int) *cluster {
 	return c
 }
 
-func collect(t *testing.T, n *Node, k int, timeout time.Duration) []consensus.Entry {
+func collect(t *testing.T, n *raft.Node, k int, timeout time.Duration) []consensus.Entry {
 	t.Helper()
 	out := make([]consensus.Entry, 0, k)
 	deadline := time.After(timeout)
@@ -119,7 +120,7 @@ func TestLeaderFailover(t *testing.T) {
 	}
 	c.net.Isolate(leader, true)
 	// Submit through the surviving members; a new leader must commit it.
-	survivors := make([]*Node, 0, 2)
+	survivors := make([]*raft.Node, 0, 2)
 	for i, id := range c.ids {
 		if id != leader {
 			survivors = append(survivors, c.nodes[i])

@@ -1,0 +1,126 @@
+package raft
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestWireRoundTrips pins every Raft wire codec: decode(encode(m)) == m,
+// including the protocol-meaningful nil-vs-empty distinction of LogEntry
+// payloads (nil is a leader no-op; empty is data).
+func TestWireRoundTrips(t *testing.T) {
+	entries := []raftCase{
+		{"Forward", Forward{Payload: []byte("p")},
+			func(b []byte) (any, error) { return UnmarshalForward(b) }},
+		{"RequestVote", RequestVote{Term: 5, LastLogIndex: 9, LastLogTerm: 4},
+			func(b []byte) (any, error) { return UnmarshalRequestVote(b) }},
+		{"VoteResp", VoteResp{Term: 5, Granted: true},
+			func(b []byte) (any, error) { return UnmarshalVoteResp(b) }},
+		{"VoteRespDenied", VoteResp{Term: 6},
+			func(b []byte) (any, error) { return UnmarshalVoteResp(b) }},
+		{"AppendEntries", AppendEntries{
+			Term: 7, PrevIndex: 3, PrevTerm: 6,
+			Entries: []LogEntry{
+				{Term: 7, Payload: []byte("data")},
+				{Term: 7, Payload: nil},      // no-op
+				{Term: 7, Payload: []byte{}}, // present but empty
+			},
+			LeaderCommit: 2,
+		}, func(b []byte) (any, error) { return UnmarshalAppendEntries(b) }},
+		{"Heartbeat", AppendEntries{Term: 7, PrevIndex: 9, PrevTerm: 7, LeaderCommit: 9},
+			func(b []byte) (any, error) { return UnmarshalAppendEntries(b) }},
+		{"AppendResp", AppendResp{Term: 7, Success: true, MatchIndex: 4},
+			func(b []byte) (any, error) { return UnmarshalAppendResp(b) }},
+	}
+	for _, c := range entries {
+		t.Run(c.name, func(t *testing.T) {
+			enc := marshalAny(t, c.msg)
+			got, err := c.decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, c.msg) {
+				t.Fatalf("round trip changed the message: %#v != %#v", got, c.msg)
+			}
+			// Trailing bytes are rejected: a frame is exactly one message.
+			if _, err := c.decode(append(append([]byte{}, enc...), 0x00)); err == nil {
+				t.Fatal("trailing byte accepted")
+			}
+		})
+	}
+}
+
+type raftCase struct {
+	name   string
+	msg    any
+	decode func([]byte) (any, error)
+}
+
+func marshalAny(t *testing.T, msg any) []byte {
+	t.Helper()
+	switch m := msg.(type) {
+	case Forward:
+		return m.Marshal()
+	case RequestVote:
+		return m.Marshal()
+	case VoteResp:
+		return m.Marshal()
+	case AppendEntries:
+		return m.Marshal()
+	case AppendResp:
+		return m.Marshal()
+	default:
+		t.Fatalf("unknown message type %T", msg)
+		return nil
+	}
+}
+
+// TestWireMalformedRejected: truncated and hostile inputs error instead
+// of panicking or over-allocating.
+func TestWireMalformedRejected(t *testing.T) {
+	good := AppendEntries{
+		Term:    1,
+		Entries: []LogEntry{{Term: 1, Payload: []byte("x")}},
+	}.Marshal()
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := UnmarshalAppendEntries(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// A count prefix promising more entries than the input could hold
+	// must fail before allocation.
+	hostile := append([]byte{}, good[:24]...) // term, prevIndex, prevTerm
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	if _, err := UnmarshalAppendEntries(hostile); err == nil {
+		t.Fatal("hostile entry count accepted")
+	}
+}
+
+func FuzzUnmarshalAppendEntries(f *testing.F) {
+	f.Add(AppendEntries{
+		Term: 7, PrevIndex: 3, PrevTerm: 6,
+		Entries: []LogEntry{
+			{Term: 7, Payload: []byte("data")},
+			{Term: 7},
+		},
+		LeaderCommit: 2,
+	}.Marshal())
+	f.Add(AppendEntries{}.Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalAppendEntries(data)
+		if err != nil {
+			return
+		}
+		enc := m.Marshal()
+		m2, err := UnmarshalAppendEntries(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if !bytes.Equal(enc, m2.Marshal()) {
+			t.Fatal("AppendEntries encoding is not a fixed point")
+		}
+	})
+}

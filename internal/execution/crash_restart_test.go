@@ -1,0 +1,115 @@
+package execution
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCrashRestartRecovery is the durability subsystem's end-to-end
+// integration test: an executor is killed mid-window — after the next
+// block's segments were admitted and began executing speculatively, but
+// before its seal quorum formed — and restarted from its data directory.
+// The restarted node must resume admission at the recovered ledger
+// height, finish the trace from a re-sent stream tail, and land on
+// exactly the state hash and ledger chain of an always-up replica. The
+// recovery itself must come from a snapshot plus a WAL tail, never a
+// full-chain replay. Runs under -race as a gating CI step.
+func TestCrashRestartRecovery(t *testing.T) {
+	const (
+		numBlocks = 8
+		blockTxns = 12
+		segTxns   = 4
+		// Blocks 0..killAt-1 finalize (and are durable) before the kill;
+		// block killAt is admitted into the window unsealed.
+		killAt = 5
+	)
+	blocks, genesis := tracedBlocks(4242, 0.4, numBlocks, blockTxns)
+
+	// The always-up replica: the same streamed trace, never restarted.
+	wantHash, wantLed, wantResults := runStreamed(t, 4, segTxns, 0, "", genesis, blocks)
+
+	dir := t.TempDir()
+	r := newDurableStreamRig(t, 4, dir, genesis)
+	stream := cutStream(blocks, segTxns, "o1")
+	for i := 0; i < killAt; i++ {
+		for _, seg := range stream[i].segs {
+			r.send(t, seg)
+		}
+		r.send(t, stream[i].seal)
+	}
+	r.awaitBlocks(t, killAt)
+
+	// Admit the next block's segments — the executor pins the stream and
+	// starts executing speculatively inside the window — but withhold the
+	// seal, so the block can never finalize before the kill.
+	for _, seg := range stream[killAt].segs {
+		r.send(t, seg)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for r.exec.Stats().TxExecuted <= uint64(killAt*blockTxns) {
+		if time.Now().After(deadline) {
+			t.Fatalf("unsealed block %d never started executing (executed=%d)",
+				killAt, r.exec.Stats().TxExecuted)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill the node mid-window — uncleanly: unsynced WAL bytes are
+	// discarded, exactly like a power loss. The unsealed block's
+	// speculative work is in memory only and must simply vanish; every
+	// externalized block must already be durable because the finalize
+	// path group-fsyncs the WAL *before* externalizing, not because a
+	// graceful close flushed it. A regression that externalizes first
+	// loses the last batch here and fails the height assertion below.
+	r.crash(t)
+
+	// Restart from disk.
+	r2 := newDurableStreamRig(t, 4, dir, genesis)
+	if h := r2.led.Height(); h != killAt {
+		t.Fatalf("restart admission height = %d, want %d", h, killAt)
+	}
+	if r2.rec.SnapshotHeight == 0 {
+		t.Fatal("restart replayed from genesis, not from a snapshot")
+	}
+	if r2.rec.Replayed >= killAt {
+		t.Fatalf("restart replayed %d records — the full chain, not the WAL tail",
+			r2.rec.Replayed)
+	}
+	if got := r2.rec.SnapshotHeight + uint64(r2.rec.Replayed); got != killAt {
+		t.Fatalf("snapshot %d + replayed %d != durable height %d",
+			r2.rec.SnapshotHeight, r2.rec.Replayed, killAt)
+	}
+
+	// Re-send the stream tail from the recovered height (in a real
+	// cluster the orderers retransmit or the node state-syncs; the wire
+	// contract is identical either way) and finish the trace.
+	for n := killAt; n < numBlocks; n++ {
+		for _, seg := range stream[n].segs {
+			r2.send(t, seg)
+		}
+		r2.send(t, stream[n].seal)
+	}
+	finalized := r2.awaitBlocks(t, numBlocks-killAt)
+
+	if got := r2.store.Hash(); got != wantHash {
+		t.Fatal("restarted node's final state hash diverged from the always-up replica")
+	}
+	if r2.led.Height() != wantLed.Height() || r2.led.LastHash() != wantLed.LastHash() {
+		t.Fatalf("restarted node's ledger diverged (height %d vs %d)",
+			r2.led.Height(), wantLed.Height())
+	}
+	if err := r2.led.Verify(); err != nil {
+		t.Fatalf("restarted node's ledger chain invalid: %v", err)
+	}
+	for b, results := range finalized {
+		want := wantResults[killAt+b]
+		if len(results) != len(want) {
+			t.Fatalf("block %d: %d results, want %d", killAt+b, len(results), len(want))
+		}
+		for i := range results {
+			if results[i].Digest() != want[i].Digest() {
+				t.Fatalf("block %d tx %d: result diverged after restart", killAt+b, i)
+			}
+		}
+	}
+}

@@ -47,12 +47,28 @@
 // traveled. Blocks admitted from segments gate the admission of their
 // successor until their seal validates, which keeps the cross-block
 // stitcher's (block, index) order intact.
+//
+// # Durability
+//
+// With Config.Persist set, the in-order finalize boundary becomes a
+// write-ahead-log append: the pump drains the window's completed prefix
+// as one batch, appends every block's finalization record (block, final
+// results, state delta, quorum evidence, post-apply state hash) to the
+// WAL, fsyncs once for the whole batch (the group-commit policy; blocks
+// finalizing together amortize the durability cost), and only then
+// externalizes any block — ledger append, OnCommit hook, client
+// notification. A crash therefore loses no externalized block, and a
+// restarted executor resumes admission at the recovered ledger height
+// (pump reads its initial cursor from the ledger, which persist.Open
+// restores from snapshot + WAL tail). With Persist nil, nothing
+// changes: finalization stays purely in memory.
 package execution
 
 import (
 	"fmt"
 	"log"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -61,6 +77,7 @@ import (
 	"parblockchain/internal/depgraph"
 	"parblockchain/internal/eventq"
 	"parblockchain/internal/ledger"
+	"parblockchain/internal/persist"
 	"parblockchain/internal/state"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
@@ -123,6 +140,13 @@ type Config struct {
 	// transaction's client on finalization. Enable it on exactly one
 	// executor of a TCP cluster; in-process deployments use OnCommit.
 	NotifyClients bool
+	// Persist, when non-nil, makes finalization durable: every block's
+	// finalization record is appended to the write-ahead log (and the
+	// batch fsynced per the manager's policy) before the block's effects
+	// are externalized, and periodic snapshots let a restart recover
+	// from snapshot + WAL tail. Store and Ledger must be the ones
+	// persist.Open recovered. Nil keeps ledger and state in memory.
+	Persist *persist.Manager
 	// Logf receives diagnostic messages; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -312,10 +336,19 @@ type blockState struct {
 
 	// Validation: matching NEWBLOCK messages per content digest.
 	ordererVotes map[types.NodeID]types.Hash
+	ordererSigs  map[types.NodeID][]byte
 	digestCount  map[types.Hash]int
 	proposals    map[types.Hash]*types.NewBlockMsg
 	valid        bool
 	msg          *types.NewBlockMsg
+
+	// Quorum evidence, captured when the content digest reaches its
+	// quorum and carried into the durable finalization record: which
+	// orderers endorsed which digest, and whether the endorsement was a
+	// seal (streamed) or a monolithic NEWBLOCK.
+	evDigest   types.Hash
+	evStreamed bool
+	evidence   []persist.Endorsement
 
 	// contentDone reports the block's full transaction list and graph are
 	// known and trusted (monolithic quorum, or streamed content matching
@@ -327,6 +360,7 @@ type blockState struct {
 	streams   map[types.NodeID]*segStream
 	specFrom  types.NodeID // orderer whose stream feeds speculative admission
 	sealVotes map[types.NodeID]types.Hash
+	sealSigs  map[types.NodeID][]byte
 	sealCount map[types.Hash]int
 	seals     map[types.Hash]*types.BlockSealMsg
 	sealed    *types.BlockSealMsg // quorum-validated seal awaiting content
@@ -570,6 +604,7 @@ func (e *Executor) handleNewBlock(from types.NodeID, m *types.NewBlockMsg) {
 		}
 	}
 	bs.ordererVotes[from] = digest
+	bs.ordererSigs[from] = m.Sig
 	bs.digestCount[digest]++
 	if _, ok := bs.proposals[digest]; !ok {
 		bs.proposals[digest] = m
@@ -580,6 +615,9 @@ func (e *Executor) handleNewBlock(from types.NodeID, m *types.NewBlockMsg) {
 			e.cfg.Logf("executor %s: block %d failed structural validation", e.cfg.ID, num)
 			return
 		}
+		bs.evDigest = digest
+		bs.evStreamed = false
+		bs.evidence = endorsements(bs.ordererVotes, bs.ordererSigs, digest)
 		bs.proposals = nil
 		if bs.started {
 			// The block is mid-stream in the window; the monolithic quorum
@@ -787,6 +825,7 @@ func (e *Executor) handleSeal(from types.NodeID, m *types.BlockSealMsg) {
 	}
 	if bs.sealVotes == nil {
 		bs.sealVotes = make(map[types.NodeID]types.Hash, 2)
+		bs.sealSigs = make(map[types.NodeID][]byte, 2)
 		bs.sealCount = make(map[types.Hash]int, 1)
 		bs.seals = make(map[types.Hash]*types.BlockSealMsg, 1)
 	}
@@ -801,18 +840,40 @@ func (e *Executor) handleSeal(from types.NodeID, m *types.BlockSealMsg) {
 		}
 	}
 	bs.sealVotes[from] = digest
+	bs.sealSigs[from] = m.Sig
 	bs.sealCount[digest]++
 	if _, ok := bs.seals[digest]; !ok {
 		bs.seals[digest] = m
 	}
 	if bs.sealCount[digest] >= e.cfg.OrderQuorum {
 		bs.sealed = bs.seals[digest]
+		bs.evDigest = digest
+		bs.evStreamed = true
+		bs.evidence = endorsements(bs.sealVotes, bs.sealSigs, digest)
 		bs.sealVotes = nil
+		bs.sealSigs = nil
 		bs.sealCount = nil
 		bs.seals = nil
 		e.maybeInstallSeal(bs)
 		e.pump()
 	}
+}
+
+// endorsements assembles the durable quorum evidence for the winning
+// digest: every voter that endorsed it, with its signature, sorted by
+// node ID so the WAL record is deterministic.
+func endorsements(votes map[types.NodeID]types.Hash, sigs map[types.NodeID][]byte,
+	won types.Hash) []persist.Endorsement {
+	out := make([]persist.Endorsement, 0, len(votes))
+	for node, d := range votes {
+		if d == won {
+			out = append(out, persist.Endorsement{Node: node, Sig: sigs[node]})
+		}
+	}
+	slices.SortFunc(out, func(a, b persist.Endorsement) int {
+		return strings.Compare(string(a.Node), string(b.Node))
+	})
+	return out
 }
 
 // maybeInstallSeal tries to bind a quorum-validated seal to streamed
@@ -985,6 +1046,7 @@ func (e *Executor) getBlockState(num uint64) *blockState {
 		bs = &blockState{
 			num:          num,
 			ordererVotes: make(map[types.NodeID]types.Hash),
+			ordererSigs:  make(map[types.NodeID][]byte),
 			digestCount:  make(map[types.Hash]int),
 			proposals:    make(map[types.Hash]*types.NewBlockMsg),
 		}
@@ -1012,13 +1074,7 @@ func (e *Executor) pump() {
 		e.admitInit = true
 	}
 	for !e.halted {
-		progress := false
-		for len(e.window) > 0 && e.window[0].complete && !e.halted {
-			bs := e.window[0]
-			e.window = e.window[1:]
-			e.finalize(bs)
-			progress = true
-		}
+		progress := e.finalizeBatch()
 		for !e.halted && len(e.window) < e.cfg.PipelineDepth {
 			if len(e.window) > 0 && !e.window[len(e.window)-1].contentDone {
 				break // tail still streaming; successors wait for its seal
@@ -1429,28 +1485,93 @@ func (e *Executor) fireSatisfied(bs *blockState, idx int) {
 	bs.crossSucc[idx] = nil
 }
 
-// finalize applies the block's net effect to the committed store and
-// appends the block to the ledger. The pump calls it for the oldest
-// in-flight block only, so the ledger and the store advance in strict
-// block order regardless of the pipeline depth. Streamed blocks reach
-// here only after their seal quorum validated the content, so the entry
-// appended is bit-identical to the monolithic path's.
+// finalizeBatch drains the window's completed prefix in strict block
+// order as one group-committed batch. Phase one applies each block's net
+// effect to the committed store and (when durability is on) appends its
+// WAL record; then the whole batch is made durable with a single fsync
+// (the group policy — pipelined blocks finalizing together amortize the
+// durability cost; the always policy synced inside each append); only
+// then does phase two externalize the blocks — ledger append, hooks,
+// client notifications — still in block order. A crash between the
+// phases loses no externalized block: the records are already durable.
+// It reports whether any block finalized.
+func (e *Executor) finalizeBatch() bool {
+	n := 0
+	for n < len(e.window) && e.window[n].complete {
+		n++
+	}
+	if n == 0 || e.halted {
+		return false
+	}
+	batch := e.window[:n:n]
+	e.window = e.window[n:]
+	for _, bs := range batch {
+		e.applyFinal(bs)
+		if e.halted {
+			return true
+		}
+	}
+	if e.cfg.Persist != nil {
+		if err := e.cfg.Persist.Sync(); err != nil {
+			e.haltf("WAL sync failed: %v", err)
+			return true
+		}
+	}
+	for _, bs := range batch {
+		e.externalize(bs)
+		if e.halted {
+			return true
+		}
+	}
+	if e.cfg.Persist != nil {
+		e.cfg.Persist.MaybeSnapshot(e.cfg.Ledger.Height(), e.cfg.Ledger.LastHash(), e.cfg.Store)
+	}
+	return true
+}
+
+// applyFinal applies one block's net effect to the committed store and
+// appends its finalization record to the WAL.
 //
 // This is the commit boundary of the state ownership contract: the write
 // sets reaching the overlay were freshly allocated (by contract execution
 // or wire decoding) and are never mutated afterwards, so Final()'s value
-// slices transfer to the store without a defensive copy.
-func (e *Executor) finalize(bs *blockState) {
+// slices transfer to the store (and to the WAL record) without a
+// defensive copy.
+func (e *Executor) applyFinal(bs *blockState) {
 	// Flush any straggler results (e.g. a block whose last local
 	// transactions committed via remote votes before local execution).
 	e.flushCommits(bs)
-	e.cfg.Store.Apply(bs.overlay.Final())
-	// The successor chained its overlay onto this block's; now that the
-	// writes are in the store, rebase it there so finalized overlays are
-	// released and read chains stay bounded by the window.
-	if len(e.window) > 0 {
-		e.window[0].overlay.Rebase(e.cfg.Store)
+	delta := bs.overlay.Final()
+	e.cfg.Store.Apply(delta)
+	// The successor chained its overlay onto this block's — whether it
+	// sits later in this finalize batch or at the head of the trimmed
+	// window. Now that the writes are in the store, rebase it there so
+	// finalized overlays are released and read chains stay bounded by
+	// the window.
+	if next := e.successorOf(bs); next != nil {
+		next.overlay.Rebase(e.cfg.Store)
 	}
+	if e.cfg.Persist != nil {
+		rec := &persist.BlockRecord{
+			Block:          bs.msg.Block,
+			Results:        bs.final,
+			Delta:          delta,
+			StateHash:      e.cfg.Store.Hash(),
+			Streamed:       bs.evStreamed,
+			EvidenceDigest: bs.evDigest,
+			Endorse:        bs.evidence,
+		}
+		if err := e.cfg.Persist.LogBlock(rec); err != nil {
+			e.haltf("WAL append failed for block %d: %v", bs.num, err)
+		}
+	}
+}
+
+// externalize performs one finalized block's externally visible effects:
+// the ledger append, counters, window bookkeeping, the OnCommit hook,
+// and client notifications. With durability on, the pump calls it only
+// after the block's WAL record is durable.
+func (e *Executor) externalize(bs *blockState) {
 	entry := ledger.Entry{Block: bs.msg.Block, Results: bs.final}
 	if err := e.cfg.Ledger.Append(entry); err != nil {
 		e.haltf("ledger append failed for block %d: %v", bs.num, err)
@@ -1479,6 +1600,16 @@ func (e *Executor) finalize(bs *blockState) {
 			})
 		}
 	}
+}
+
+// successorOf returns the in-flight block numbered bs.num+1, whether it
+// still sits in the current finalize batch or at the head of the window.
+func (e *Executor) successorOf(bs *blockState) *blockState {
+	next, ok := e.blocks[bs.num+1]
+	if !ok || !next.started {
+		return nil
+	}
+	return next
 }
 
 // String identifies the executor for logs.

@@ -9,6 +9,7 @@ import (
 	"parblockchain/internal/cryptoutil"
 	"parblockchain/internal/depgraph"
 	"parblockchain/internal/ledger"
+	"parblockchain/internal/persist"
 	"parblockchain/internal/state"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
@@ -22,6 +23,7 @@ type benchRig struct {
 	net     *transport.InMemNetwork
 	exec    *Executor
 	store   *state.KVStore
+	mgr     *persist.Manager
 	orderer transport.Endpoint
 	commits chan struct{}
 	prev    types.Hash
@@ -37,13 +39,33 @@ func newBenchRig(b *testing.B, workers int) *benchRig {
 // contract, for the cross-block pipelining benchmarks.
 func newBenchRigDepth(b *testing.B, workers, depth int, app1 contract.Contract) *benchRig {
 	b.Helper()
+	return newBenchRigDurable(b, workers, depth, app1, "")
+}
+
+// newBenchRigDurable additionally mounts the durability subsystem at
+// dataDir (empty = in-memory), for the WAL-on-the-hot-path benchmarks.
+func newBenchRigDurable(b *testing.B, workers, depth int, app1 contract.Contract,
+	dataDir string) *benchRig {
+	b.Helper()
 	r := &benchRig{commits: make(chan struct{}, 64)}
 	r.net = transport.NewInMemNetwork(transport.InMemConfig{})
 	execEP, _ := r.net.Endpoint("e1")
 	r.orderer, _ = r.net.Endpoint("o1")
 	registry := contract.NewRegistry()
 	registry.Install("app1", app1)
+	led := ledger.New()
 	r.store = state.NewKVStore()
+	if dataDir != "" {
+		mgr, rec, err := persist.Open(persist.Config{
+			Dir:  dataDir,
+			Logf: func(string, ...any) {},
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.mgr = mgr
+		r.store, led = rec.Store, rec.Ledger
+	}
 	cfg := Config{
 		ID:            "e1",
 		Endpoint:      execEP,
@@ -52,11 +74,12 @@ func newBenchRigDepth(b *testing.B, workers, depth int, app1 contract.Contract) 
 		OrderQuorum:   1,
 		Executors:     []types.NodeID{"e1"},
 		Store:         r.store,
-		Ledger:        ledger.New(),
+		Ledger:        led,
 		Workers:       workers,
 		PipelineDepth: depth,
 		Signer:        cryptoutil.NoopSigner{NodeID: "e1"},
 		Verifier:      cryptoutil.NoopVerifier{},
+		Persist:       r.mgr,
 		OnCommit:      func(*types.Block, []types.TxResult) { r.commits <- struct{}{} },
 		Logf:          func(string, ...any) {},
 	}
@@ -64,6 +87,11 @@ func newBenchRigDepth(b *testing.B, workers, depth int, app1 contract.Contract) 
 	r.exec.Start()
 	b.Cleanup(func() {
 		r.exec.Stop()
+		if r.mgr != nil {
+			if err := r.mgr.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
 		r.net.Close()
 	})
 	return r
@@ -229,5 +257,49 @@ func BenchmarkExecutorPipelined(b *testing.B) {
 				b.ReportMetric(float64(b.N*blocksPerIter*blockTxns)/secs, "tx/s")
 			}
 		})
+	}
+}
+
+// BenchmarkExecutorDurable puts the durability subsystem on the finalize
+// hot path: the same chained-across-blocks workload as
+// BenchmarkExecutorPipelined, in-memory vs WAL-backed (group fsync
+// policy), at the per-block barrier (depth 1, one fsync per block) and
+// the default window (depth 4, where blocks finalizing as one batch
+// share a fsync). The fsyncs/block metric is the group-commit
+// amortization; the tx/s gap between mem and wal rows is the durability
+// cost. One iteration = a burst of 8 linked blocks of 32 transactions.
+func BenchmarkExecutorDurable(b *testing.B) {
+	const (
+		blockTxns     = 32
+		blocksPerIter = 8
+	)
+	cost := contract.CostModel{Cost: 100 * time.Microsecond}
+	app := contract.WithCost(contract.NewKV(), cost)
+	for _, depth := range []int{1, 4} {
+		for _, durable := range []bool{false, true} {
+			mode := "mem"
+			dir := ""
+			if durable {
+				mode = "wal"
+				dir = b.TempDir()
+			}
+			b.Run(fmt.Sprintf("depth=%d/%s", depth, mode), func(b *testing.B) {
+				r := newBenchRigDurable(b, 8, depth, app, dir)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r.runBlocks(b, crossChainedBlocks(i*blocksPerIter, blocksPerIter, blockTxns))
+				}
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N*blocksPerIter*blockTxns)/secs, "tx/s")
+				}
+				if r.mgr != nil {
+					st := r.mgr.Stats()
+					if st.Appends > 0 {
+						b.ReportMetric(float64(st.Syncs)/float64(st.Appends), "fsyncs/block")
+					}
+				}
+			})
+		}
 	}
 }

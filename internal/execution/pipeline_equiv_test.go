@@ -9,6 +9,7 @@ import (
 	"parblockchain/internal/cryptoutil"
 	"parblockchain/internal/depgraph"
 	"parblockchain/internal/ledger"
+	"parblockchain/internal/persist"
 	"parblockchain/internal/state"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
@@ -80,8 +81,11 @@ func refResults(genesis []types.KV, blocks [][]*types.Transaction) (types.Hash, 
 
 // runPipelined streams the blocks through one executor at the given
 // pipeline depth and returns the final state hash, the ledger, and the
-// finalized results per block (in finalization order).
-func runPipelined(t *testing.T, depth int, genesis []types.KV,
+// finalized results per block (in finalization order). A non-empty
+// dataDir enables the durability subsystem (snapshot every 2 blocks, so
+// short traces still exercise truncation) and, after the run, reopens
+// the directory to assert crash recovery reproduces the final state.
+func runPipelined(t *testing.T, depth int, dataDir string, genesis []types.KV,
 	blocks [][]*types.Transaction) (types.Hash, *ledger.Ledger, [][]types.TxResult) {
 	t.Helper()
 	net := transport.NewInMemNetwork(transport.InMemConfig{})
@@ -94,9 +98,28 @@ func runPipelined(t *testing.T, depth int, genesis []types.KV,
 		registry.Install(app, contract.NewAccounting())
 		agents[app] = []types.NodeID{"e1"}
 	}
-	store := state.NewKVStore()
-	store.Apply(genesis)
-	led := ledger.New()
+	var (
+		store *state.KVStore
+		led   *ledger.Ledger
+		mgr   *persist.Manager
+	)
+	if dataDir != "" {
+		var rec *persist.Recovered
+		var err error
+		mgr, rec, err = persist.Open(persist.Config{
+			Dir:              dataDir,
+			SnapshotInterval: 2,
+			Logf:             t.Logf,
+		}, genesis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, led = rec.Store, rec.Ledger
+	} else {
+		store = state.NewKVStore()
+		store.Apply(genesis)
+		led = ledger.New()
+	}
 	commits := make(chan []types.TxResult, len(blocks))
 	exec := New(Config{
 		ID:            "e1",
@@ -111,6 +134,7 @@ func runPipelined(t *testing.T, depth int, genesis []types.KV,
 		PipelineDepth: depth,
 		Signer:        cryptoutil.NoopSigner{NodeID: "e1"},
 		Verifier:      cryptoutil.NoopVerifier{},
+		Persist:       mgr,
 		OnCommit: func(_ *types.Block, results []types.TxResult) {
 			commits <- results
 		},
@@ -150,7 +174,17 @@ func runPipelined(t *testing.T, depth int, genesis []types.KV,
 			t.Fatalf("depth %d: block %d did not finalize", depth, len(finalized))
 		}
 	}
-	return store.Hash(), led, finalized
+	hash := store.Hash()
+	if mgr != nil {
+		// Every block is externalized, so every block is durable: a
+		// recovery from this directory must land on the same state.
+		exec.Stop()
+		if err := mgr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		verifyRecovery(t, dataDir, genesis, hash, led)
+	}
+	return hash, led, finalized
 }
 
 // TestPipelineEquivalence asserts, for randomized traces at several
@@ -172,7 +206,7 @@ func TestPipelineEquivalence(t *testing.T) {
 
 			var wantChain types.Hash
 			for _, depth := range depths {
-				gotHash, led, finalized := runPipelined(t, depth, genesis, blocks)
+				gotHash, led, finalized := runPipelined(t, depth, "", genesis, blocks)
 				if gotHash != wantHash {
 					t.Fatalf("depth %d: state hash diverged from sequential baseline", depth)
 				}
@@ -208,6 +242,20 @@ func TestPipelineEquivalence(t *testing.T) {
 							t.Fatalf("depth %d block %d tx %d: ledger result diverged", depth, b, i)
 						}
 					}
+				}
+			}
+
+			// Durability on: the WAL append + group fsync at the finalize
+			// boundary must leave ledger and state bit-identical to the
+			// in-memory path at the barrier depth and a pipelined depth
+			// (runPipelined additionally asserts recovery reproduces it).
+			for _, depth := range []int{1, 4} {
+				gotHash, led, _ := runPipelined(t, depth, t.TempDir(), genesis, blocks)
+				if gotHash != wantHash {
+					t.Fatalf("durable depth %d: state hash diverged from sequential baseline", depth)
+				}
+				if led.LastHash() != wantChain {
+					t.Fatalf("durable depth %d: ledger chain diverged", depth)
 				}
 			}
 		})

@@ -9,6 +9,7 @@ import (
 	"parblockchain/internal/cryptoutil"
 	"parblockchain/internal/depgraph"
 	"parblockchain/internal/ledger"
+	"parblockchain/internal/persist"
 	"parblockchain/internal/state"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
@@ -81,17 +82,68 @@ func cutStream(blocks [][]*types.Transaction, segTxns int, orderer types.NodeID)
 }
 
 // streamRig is a single executor fed raw streaming (or monolithic)
-// messages, mirroring runPipelined for the segment path.
+// messages, mirroring runPipelined for the segment path. A rig built
+// with newDurableStreamRig additionally owns a persist.Manager, so
+// streamed finalization goes through the WAL exactly as in production.
 type streamRig struct {
 	net     *transport.InMemNetwork
 	exec    *Executor
 	store   *state.KVStore
 	led     *ledger.Ledger
+	mgr     *persist.Manager
+	rec     *persist.Recovered // recovery provenance (durable rigs only)
 	orderer transport.Endpoint
 	commits chan []types.TxResult
+	stopped bool
+}
+
+// shutdown stops the rig exactly once: executor first (quiescing the WAL
+// writer), then the durability manager, then the transport. The
+// registered cleanup is a no-op after a manual shutdown or crash.
+func (r *streamRig) shutdown(t testing.TB) {
+	t.Helper()
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	r.exec.Stop()
+	if r.mgr != nil {
+		if err := r.mgr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.net.Close()
+}
+
+// crash kills a durable rig the unclean way: the executor stops feeding
+// the WAL, then the manager discards every byte that was never fsynced
+// (persist.Manager.Crash), as a power loss would. Nothing performs the
+// graceful final sync, so only records made durable by the finalize
+// path's own group commits survive.
+func (r *streamRig) crash(t testing.TB) {
+	t.Helper()
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	r.exec.Stop()
+	if err := r.mgr.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r.net.Close()
 }
 
 func newStreamRig(t testing.TB, depth int, genesis []types.KV) *streamRig {
+	t.Helper()
+	return newDurableStreamRig(t, depth, "", genesis)
+}
+
+// newDurableStreamRig builds a stream rig whose executor finalizes
+// through the durability subsystem rooted at dataDir (snapshot every 2
+// blocks, so short traces still exercise WAL truncation). An empty
+// dataDir yields the plain in-memory rig. Reopening the same directory
+// resumes from whatever the previous rig made durable.
+func newDurableStreamRig(t testing.TB, depth int, dataDir string, genesis []types.KV) *streamRig {
 	t.Helper()
 	r := &streamRig{commits: make(chan []types.TxResult, 64)}
 	r.net = transport.NewInMemNetwork(transport.InMemConfig{})
@@ -103,9 +155,23 @@ func newStreamRig(t testing.TB, depth int, genesis []types.KV) *streamRig {
 		registry.Install(app, contract.NewAccounting())
 		agents[app] = []types.NodeID{"e1"}
 	}
-	r.store = state.NewKVStore()
-	r.store.Apply(genesis)
-	r.led = ledger.New()
+	if dataDir != "" {
+		mgr, rec, err := persist.Open(persist.Config{
+			Dir:              dataDir,
+			SnapshotInterval: 2,
+			Logf:             t.Logf,
+		}, genesis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.mgr = mgr
+		r.rec = rec
+		r.store, r.led = rec.Store, rec.Ledger
+	} else {
+		r.store = state.NewKVStore()
+		r.store.Apply(genesis)
+		r.led = ledger.New()
+	}
 	r.exec = New(Config{
 		ID:            "e1",
 		Endpoint:      execEP,
@@ -119,16 +185,14 @@ func newStreamRig(t testing.TB, depth int, genesis []types.KV) *streamRig {
 		PipelineDepth: depth,
 		Signer:        cryptoutil.NoopSigner{NodeID: "e1"},
 		Verifier:      cryptoutil.NoopVerifier{},
+		Persist:       r.mgr,
 		OnCommit: func(_ *types.Block, results []types.TxResult) {
 			r.commits <- results
 		},
 		Logf: func(string, ...any) {},
 	})
 	r.exec.Start()
-	t.Cleanup(func() {
-		r.exec.Stop()
-		r.net.Close()
-	})
+	t.Cleanup(func() { r.shutdown(t) })
 	return r
 }
 
@@ -156,11 +220,14 @@ func (r *streamRig) awaitBlocks(t testing.TB, n int) [][]types.TxResult {
 // runStreamed streams the blocks through one executor, segment by
 // segment. With sealLag > 0, each block's seal is withheld until sealLag
 // later blocks' segments have been sent, stressing pre-seal buffering and
-// the content-done admission gate.
-func runStreamed(t *testing.T, depth, segTxns, sealLag int, genesis []types.KV,
-	blocks [][]*types.Transaction) (types.Hash, *ledger.Ledger, [][]types.TxResult) {
+// the content-done admission gate. A non-empty dataDir runs the streamed
+// finalization path through the durability subsystem and, after the run,
+// reopens the directory to assert crash recovery reproduces the final
+// state from snapshot + WAL tail.
+func runStreamed(t *testing.T, depth, segTxns, sealLag int, dataDir string,
+	genesis []types.KV, blocks [][]*types.Transaction) (types.Hash, *ledger.Ledger, [][]types.TxResult) {
 	t.Helper()
-	r := newStreamRig(t, depth, genesis)
+	r := newDurableStreamRig(t, depth, dataDir, genesis)
 	stream := cutStream(blocks, segTxns, "o1")
 	var pendingSeals []*types.BlockSealMsg
 	for _, sb := range stream {
@@ -177,7 +244,38 @@ func runStreamed(t *testing.T, depth, segTxns, sealLag int, genesis []types.KV,
 		r.send(t, seal)
 	}
 	finalized := r.awaitBlocks(t, len(blocks))
-	return r.store.Hash(), r.led, finalized
+	hash := r.store.Hash()
+	if r.mgr != nil {
+		r.shutdown(t)
+		verifyRecovery(t, dataDir, genesis, hash, r.led)
+	}
+	return hash, r.led, finalized
+}
+
+// verifyRecovery reopens a data directory and asserts the recovered
+// store and ledger match the live run bit for bit, and that recovery
+// came from a snapshot plus a WAL tail — never a full-chain replay.
+func verifyRecovery(t testing.TB, dataDir string, genesis []types.KV,
+	wantHash types.Hash, wantLed *ledger.Ledger) {
+	t.Helper()
+	mgr, rec, err := persist.Open(persist.Config{
+		Dir: dataDir, SnapshotInterval: 2, Logf: t.Logf,
+	}, genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if rec.Store.Hash() != wantHash {
+		t.Fatal("recovered state hash diverged from the live run")
+	}
+	if rec.Ledger.Height() != wantLed.Height() || rec.Ledger.LastHash() != wantLed.LastHash() {
+		t.Fatalf("recovered ledger diverged (height %d vs %d)",
+			rec.Ledger.Height(), wantLed.Height())
+	}
+	if rec.SnapshotHeight == 0 || rec.Replayed >= int(wantLed.Height()) {
+		t.Fatalf("recovery replayed the full chain (snapshot %d, replayed %d)",
+			rec.SnapshotHeight, rec.Replayed)
+	}
 }
 
 // TestStreamEquivalence asserts, for randomized traces at several
@@ -198,7 +296,7 @@ func TestStreamEquivalence(t *testing.T) {
 			wantHash, wantResults := refResults(genesis, blocks)
 
 			// Monolithic baseline (SegmentTxns=0) for the ledger chain.
-			monoHash, monoLed, _ := runPipelined(t, 4, genesis, blocks)
+			monoHash, monoLed, _ := runPipelined(t, 4, "", genesis, blocks)
 			if monoHash != wantHash {
 				t.Fatal("monolithic baseline diverged from sequential reference")
 			}
@@ -207,7 +305,7 @@ func TestStreamEquivalence(t *testing.T) {
 			for _, depth := range []int{1, 4} {
 				for _, segTxns := range []int{1, 16, 64} {
 					name := fmt.Sprintf("depth=%d/seg=%d", depth, segTxns)
-					gotHash, led, finalized := runStreamed(t, depth, segTxns, 0, genesis, blocks)
+					gotHash, led, finalized := runStreamed(t, depth, segTxns, 0, "", genesis, blocks)
 					if gotHash != wantHash {
 						t.Fatalf("%s: state hash diverged from sequential baseline", name)
 					}
@@ -236,9 +334,24 @@ func TestStreamEquivalence(t *testing.T) {
 
 			// Seals lagging two blocks behind their segments: admission must
 			// stall at the unsealed tail and resume losslessly.
-			gotHash, led, _ := runStreamed(t, 4, 16, 2, genesis, blocks)
+			gotHash, led, _ := runStreamed(t, 4, 16, 2, "", genesis, blocks)
 			if gotHash != wantHash || led.LastHash() != wantChain {
 				t.Fatal("lagged-seal stream diverged")
+			}
+
+			// Durability on: streamed finalization through the WAL (group
+			// fsync at the finalize boundary, snapshot + truncation mid-run)
+			// must stay bit-identical to the in-memory streamed path, at the
+			// barrier depth and a pipelined depth (runStreamed additionally
+			// reopens the directory and asserts recovery reproduces it).
+			for _, depth := range []int{1, 4} {
+				gotHash, led, _ := runStreamed(t, depth, 16, 0, t.TempDir(), genesis, blocks)
+				if gotHash != wantHash {
+					t.Fatalf("durable streamed depth %d: state hash diverged", depth)
+				}
+				if led.LastHash() != wantChain {
+					t.Fatalf("durable streamed depth %d: ledger chain diverged", depth)
+				}
 			}
 		})
 	}

@@ -26,6 +26,11 @@ var (
 	ErrBadTxRoot = errors.New("ledger: transaction merkle root mismatch")
 	// ErrNotFound is returned by Get for heights beyond the chain tip.
 	ErrNotFound = errors.New("ledger: block not found")
+	// ErrPruned is returned by Get for heights below a restored ledger's
+	// base: the entries were folded into a state snapshot and are no
+	// longer held (recovery rebuilds the chain from snapshot + WAL tail,
+	// not from genesis).
+	ErrPruned = errors.New("ledger: block pruned below snapshot base")
 )
 
 // Entry is one committed block together with the final execution result of
@@ -41,29 +46,56 @@ type Entry struct {
 
 // Ledger is an in-memory append-only hash chain of blocks. It is safe for
 // concurrent use.
+//
+// A ledger restored from a durability snapshot starts at a non-zero base:
+// entries below the base were folded into the snapshot's state and
+// pruned, and the chain is anchored by the base hash instead of the zero
+// genesis pointer. Height, Append, and Verify all operate relative to
+// that anchor, so the executor's admission logic is oblivious to whether
+// the history below it is held or pruned.
 type Ledger struct {
-	mu      sync.RWMutex
-	entries []Entry
+	mu       sync.RWMutex
+	base     uint64
+	baseHash types.Hash
+	entries  []Entry
 }
 
 // New returns an empty ledger whose first block must carry number 0 and a
 // zero previous hash.
 func New() *Ledger { return &Ledger{} }
 
-// Height returns the number of committed blocks.
+// NewAt returns a ledger whose history below height has been pruned: the
+// next block appended must carry that height and chain from lastHash.
+// The durability subsystem uses it to restore a node from a state
+// snapshot without replaying (or retaining) the chain below it.
+// NewAt(0, types.ZeroHash) is equivalent to New.
+func NewAt(height uint64, lastHash types.Hash) *Ledger {
+	return &Ledger{base: height, baseHash: lastHash}
+}
+
+// Height returns the number of committed blocks, including pruned ones.
 func (l *Ledger) Height() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return uint64(len(l.entries))
+	return l.base + uint64(len(l.entries))
 }
 
-// LastHash returns the hash of the newest block, or the zero hash for an
-// empty ledger — the value the next block's PrevHash must equal.
+// Base returns the lowest height this ledger still holds an entry for
+// (equal to Height for a freshly restored, empty ledger).
+func (l *Ledger) Base() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.base
+}
+
+// LastHash returns the hash of the newest block — or, when no entries are
+// held, the base anchor hash (the zero hash for a genesis ledger) — the
+// value the next block's PrevHash must equal.
 func (l *Ledger) LastHash() types.Hash {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	if len(l.entries) == 0 {
-		return types.ZeroHash
+		return l.baseHash
 	}
 	return l.entries[len(l.entries)-1].Block.Hash()
 }
@@ -74,13 +106,13 @@ func (l *Ledger) LastHash() types.Hash {
 func (l *Ledger) Append(e Entry) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	next := uint64(len(l.entries))
+	next := l.base + uint64(len(l.entries))
 	if e.Block.Header.Number != next {
 		return fmt.Errorf("%w: got %d, want %d", ErrBadNumber, e.Block.Header.Number, next)
 	}
-	prev := types.ZeroHash
-	if next > 0 {
-		prev = l.entries[next-1].Block.Hash()
+	prev := l.baseHash
+	if len(l.entries) > 0 {
+		prev = l.entries[len(l.entries)-1].Block.Hash()
 	}
 	if e.Block.Header.PrevHash != prev {
 		return fmt.Errorf("%w: block %d", ErrBadPrevHash, next)
@@ -96,24 +128,29 @@ func (l *Ledger) Append(e Entry) error {
 	return nil
 }
 
-// Get returns the entry at the given height.
+// Get returns the entry at the given height. Heights below a restored
+// ledger's base return ErrPruned.
 func (l *Ledger) Get(height uint64) (Entry, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	if height >= uint64(len(l.entries)) {
+	if height < l.base {
+		return Entry{}, fmt.Errorf("%w: height %d (base %d)", ErrPruned, height, l.base)
+	}
+	if height-l.base >= uint64(len(l.entries)) {
 		return Entry{}, fmt.Errorf("%w: height %d", ErrNotFound, height)
 	}
-	return l.entries[height], nil
+	return l.entries[height-l.base], nil
 }
 
-// Verify re-validates the whole chain: numbering, hash links, and
-// transaction commitments. It returns the first violation found, if any.
+// Verify re-validates the held chain: numbering, hash links from the base
+// anchor, and transaction commitments. It returns the first violation
+// found, if any.
 func (l *Ledger) Verify() error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	prev := types.ZeroHash
+	prev := l.baseHash
 	for i, e := range l.entries {
-		if e.Block.Header.Number != uint64(i) {
+		if e.Block.Header.Number != l.base+uint64(i) {
 			return fmt.Errorf("%w: index %d holds block %d", ErrBadNumber, i, e.Block.Header.Number)
 		}
 		if e.Block.Header.PrevHash != prev {
@@ -127,8 +164,8 @@ func (l *Ledger) Verify() error {
 	return nil
 }
 
-// TxCount returns the total number of transactions across all committed
-// blocks.
+// TxCount returns the total number of transactions across the blocks the
+// ledger still holds (pruned history is not counted).
 func (l *Ledger) TxCount() int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()

@@ -117,6 +117,76 @@ func TestVerifyDetectsRewrittenHistory(t *testing.T) {
 	}
 }
 
+func TestRestoredLedgerResumesAtBase(t *testing.T) {
+	// Build a full chain, then restore a ledger at height 3 the way the
+	// durability recovery does, and continue the same chain on it.
+	full := New()
+	for i := 0; i < 5; i++ {
+		if err := full.Append(entryFor(full, "t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	anchor, err := full.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l := NewAt(3, anchor.Block.Hash())
+	if l.Height() != 3 || l.Base() != 3 || l.LastHash() != anchor.Block.Hash() {
+		t.Fatalf("restored ledger: height=%d base=%d", l.Height(), l.Base())
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("Verify empty restored ledger: %v", err)
+	}
+	// Pruned history is distinguishable from missing future blocks.
+	if _, err := l.Get(0); !errors.Is(err, ErrPruned) {
+		t.Fatalf("Get(0) err = %v, want ErrPruned", err)
+	}
+	if _, err := l.Get(3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(3) err = %v, want ErrNotFound", err)
+	}
+	// Appends must chain from the anchor: the full chain's blocks 3 and 4
+	// append cleanly, a re-anchored block does not.
+	wrong := entryFor(l, "t")
+	wrong.Block.Header.PrevHash = types.ZeroHash
+	wrong.Block.Header.Number = 3
+	if err := l.Append(wrong); !errors.Is(err, ErrBadPrevHash) {
+		t.Fatalf("err = %v, want ErrBadPrevHash", err)
+	}
+	for h := uint64(3); h < 5; h++ {
+		e, err := full.Get(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(e); err != nil {
+			t.Fatalf("append block %d: %v", h, err)
+		}
+	}
+	if l.Height() != 5 || l.LastHash() != full.LastHash() {
+		t.Fatal("restored chain diverged from the full chain")
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if l.TxCount() != 2 {
+		t.Fatalf("TxCount = %d, want 2 (held entries only)", l.TxCount())
+	}
+	e, err := l.Get(4)
+	if err != nil || e.Block.Header.Number != 4 {
+		t.Fatalf("Get(4): %v %+v", err, e)
+	}
+}
+
+func TestNewAtZeroEqualsNew(t *testing.T) {
+	l := NewAt(0, types.ZeroHash)
+	if err := l.Append(entryFor(l, "t1")); err != nil {
+		t.Fatalf("Append on NewAt(0): %v", err)
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestEmptyBlocksAllowed(t *testing.T) {
 	l := New()
 	if err := l.Append(entryFor(l)); err != nil {

@@ -11,6 +11,7 @@ package oxii
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"parblockchain/internal/consensus"
@@ -23,6 +24,7 @@ import (
 	"parblockchain/internal/execution"
 	"parblockchain/internal/ledger"
 	"parblockchain/internal/ordering"
+	"parblockchain/internal/persist"
 	"parblockchain/internal/state"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
@@ -95,6 +97,30 @@ type Config struct {
 	// Zero keeps the monolithic NEWBLOCK wire format (also the right
 	// setting for deployments whose observer tooling consumes NEWBLOCK).
 	SegmentTxns int
+	// DataDir roots the durability subsystem: each executor keeps a
+	// write-ahead log of finalized blocks and periodic state snapshots
+	// under DataDir/<executor-id>, and a rebuilt Network on the same
+	// directory resumes every executor from its durable height instead
+	// of genesis. Empty keeps ledger and state purely in memory, exactly
+	// as before the subsystem existed.
+	//
+	// Limitation: only executors persist. Orderers (and their consensus
+	// logs) are in-memory, so restarting a whole cluster on a non-empty
+	// DataDir leaves fresh orderers cutting from block 0 while recovered
+	// executors admit only from their durable height — new traffic will
+	// not commit. Restarting individual executors into a still-running
+	// ordering service is the supported recovery today; orderer
+	// durability is a ROADMAP follow-on.
+	DataDir string
+	// FsyncPolicy selects when WAL appends reach stable storage (group,
+	// always, or never); empty means group — one fsync per finalize
+	// batch, so pipelined blocks amortize the durability cost. Ignored
+	// without DataDir.
+	FsyncPolicy persist.FsyncPolicy
+	// SnapshotInterval is the number of blocks between state snapshots
+	// (and WAL truncations); zero uses the persist default. Ignored
+	// without DataDir.
+	SnapshotInterval int
 	// Crypto enables ed25519 signing and verification end to end. When
 	// false, no-op signers model the crypto-free ablation.
 	Crypto bool
@@ -119,10 +145,18 @@ type Network struct {
 	// Stores and Ledgers are indexed like cfg.Executors.
 	Stores  []*state.KVStore
 	Ledgers []*ledger.Ledger
-	signers map[types.NodeID]cryptoutil.Signer
-	keyring *cryptoutil.KeyRing
-	clients map[types.NodeID]*Client
-	router  *CommitRouter
+	// Persists holds each executor's durability manager (nil entries
+	// without Config.DataDir), indexed like cfg.Executors; Stop closes
+	// them after the executors quiesce.
+	Persists []*persist.Manager
+	// Recovered holds each executor's recovery provenance (snapshot
+	// height, WAL records replayed) when DataDir is set, for logs and
+	// tests; nil entries otherwise.
+	Recovered []*persist.Recovered
+	signers   map[types.NodeID]cryptoutil.Signer
+	keyring   *cryptoutil.KeyRing
+	clients   map[types.NodeID]*Client
+	router    *CommitRouter
 }
 
 // New builds a ParBlockchain network. Call Start to run it.
@@ -172,10 +206,22 @@ func New(cfg Config) (*Network, error) {
 	}
 	verifier := nw.verifier()
 
+	// closePersists releases every durability manager opened so far, so
+	// a construction failure on any later path leaks no WAL segment
+	// handles (and a retried New starts from clean directories).
+	closePersists := func() {
+		for _, m := range nw.Persists {
+			if m != nil {
+				m.Close()
+			}
+		}
+	}
+
 	// Executors.
 	for i, id := range cfg.Executors {
 		ep, err := cfg.Net.Endpoint(id)
 		if err != nil {
+			closePersists()
 			return nil, err
 		}
 		registry := contract.NewRegistry()
@@ -189,9 +235,33 @@ func New(cfg Config) (*Network, error) {
 		// Per the zero-copy state contract the genesis value slices end
 		// up shared by every node's store; that is safe because stores
 		// never mutate values and Genesis is not touched after setup.
-		store := state.NewKVStore()
-		store.Apply(cfg.Genesis)
-		led := ledger.New()
+		// With DataDir set the store and ledger instead come from the
+		// executor's durable state (genesis seeds only a fresh
+		// directory), so a rebuilt network resumes where it stopped.
+		var (
+			store *state.KVStore
+			led   *ledger.Ledger
+			mgr   *persist.Manager
+			rec   *persist.Recovered
+		)
+		if cfg.DataDir != "" {
+			var err error
+			mgr, rec, err = persist.Open(persist.Config{
+				Dir:              filepath.Join(cfg.DataDir, string(id)),
+				Fsync:            cfg.FsyncPolicy,
+				SnapshotInterval: cfg.SnapshotInterval,
+				Logf:             cfg.Logf,
+			}, cfg.Genesis)
+			if err != nil {
+				closePersists()
+				return nil, fmt.Errorf("oxii: executor %s: %w", id, err)
+			}
+			store, led = rec.Store, rec.Ledger
+		} else {
+			store = state.NewKVStore()
+			store.Apply(cfg.Genesis)
+			led = ledger.New()
+		}
 		// Only the observer (Executors[0]) routes client completions and
 		// feeds the user hook; hooks on every peer would duplicate them.
 		var hook execution.CommitHook
@@ -222,22 +292,27 @@ func New(cfg Config) (*Network, error) {
 			Signer:        nw.signers[id],
 			Verifier:      verifier,
 			VerifySigs:    cfg.Crypto,
+			Persist:       mgr,
 			OnCommit:      hook,
 			Logf:          cfg.Logf,
 		})
 		nw.Executors = append(nw.Executors, exec)
 		nw.Stores = append(nw.Stores, store)
 		nw.Ledgers = append(nw.Ledgers, led)
+		nw.Persists = append(nw.Persists, mgr)
+		nw.Recovered = append(nw.Recovered, rec)
 	}
 
 	// Orderers with their consensus instances.
 	for _, id := range cfg.Orderers {
 		ep, err := cfg.Net.Endpoint(id)
 		if err != nil {
+			closePersists()
 			return nil, err
 		}
 		cons, err := buildConsensus(cfg.Consensus, id, cfg.Orderers, ep, cfg.ConsensusBatch)
 		if err != nil {
+			closePersists()
 			return nil, err
 		}
 		ord := ordering.New(ordering.Config{
@@ -310,12 +385,22 @@ func (nw *Network) Start() {
 
 // Stop shuts every node down and closes the transport endpoints owned by
 // nodes. The underlying transport itself belongs to the caller.
+// Durability managers close after their executors quiesce, so every
+// finalized block is on disk when Stop returns.
 func (nw *Network) Stop() {
 	for _, o := range nw.Orderers {
 		o.Stop()
 	}
 	for _, e := range nw.Executors {
 		e.Stop()
+	}
+	for i, m := range nw.Persists {
+		if m == nil {
+			continue
+		}
+		if err := m.Close(); err != nil && nw.cfg.Logf != nil {
+			nw.cfg.Logf("oxii: closing durability manager of %s: %v", nw.cfg.Executors[i], err)
+		}
 	}
 	nw.router.Shutdown()
 }

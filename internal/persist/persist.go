@@ -1,0 +1,611 @@
+// Package persist is the durability subsystem of the reproduction: a
+// segmented, checksummed write-ahead log of the executor pipeline's
+// finalization events, periodic snapshots of the sharded state store,
+// and the crash-recovery path that rebuilds the KVStore, the ledger, and
+// the executor's admission height from snapshot + WAL tail.
+//
+// # Contract
+//
+// The executor appends one BlockRecord — block, final results, state
+// delta, quorum evidence, post-apply state hash — at its in-order
+// finalize boundary, and fsyncs (per the configured policy) before any
+// of the block's effects are externalized (OnCommit hooks, client
+// notifications). The pipeline finalizes completed blocks in batches, so
+// under the default "group" policy the blocks of one batch share a
+// single fsync — the pipelined window amortizes the durability cost that
+// a strict per-block fsync would put on the hot path.
+//
+// Every SnapshotInterval blocks the store is frozen (consistently, via
+// state.KVStore.SnapshotShards) and written to disk in the background;
+// once the snapshot is durable, WAL segments entirely below it are
+// deleted. Recovery therefore reads one snapshot and replays only the
+// WAL tail above it, verifying the store's incremental XOR-of-SHA256
+// hash against every record on the way; it never replays the full
+// chain.
+//
+// A node with an empty Config.Dir runs exactly as before this subsystem
+// existed: callers gate on the manager being nil.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"parblockchain/internal/ledger"
+	"parblockchain/internal/state"
+	"parblockchain/internal/types"
+)
+
+// FsyncPolicy selects when WAL appends are forced to stable storage.
+type FsyncPolicy string
+
+// The supported fsync policies.
+const (
+	// FsyncGroup (the default) fsyncs once per finalize batch: the
+	// executor appends every completed block of the batch, then calls
+	// Sync once before externalizing any of them. Durability holds for
+	// every externalized block; pipelined blocks amortize the fsync.
+	FsyncGroup FsyncPolicy = "group"
+	// FsyncAlways fsyncs inside every LogBlock — the strictest (and
+	// slowest) setting, one fsync per block regardless of batching.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncNever issues no fsync at all: appends reach the OS page cache
+	// only. A process crash loses nothing (the kernel still has the
+	// pages); a machine crash can lose the tail. Exists to isolate the
+	// fsync cost in benchmarks.
+	FsyncNever FsyncPolicy = "never"
+)
+
+// ParseFsyncPolicy validates a policy string from a config file or flag;
+// the empty string selects the default (group).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case "":
+		return FsyncGroup, nil
+	case FsyncGroup, FsyncAlways, FsyncNever:
+		return FsyncPolicy(s), nil
+	default:
+		return "", fmt.Errorf("persist: unknown fsync policy %q (want group, always, or never)", s)
+	}
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultSnapshotInterval = 1024
+	DefaultSegmentBytes     = 64 << 20
+)
+
+// Config parameterizes one node's durability manager.
+type Config struct {
+	// Dir is the node's data directory; wal/ and snap/ live under it.
+	Dir string
+	// Fsync is the WAL fsync policy. Empty means FsyncGroup.
+	Fsync FsyncPolicy
+	// SnapshotInterval is the number of blocks between state snapshots
+	// (and WAL truncations). Zero means DefaultSnapshotInterval;
+	// negative disables snapshots (the WAL then grows without bound —
+	// benchmarks only).
+	SnapshotInterval int
+	// SegmentBytes rolls the WAL to a fresh segment file once the
+	// current one exceeds this size. Zero means DefaultSegmentBytes.
+	SegmentBytes int
+	// Logf receives diagnostics; nil uses the stdlib logger.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fsync == "" {
+		c.Fsync = FsyncGroup
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = DefaultSnapshotInterval
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = DefaultSegmentBytes
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Stats exposes durability counters for benchmarks and tests.
+type Stats struct {
+	// Appends counts WAL records written.
+	Appends uint64
+	// Syncs counts fsyncs issued on WAL segments (the group-commit
+	// amortization shows as Syncs << Appends at pipeline depth > 1).
+	Syncs uint64
+	// Snapshots counts state snapshots durably written.
+	Snapshots uint64
+	// SnapshotsSkipped counts snapshot points skipped because a previous
+	// snapshot write was still in flight.
+	SnapshotsSkipped uint64
+}
+
+// Recovered is the state rebuilt by Open: the restored store and ledger,
+// plus provenance for assertions and logs.
+type Recovered struct {
+	// Store is the state store at the recovered height.
+	Store *state.KVStore
+	// Ledger resumes at the snapshot base with the replayed WAL tail
+	// appended; its Height is the executor's restart admission height.
+	Ledger *ledger.Ledger
+	// SnapshotHeight is the height of the snapshot recovery started from.
+	SnapshotHeight uint64
+	// Replayed is the number of WAL records applied on top of it.
+	Replayed int
+}
+
+// Manager owns a node's WAL and snapshot machinery. LogBlock/Sync are
+// called from the executor's actor goroutine; MaybeSnapshot captures
+// state synchronously and writes in the background; Close drains the
+// background writer. All methods are safe for concurrent use.
+type Manager struct {
+	cfg     Config
+	walDir  string
+	snapDir string
+
+	lock *os.File // exclusive advisory lock on Dir, held until Close/Crash
+
+	mu          sync.Mutex
+	seg         *os.File
+	segStart    uint64
+	segBytes    int64
+	syncedBytes int64    // prefix of the active segment known durable
+	segments    []uint64 // ascending start heights, including the active one
+	dirty       bool
+	nextHeight  uint64
+	lastSnap    uint64 // height of the newest scheduled-or-restored snapshot
+	closed      bool
+
+	snapBusy atomic.Bool
+	snapWG   sync.WaitGroup
+
+	stats struct {
+		appends     atomic.Uint64
+		syncs       atomic.Uint64
+		snaps       atomic.Uint64
+		snapSkipped atomic.Uint64
+	}
+}
+
+// Open mounts the durability state under cfg.Dir, creating it if absent.
+// On a fresh directory the genesis records seed the store and become the
+// height-0 snapshot; otherwise genesis is ignored and the state is
+// rebuilt from the newest snapshot plus the WAL tail, with every
+// replayed record's post-apply state hash verified. The returned manager
+// is ready for appends at the recovered height.
+func Open(cfg Config, genesis []types.KV) (*Manager, *Recovered, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, nil, errors.New("persist: Config.Dir is required")
+	}
+	m := &Manager{
+		cfg:     cfg,
+		walDir:  filepath.Join(cfg.Dir, "wal"),
+		snapDir: filepath.Join(cfg.Dir, "snap"),
+	}
+	for _, d := range []string{m.walDir, m.snapDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("persist: %w", err)
+		}
+	}
+	lock, err := acquireDirLock(cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.lock = lock
+	opened := false
+	defer func() {
+		if !opened {
+			lock.Close()
+		}
+	}()
+	snaps, err := listSnapshots(m.snapDir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	segs, err := listSegments(m.walDir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+
+	var (
+		man   *Manifest
+		store *state.KVStore
+	)
+	switch {
+	case len(snaps) == 0 && len(segs) == 0:
+		// Fresh directory: seed the store and make genesis durable as the
+		// height-0 snapshot, so recovery always has a snapshot below the
+		// WAL (genesis writes never travel through a block).
+		store = state.NewKVStore()
+		store.Apply(genesis)
+		shards, hash := store.SnapshotShards()
+		man = &Manifest{
+			Height:    0,
+			LastHash:  types.ZeroHash,
+			StateHash: hash,
+			Shards:    uint64(len(shards)),
+			Records:   countRecords(shards),
+		}
+		if err := writeSnapshotFile(m.snapPath(0), man, shards); err != nil {
+			return nil, nil, err
+		}
+	case len(snaps) == 0:
+		return nil, nil, fmt.Errorf("persist: %s holds WAL segments but no snapshot", cfg.Dir)
+	default:
+		// Newest first; fall back across corrupt snapshots (replay below
+		// will fail loudly if the WAL no longer reaches back that far).
+		for i := len(snaps) - 1; i >= 0; i-- {
+			man, store, err = readSnapshotFile(m.snapPath(snaps[i]))
+			if err == nil {
+				break
+			}
+			cfg.Logf("persist: skipping snapshot at height %d: %v", snaps[i], err)
+		}
+		if store == nil {
+			return nil, nil, fmt.Errorf("persist: no readable snapshot under %s (last error: %w)",
+				m.snapDir, err)
+		}
+	}
+
+	led := ledger.NewAt(man.Height, man.LastHash)
+	replayed, err := m.replayWAL(segs, man.Height, store, led)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	m.nextHeight = led.Height()
+	m.lastSnap = man.Height
+	m.seg, err = createSegment(m.walDir, m.nextHeight)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	m.segStart = m.nextHeight
+	m.segBytes = int64(walHeaderLen)
+	m.syncedBytes = int64(walHeaderLen) // createSegment synced the header
+	m.segments = segs
+	if len(m.segments) == 0 || m.segments[len(m.segments)-1] != m.segStart {
+		m.segments = append(m.segments, m.segStart)
+	}
+	opened = true
+	return m, &Recovered{
+		Store:          store,
+		Ledger:         led,
+		SnapshotHeight: man.Height,
+		Replayed:       replayed,
+	}, nil
+}
+
+// replayWAL applies every record at or above the snapshot height, in
+// order, verifying checksums, chain contiguity, and the incremental
+// state hash. A torn frame at the tail of the newest segment is
+// truncated away (the expected shape of a crash); corruption anywhere
+// else fails recovery.
+func (m *Manager) replayWAL(segs []uint64, snapHeight uint64,
+	store *state.KVStore, led *ledger.Ledger) (int, error) {
+	replayed := 0
+	for i, start := range segs {
+		if i+1 < len(segs) && segs[i+1] <= snapHeight {
+			continue // every record sits below the snapshot
+		}
+		path := filepath.Join(m.walDir, segmentName(start))
+		off, err := replaySegment(path, func(body []byte) error {
+			rec, err := UnmarshalBlockRecord(body)
+			if err != nil {
+				// The frame passed its checksum, so this is not a torn
+				// write — the record itself is corrupt or from the future.
+				return fmt.Errorf("persist: %s: %w", path, err)
+			}
+			num := rec.Block.Header.Number
+			if num < snapHeight {
+				return nil // folded into the snapshot already
+			}
+			if num != led.Height() {
+				return fmt.Errorf("persist: %s: record for block %d, expected %d (WAL gap?)",
+					path, num, led.Height())
+			}
+			store.Apply(rec.Delta)
+			if got := store.Hash(); got != rec.StateHash {
+				return fmt.Errorf("persist: block %d replay state hash mismatch: got %s want %s",
+					num, got, rec.StateHash)
+			}
+			if err := led.Append(ledger.Entry{Block: rec.Block, Results: rec.Results}); err != nil {
+				return fmt.Errorf("persist: %s: %w", path, err)
+			}
+			replayed++
+			return nil
+		})
+		switch {
+		case err == nil:
+		case errors.Is(err, errTornTail):
+			if i != len(segs)-1 {
+				return 0, fmt.Errorf("persist: torn frame inside non-final segment %s", path)
+			}
+			m.cfg.Logf("persist: truncating torn WAL tail of %s at offset %d", path, off)
+			if terr := os.Truncate(path, off); terr != nil {
+				return 0, fmt.Errorf("persist: truncating %s: %w", path, terr)
+			}
+		default:
+			return 0, err
+		}
+	}
+	return replayed, nil
+}
+
+// LogBlock appends one finalization record to the WAL. Records must
+// arrive in strict height order. Under FsyncAlways the record is durable
+// on return; under FsyncGroup durability is deferred to the next Sync.
+func (m *Manager) LogBlock(rec *BlockRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("persist: manager closed")
+	}
+	if num := rec.Block.Header.Number; num != m.nextHeight {
+		return fmt.Errorf("persist: WAL record for block %d, expected %d", num, m.nextHeight)
+	}
+	if m.segBytes >= int64(m.cfg.SegmentBytes) {
+		if err := m.rollSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := appendFrame(m.seg, rec)
+	if err != nil {
+		return fmt.Errorf("persist: appending block %d: %w", m.nextHeight, err)
+	}
+	m.segBytes += int64(n)
+	m.nextHeight++
+	m.dirty = true
+	m.stats.appends.Add(1)
+	if m.cfg.Fsync == FsyncAlways {
+		return m.syncLocked()
+	}
+	return nil
+}
+
+// Sync makes every record appended so far durable (one fsync for the
+// whole batch under the group policy; a no-op under always, which
+// already synced, and under never).
+func (m *Manager) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || !m.dirty || m.cfg.Fsync == FsyncNever {
+		return nil
+	}
+	return m.syncLocked()
+}
+
+func (m *Manager) syncLocked() error {
+	if err := m.seg.Sync(); err != nil {
+		return fmt.Errorf("persist: fsync: %w", err)
+	}
+	m.dirty = false
+	m.syncedBytes = m.segBytes
+	m.stats.syncs.Add(1)
+	return nil
+}
+
+// rollSegmentLocked seals the active segment (synced unless the policy
+// forbids it) and opens a fresh one starting at the next height.
+func (m *Manager) rollSegmentLocked() error {
+	if m.dirty && m.cfg.Fsync != FsyncNever {
+		if err := m.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := m.seg.Close(); err != nil {
+		return fmt.Errorf("persist: sealing segment: %w", err)
+	}
+	seg, err := createSegment(m.walDir, m.nextHeight)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	m.seg = seg
+	m.segStart = m.nextHeight
+	m.segBytes = int64(walHeaderLen)
+	m.syncedBytes = int64(walHeaderLen)
+	m.segments = append(m.segments, m.segStart)
+	m.dirty = false
+	return nil
+}
+
+// MaybeSnapshot takes a state snapshot if the configured interval has
+// elapsed since the last one. The store content (and its hash) are
+// captured synchronously — the caller invokes this at the finalize
+// boundary, where height, lastHash, and the store are mutually
+// consistent — and written to disk in the background; once durable, WAL
+// segments entirely below the snapshot are deleted. At most one snapshot
+// write is in flight; an elapsed interval during a write is skipped and
+// counted.
+func (m *Manager) MaybeSnapshot(height uint64, lastHash types.Hash, store *state.KVStore) {
+	if m.cfg.SnapshotInterval < 0 {
+		return
+	}
+	m.mu.Lock()
+	due := !m.closed && height >= m.lastSnap+uint64(m.cfg.SnapshotInterval)
+	m.mu.Unlock()
+	if !due {
+		return
+	}
+	if !m.snapBusy.CompareAndSwap(false, true) {
+		m.stats.snapSkipped.Add(1)
+		return
+	}
+	shards, hash := store.SnapshotShards()
+	man := &Manifest{
+		Height:    height,
+		LastHash:  lastHash,
+		StateHash: hash,
+		Shards:    uint64(len(shards)),
+		Records:   countRecords(shards),
+	}
+	m.mu.Lock()
+	m.lastSnap = height
+	m.mu.Unlock()
+	m.snapWG.Add(1)
+	go func() {
+		defer m.snapWG.Done()
+		defer m.snapBusy.Store(false)
+		if err := writeSnapshotFile(m.snapPath(height), man, shards); err != nil {
+			// The previous snapshot (and the un-truncated WAL above it)
+			// still fully covers recovery; log and move on.
+			m.cfg.Logf("persist: snapshot at height %d failed: %v", height, err)
+			return
+		}
+		m.stats.snaps.Add(1)
+		m.pruneBelow(height)
+	}()
+}
+
+// pruneBelow deletes WAL segments whose records all sit below the new
+// snapshot, and snapshot files older than it.
+func (m *Manager) pruneBelow(height uint64) {
+	m.mu.Lock()
+	kept := m.segments[:0]
+	for i, start := range m.segments {
+		if i+1 < len(m.segments) && m.segments[i+1] <= height {
+			if err := os.Remove(filepath.Join(m.walDir, segmentName(start))); err != nil {
+				m.cfg.Logf("persist: pruning WAL segment %d: %v", start, err)
+				kept = append(kept, start)
+			}
+			continue
+		}
+		kept = append(kept, start)
+	}
+	m.segments = kept
+	m.mu.Unlock()
+	snaps, err := listSnapshots(m.snapDir)
+	if err != nil {
+		m.cfg.Logf("persist: pruning snapshots: %v", err)
+		return
+	}
+	for _, h := range snaps {
+		if h < height {
+			if err := os.Remove(m.snapPath(h)); err != nil {
+				m.cfg.Logf("persist: pruning snapshot %d: %v", h, err)
+			}
+		}
+	}
+}
+
+// Close drains the background snapshot writer, syncs any unsynced tail
+// (unless the policy is never), closes the active segment, and releases
+// the directory lock.
+func (m *Manager) Close() error {
+	m.snapWG.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	var err error
+	if m.dirty && m.cfg.Fsync != FsyncNever {
+		err = m.syncLocked()
+	}
+	if cerr := m.seg.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := m.lock.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash simulates a machine crash for tests: every byte of the active
+// WAL segment that was never fsynced is discarded — exactly what a
+// power loss does to the page cache — and the manager becomes unusable
+// without any final sync. In-flight background snapshot writes are
+// drained first (a snapshot either fully lands via its atomic rename or
+// does not exist; either is a legal crash outcome). Tests use it to
+// prove the recovery contract depends only on what was durable at the
+// kill point, not on a graceful close. (Under FsyncNever, segments
+// sealed by a roll may also hold unsynced bytes; Crash only models the
+// active segment, which is exact for the group and always policies.)
+func (m *Manager) Crash() error {
+	m.snapWG.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	path := filepath.Join(m.walDir, segmentName(m.segStart))
+	if err := m.seg.Close(); err != nil {
+		return fmt.Errorf("persist: crash close: %w", err)
+	}
+	if err := os.Truncate(path, m.syncedBytes); err != nil {
+		return fmt.Errorf("persist: crash truncate: %w", err)
+	}
+	// A dead process holds no flock; release it like the kernel would.
+	return m.lock.Close()
+}
+
+// Stats returns a snapshot of the durability counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Appends:          m.stats.appends.Load(),
+		Syncs:            m.stats.syncs.Load(),
+		Snapshots:        m.stats.snaps.Load(),
+		SnapshotsSkipped: m.stats.snapSkipped.Load(),
+	}
+}
+
+// Dir returns the manager's data directory.
+func (m *Manager) Dir() string { return m.cfg.Dir }
+
+func (m *Manager) snapPath(height uint64) string {
+	return filepath.Join(m.snapDir, fmt.Sprintf("snap-%016x.snap", height))
+}
+
+// acquireDirLock takes an exclusive advisory flock on Dir/LOCK so a
+// second process (a double-started node, a supervisor racing a wedged
+// instance) cannot mount the same data directory and interleave WAL
+// appends with the first. The kernel releases the lock when the holding
+// process exits, however it died, so a crashed node never wedges its own
+// restart.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// listSnapshots returns the heights of every snapshot file, ascending.
+func listSnapshots(snapDir string) ([]uint64, error) {
+	entries, err := os.ReadDir(snapDir)
+	if err != nil {
+		return nil, err
+	}
+	heights := make([]uint64, 0, len(entries))
+	for _, e := range entries {
+		if h, ok := parseHeightName(e.Name(), "snap-", ".snap"); ok {
+			heights = append(heights, h)
+		}
+	}
+	sort.Slice(heights, func(i, j int) bool { return heights[i] < heights[j] })
+	return heights, nil
+}
+
+func countRecords(shards [][]types.KV) uint64 {
+	var n uint64
+	for _, kvs := range shards {
+		n += uint64(len(kvs))
+	}
+	return n
+}

@@ -1,0 +1,282 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"parblockchain/internal/state"
+	"parblockchain/internal/types"
+)
+
+// A snapshot file freezes the full sharded KVStore at one block
+// boundary:
+//
+//	magic (8)  | "PBSNAP01"
+//	u32        | manifest length
+//	manifest   | versioned Manifest encoding (own codec, fuzzed)
+//	payload    | per shard: u64 record count, then records
+//	           |   record: Str key, presence byte, Blob value
+//	u32        | CRC-32C over everything above
+//
+// The value slices written are shared with the live store (the
+// zero-copy state contract); the reader copies them out of the file
+// buffer, so a restored store owns its values. Snapshots are written to
+// a temp file, fsynced, and renamed into place, so a crash mid-write
+// leaves the previous snapshot intact.
+
+var snapMagic = [8]byte{'P', 'B', 'S', 'N', 'A', 'P', '0', '1'}
+
+// manifestVersion is the snapshot manifest's on-disk version byte.
+const manifestVersion = 1
+
+// castagnoli is the CRC-32C table shared by snapshot files and WAL
+// record frames.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Manifest describes one snapshot: the block boundary it freezes, the
+// chain anchor the restored ledger resumes from, and the state hash the
+// restored store must reproduce.
+type Manifest struct {
+	// Height is the number of blocks folded into the snapshot; the next
+	// block to finalize after restoring carries this number.
+	Height uint64
+	// LastHash is the hash of block Height-1 (the ledger tip at the
+	// boundary; the zero hash for a genesis snapshot).
+	LastHash types.Hash
+	// StateHash is the store's incremental XOR-of-SHA256 hash over the
+	// snapshot content.
+	StateHash types.Hash
+	// Shards is the store's shard count at write time.
+	Shards uint64
+	// Records is the total number of live records across all shards.
+	Records uint64
+}
+
+// Marshal encodes the manifest with its versioned codec.
+func (m *Manifest) Marshal() []byte {
+	w := types.AcquireWriter()
+	defer types.ReleaseWriter(w)
+	w.Byte(manifestVersion)
+	w.U64(m.Height)
+	w.WriteHash(m.LastHash)
+	w.WriteHash(m.StateHash)
+	w.U64(m.Shards)
+	w.U64(m.Records)
+	return w.CloneBytes()
+}
+
+// UnmarshalManifest decodes a manifest encoded by Marshal. Malformed
+// input returns an error, never panics.
+func UnmarshalManifest(b []byte) (*Manifest, error) {
+	r := types.NewByteReader(b)
+	if v := r.Byte(); r.Err() == nil && v != manifestVersion {
+		return nil, fmt.Errorf("persist: unsupported snapshot manifest version %d", v)
+	}
+	m := &Manifest{Height: r.U64()}
+	m.LastHash = r.ReadHash()
+	m.StateHash = r.ReadHash()
+	m.Shards = r.U64()
+	m.Records = r.U64()
+	if err := types.FinishDecode(r, "snapshot manifest"); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return m, nil
+}
+
+// crcWriter tees writes into a CRC-32C running sum, accumulating the
+// first error so the write path can check once at the end.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+	err error
+}
+
+func newCRCWriter(f *os.File) *crcWriter {
+	return &crcWriter{w: bufio.NewWriterSize(f, 1<<20), crc: crc32.New(castagnoli)}
+}
+
+func (cw *crcWriter) bytes(b []byte) {
+	if cw.err != nil {
+		return
+	}
+	if _, err := cw.w.Write(b); err != nil {
+		cw.err = err
+		return
+	}
+	cw.crc.Write(b)
+}
+
+func (cw *crcWriter) u64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	cw.bytes(b[:])
+}
+
+func (cw *crcWriter) u32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	cw.bytes(b[:])
+}
+
+func (cw *crcWriter) byte(b byte) { cw.bytes([]byte{b}) }
+
+func (cw *crcWriter) str(s string) {
+	cw.u64(uint64(len(s)))
+	if cw.err == nil {
+		if _, err := cw.w.WriteString(s); err != nil {
+			cw.err = err
+			return
+		}
+		cw.crc.Write([]byte(s))
+	}
+}
+
+// writeSnapshotFile writes (atomically, via temp file + rename) the
+// snapshot of the given shards at path.
+func writeSnapshotFile(path string, man *Manifest, shards [][]types.KV) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	cw := newCRCWriter(f)
+	cw.bytes(snapMagic[:])
+	mb := man.Marshal()
+	cw.u32(uint32(len(mb)))
+	cw.bytes(mb)
+	for _, kvs := range shards {
+		cw.u64(uint64(len(kvs)))
+		for _, kv := range kvs {
+			cw.str(kv.Key)
+			if kv.Val == nil {
+				cw.byte(0)
+			} else {
+				cw.byte(1)
+				cw.u64(uint64(len(kv.Val)))
+				cw.bytes(kv.Val)
+			}
+		}
+	}
+	if cw.err == nil {
+		sum := cw.crc.Sum32()
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], sum)
+		_, cw.err = cw.w.Write(b[:])
+	}
+	if cw.err == nil {
+		cw.err = cw.w.Flush()
+	}
+	if cw.err == nil {
+		cw.err = f.Sync()
+	}
+	if err := f.Close(); cw.err == nil {
+		cw.err = err
+	}
+	if cw.err != nil {
+		return fmt.Errorf("persist: writing snapshot %s: %w", path, cw.err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// readSnapshotFile loads a snapshot into a fresh KVStore and verifies
+// the checksum, the record count, and the incremental state hash.
+func readSnapshotFile(path string) (*Manifest, *state.KVStore, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(raw) < len(snapMagic)+4+4 {
+		return nil, nil, fmt.Errorf("persist: snapshot %s truncated", path)
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(tail) {
+		return nil, nil, fmt.Errorf("persist: snapshot %s checksum mismatch", path)
+	}
+	if [8]byte(body[:8]) != snapMagic {
+		return nil, nil, fmt.Errorf("persist: snapshot %s has bad magic", path)
+	}
+	body = body[8:]
+	if len(body) < 4 {
+		return nil, nil, fmt.Errorf("persist: snapshot %s truncated", path)
+	}
+	mlen := int(binary.BigEndian.Uint32(body))
+	body = body[4:]
+	if mlen > len(body) {
+		return nil, nil, fmt.Errorf("persist: snapshot %s truncated", path)
+	}
+	man, err := UnmarshalManifest(body[:mlen])
+	if err != nil {
+		return nil, nil, err
+	}
+	r := types.NewByteReader(body[mlen:])
+	store := state.NewKVStore()
+	var total uint64
+	for s := uint64(0); s < man.Shards && r.Err() == nil; s++ {
+		n := r.U64()
+		if r.Err() != nil || n > uint64(r.Remaining())/minDeltaKVSize {
+			r.Fail()
+			break
+		}
+		if n == 0 {
+			continue
+		}
+		batch := make([]types.KV, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			kv := types.KV{Key: r.Str()}
+			if r.Byte() == 1 {
+				kv.Val = r.Blob()
+				if kv.Val == nil {
+					kv.Val = []byte{}
+				}
+			} else {
+				// A nil value in a snapshot would be a deletion of a key
+				// that was never written — snapshots hold live records
+				// only, so presence is mandatory.
+				r.Fail()
+			}
+			batch = append(batch, kv)
+		}
+		if r.Err() == nil {
+			store.Apply(batch)
+			total += n
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, fmt.Errorf("persist: decoding snapshot %s: %w", path, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, nil, fmt.Errorf("persist: snapshot %s has %d trailing bytes", path, r.Remaining())
+	}
+	if total != man.Records {
+		return nil, nil, fmt.Errorf("persist: snapshot %s holds %d records, manifest says %d",
+			path, total, man.Records)
+	}
+	if got := store.Hash(); got != man.StateHash {
+		return nil, nil, fmt.Errorf("persist: snapshot %s state hash mismatch: got %s want %s",
+			path, got, man.StateHash)
+	}
+	return man, store, nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed file's
+// directory entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -337,6 +337,42 @@ func (s *KVStore) Snapshot() map[types.Key][]byte {
 	return out
 }
 
+// SnapshotShards returns a consistent point-in-time copy of the store
+// partitioned by shard, together with the full-store hash of exactly
+// that content. Both are captured under one multi-shard read lock, so
+// the hash commits to the returned records even when writers are
+// concurrent — the pairing the durability subsystem's snapshot writer
+// needs. Per the package ownership contract the value slices are shared
+// with the store, not copied.
+func (s *KVStore) SnapshotShards() ([][]types.KV, types.Hash) {
+	var acc [sha256.Size]byte
+	var count uint64
+	out := make([][]types.KV, shardCount)
+	s.rlockAll()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		xorDigest(&acc, sh.digest)
+		count += uint64(len(sh.data))
+		if len(sh.data) == 0 {
+			continue
+		}
+		kvs := make([]types.KV, 0, len(sh.data))
+		for k, v := range sh.data {
+			kvs = append(kvs, types.KV{Key: k, Val: v.val})
+		}
+		out[i] = kvs
+	}
+	s.runlockAll()
+	h := sha256.New()
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], count)
+	h.Write(scratch[:])
+	h.Write(acc[:])
+	var hash types.Hash
+	h.Sum(hash[:0])
+	return out, hash
+}
+
 var (
 	_ Reader          = (*KVStore)(nil)
 	_ VersionedReader = (*KVStore)(nil)

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"time"
 
+	"parblockchain/internal/consensus/kafkaorder"
+	"parblockchain/internal/consensus/raft"
 	"parblockchain/internal/types"
 )
 
@@ -20,13 +22,15 @@ import (
 //
 // Frames are length-prefixed and tagged. The hot protocol payloads —
 // REQUEST, NEWBLOCK, COMMIT, and the streaming SEGMENT/SEAL messages —
-// travel as the fuzz-hardened binary encodings of internal/types, so the
-// wire format is deterministic, free of gob's reflection and per-stream
-// type headers, and hostile input fails in a bounded decoder instead of
-// gob's allocator. Everything else (consensus-internal payloads:
-// PBFT/Raft/Kafka messages, commit notifications, state sync) rides a
-// tagged gob escape hatch, encoded per frame with the types registered
-// via RegisterWireTypes.
+// travel as the fuzz-hardened binary encodings of internal/types, and
+// the crash-fault-tolerant consensus payloads (Raft and kafkaorder
+// messages, including the heartbeats that dominate idle-cluster
+// traffic) as the hand-rolled codecs of their packages, so the wire
+// format is deterministic, free of gob's reflection and per-stream type
+// headers, and hostile input fails in a bounded decoder instead of
+// gob's allocator. Everything else (PBFT messages, commit
+// notifications, state sync) rides a tagged gob escape hatch, encoded
+// per frame with the types registered via RegisterWireTypes.
 //
 // Peer identity is established by a handshake frame and then pinned to
 // the connection. Production deployments would authenticate links with
@@ -68,6 +72,19 @@ const (
 	frameCommit   byte = 4 // body: types.CommitMsg binary encoding
 	frameSegment  byte = 5 // body: types.BlockSegmentMsg binary encoding
 	frameSeal     byte = 6 // body: types.BlockSealMsg binary encoding
+
+	// Consensus-internal payloads of the crash-fault-tolerant protocols
+	// (Raft heartbeats dominate idle-cluster traffic; kafka appends carry
+	// every ordered payload). PBFT stays on the gob escape hatch.
+	frameRaftForward       byte = 7  // body: raft.Forward binary encoding
+	frameRaftRequestVote   byte = 8  // body: raft.RequestVote binary encoding
+	frameRaftVoteResp      byte = 9  // body: raft.VoteResp binary encoding
+	frameRaftAppendEntries byte = 10 // body: raft.AppendEntries binary encoding
+	frameRaftAppendResp    byte = 11 // body: raft.AppendResp binary encoding
+	frameKafkaForward      byte = 12 // body: kafkaorder.Forward binary encoding
+	frameKafkaAppend       byte = 13 // body: kafkaorder.Append binary encoding
+	frameKafkaAck          byte = 14 // body: kafkaorder.Ack binary encoding
+	frameKafkaCommitAnn    byte = 15 // body: kafkaorder.CommitAnn binary encoding
 )
 
 // maxFrameBytes bounds a single inbound frame (64 MiB): far above any
@@ -95,6 +112,24 @@ func encodeFrame(payload any) (byte, []byte, error) {
 		return frameSegment, p.Marshal(), nil
 	case *types.BlockSealMsg:
 		return frameSeal, p.Marshal(), nil
+	case raft.Forward:
+		return frameRaftForward, p.Marshal(), nil
+	case raft.RequestVote:
+		return frameRaftRequestVote, p.Marshal(), nil
+	case raft.VoteResp:
+		return frameRaftVoteResp, p.Marshal(), nil
+	case raft.AppendEntries:
+		return frameRaftAppendEntries, p.Marshal(), nil
+	case raft.AppendResp:
+		return frameRaftAppendResp, p.Marshal(), nil
+	case kafkaorder.Forward:
+		return frameKafkaForward, p.Marshal(), nil
+	case kafkaorder.Append:
+		return frameKafkaAppend, p.Marshal(), nil
+	case kafkaorder.Ack:
+		return frameKafkaAck, p.Marshal(), nil
+	case kafkaorder.CommitAnn:
+		return frameKafkaCommitAnn, p.Marshal(), nil
 	default:
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(gobFrame{Payload: payload}); err != nil {
@@ -118,6 +153,24 @@ func decodeFrame(tag byte, body []byte) (any, error) {
 		return types.UnmarshalBlockSegmentMsg(body)
 	case frameSeal:
 		return types.UnmarshalBlockSealMsg(body)
+	case frameRaftForward:
+		return raft.UnmarshalForward(body)
+	case frameRaftRequestVote:
+		return raft.UnmarshalRequestVote(body)
+	case frameRaftVoteResp:
+		return raft.UnmarshalVoteResp(body)
+	case frameRaftAppendEntries:
+		return raft.UnmarshalAppendEntries(body)
+	case frameRaftAppendResp:
+		return raft.UnmarshalAppendResp(body)
+	case frameKafkaForward:
+		return kafkaorder.UnmarshalForward(body)
+	case frameKafkaAppend:
+		return kafkaorder.UnmarshalAppend(body)
+	case frameKafkaAck:
+		return kafkaorder.UnmarshalAck(body)
+	case frameKafkaCommitAnn:
+		return kafkaorder.UnmarshalCommitAnn(body)
 	case frameGob:
 		var f gobFrame
 		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {

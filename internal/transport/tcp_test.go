@@ -5,9 +5,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"reflect"
 	"testing"
 	"time"
 
+	"parblockchain/internal/consensus/kafkaorder"
+	"parblockchain/internal/consensus/raft"
 	"parblockchain/internal/depgraph"
 	"parblockchain/internal/types"
 )
@@ -260,9 +263,53 @@ func TestTCPBinaryFrameRoundTrips(t *testing.T) {
 		}
 	})
 
+	// The CFT consensus payloads are binary-framed too; each must arrive
+	// as the same value type the consensus state machines type-switch on.
+	t.Run("raft", func(t *testing.T) {
+		for _, msg := range []any{
+			raft.Forward{Payload: []byte("fwd")},
+			raft.RequestVote{Term: 3, LastLogIndex: 7, LastLogTerm: 2},
+			raft.VoteResp{Term: 3, Granted: true},
+			raft.AppendEntries{
+				Term: 4, PrevIndex: 6, PrevTerm: 2,
+				Entries: []raft.LogEntry{
+					{Term: 4, Payload: []byte("entry")},
+					{Term: 4, Payload: nil}, // leader no-op
+				},
+				LeaderCommit: 5,
+			},
+			raft.AppendResp{Term: 4, Success: true, MatchIndex: 8},
+		} {
+			if err := a.Send("b", msg); err != nil {
+				t.Fatal(err)
+			}
+			got := recvPayload(t, b)
+			if !reflect.DeepEqual(got, msg) {
+				t.Fatalf("%T mangled: %#v != %#v", msg, got, msg)
+			}
+		}
+	})
+
+	t.Run("kafka", func(t *testing.T) {
+		for _, msg := range []any{
+			kafkaorder.Forward{Payload: []byte("fwd")},
+			kafkaorder.Append{Seq: 9, Batch: [][]byte{[]byte("p1"), []byte("p2")}},
+			kafkaorder.Ack{Seq: 9},
+			kafkaorder.CommitAnn{Seq: 9},
+		} {
+			if err := a.Send("b", msg); err != nil {
+				t.Fatal(err)
+			}
+			got := recvPayload(t, b)
+			if !reflect.DeepEqual(got, msg) {
+				t.Fatalf("%T mangled: %#v != %#v", msg, got, msg)
+			}
+		}
+	})
+
 	t.Run("gob-escape-hatch", func(t *testing.T) {
-		// Consensus-internal payloads (and anything else registered) still
-		// travel per-frame gob.
+		// PBFT payloads (and anything else registered) still travel
+		// per-frame gob.
 		if err := a.Send("b", tcpPayload{N: 11, Text: "fallback"}); err != nil {
 			t.Fatal(err)
 		}

@@ -136,6 +136,48 @@ func (r *ByteReader) fail() {
 	}
 }
 
+// Fail marks the reader as failed at the current offset, for enclosing
+// decoders that detect a structurally impossible count or value. All
+// subsequent reads return zero values and Err reports the failure.
+func (r *ByteReader) Fail() { r.fail() }
+
+// Bool writes a boolean as a single byte (1 or 0).
+func (w *ByteWriter) Bool(b bool) {
+	if b {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+}
+
+// Bool reads a byte written by (*ByteWriter).Bool. Any value other than
+// 0 or 1 is a malformed encoding and fails the reader — a flipped byte
+// must surface as an error, not silently collapse to false.
+func (r *ByteReader) Bool() bool {
+	switch r.Byte() {
+	case 1:
+		return true
+	case 0:
+		return false
+	default:
+		r.fail()
+		return false
+	}
+}
+
+// FinishDecode completes a one-message decode: it returns any pending
+// reader error, and fails on trailing bytes (a frame or record carries
+// exactly one message), wrapping either with the message name.
+func FinishDecode(r *ByteReader, what string) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("decoding %s: %w", what, err)
+	}
+	if n := r.Remaining(); n != 0 {
+		return fmt.Errorf("decoding %s: %w: %d trailing bytes", what, ErrCodec, n)
+	}
+	return nil
+}
+
 // U64 reads a fixed-width big-endian uint64.
 func (r *ByteReader) U64() uint64 {
 	if r.err != nil || r.off+8 > len(r.buf) {

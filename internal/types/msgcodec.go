@@ -47,6 +47,25 @@ func (r *ByteReader) hash() Hash {
 	return h
 }
 
+// WriteHash appends a fixed-width hash (no length prefix). Enclosing
+// encodings (the durability subsystem's WAL records and snapshot
+// manifests) embed hashes with it.
+func (w *ByteWriter) WriteHash(h Hash) { w.hash(h) }
+
+// ReadHash reads a fixed-width hash written by WriteHash.
+func (r *ByteReader) ReadHash() Hash { return r.hash() }
+
+// DecodeBlock consumes one block encoding (written by Block.MarshalTo)
+// from the reader, so enclosing decoders — NEWBLOCK above, the WAL
+// record codec in internal/persist — can embed blocks. Malformed input
+// sets the reader's error; allocation is bounded by the input size.
+func DecodeBlock(r *ByteReader) *Block { return decodeBlock(r) }
+
+// DecodeTxResults consumes a count-prefixed result list (one TxResult
+// MarshalTo per element after a U64 count), with the count bounded by
+// the remaining input before allocation.
+func DecodeTxResults(r *ByteReader) []TxResult { return decodeTxResults(r) }
+
 // MarshalTo appends the result's encoding. A nil write value (deletion)
 // and an empty value are distinct on the wire: stores treat nil as a
 // delete, so conflating them would turn empty writes into deletions.

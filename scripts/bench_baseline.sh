@@ -9,6 +9,11 @@
 # segment=16 first-exec-ns metric (time from first ordered transaction to
 # first execution) is expected to stay well below the monolithic row's —
 # graph generation and block dissemination off the critical path.
+# BenchmarkExecutorDurable/depth={1,4}/{mem,wal} records the durability
+# subsystem's cost on the finalize hot path: the wal rows' fsyncs/block
+# metric shows the group-commit amortization (1.0 at the per-block
+# barrier, ~1/depth when pipelined blocks finalize as one batch), and
+# the mem-vs-wal tx/s gap is the price of crash durability.
 #
 # Usage: scripts/bench_baseline.sh [output.json]
 set -eu
