@@ -11,6 +11,7 @@
 //	parbench -fig pipeline  executor pipeline-depth sweep
 //	parbench -fig stream    orderer->executor segment-streaming sweep
 //	parbench -fig durability  WAL fsync cost on the finalize hot path
+//	parbench -fig speculation speculative commit-wait bypass vs vote delay
 //	parbench -fig all       everything
 //
 // Use -quick for a fast smoke pass with reduced sweep ranges, -dur and
@@ -37,21 +38,22 @@ func main() {
 }
 
 type config struct {
-	fig      string
-	fsync    string
-	quick    bool
-	csv      bool
-	duration time.Duration
-	warmup   time.Duration
-	execCost time.Duration
-	crypto   bool
-	pipeline int
-	segTxns  int
+	fig       string
+	fsync     string
+	quick     bool
+	csv       bool
+	duration  time.Duration
+	warmup    time.Duration
+	execCost  time.Duration
+	crypto    bool
+	pipeline  int
+	segTxns   int
+	speculate bool
 }
 
 func run() error {
 	var cfg config
-	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations pipeline stream durability all")
+	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations pipeline stream durability speculation all")
 	flag.BoolVar(&cfg.quick, "quick", false, "reduced sweep ranges for a fast pass")
 	flag.BoolVar(&cfg.csv, "csv", false, "emit raw CSV rows instead of tables")
 	flag.DurationVar(&cfg.duration, "dur", 2*time.Second, "steady-state measurement window per point")
@@ -61,24 +63,26 @@ func run() error {
 	flag.IntVar(&cfg.pipeline, "pipeline", 0, "executor pipeline depth for all OXII runs (1 = per-block barrier, 0 = default)")
 	flag.IntVar(&cfg.segTxns, "segtxns", 0, "orderer segment size for all OXII runs (0 = monolithic NEWBLOCK)")
 	flag.StringVar(&cfg.fsync, "fsync", "group", "WAL fsync policy for the durability sweep: group, always, or never")
+	flag.BoolVar(&cfg.speculate, "speculate", false, "speculative commit-wait bypass for all OXII runs (adopt first votes, gate multicasts, cascade on mismatch)")
 	flag.Parse()
 
 	figs := map[string]func(config) error{
 		"5a": fig5, "5b": fig5,
-		"6a":         func(c config) error { return fig6(c, 0.0) },
-		"6b":         func(c config) error { return fig6(c, 0.2) },
-		"6c":         func(c config) error { return fig6(c, 0.8) },
-		"6d":         func(c config) error { return fig6(c, 1.0) },
-		"7a":         func(c config) error { return fig7(c, bench.GroupClients) },
-		"7b":         func(c config) error { return fig7(c, bench.GroupOrderers) },
-		"7c":         func(c config) error { return fig7(c, bench.GroupExecutors) },
-		"7d":         func(c config) error { return fig7(c, bench.GroupPassive) },
-		"ablations":  ablations,
-		"pipeline":   figPipeline,
-		"stream":     figStream,
-		"durability": figDurability,
+		"6a":          func(c config) error { return fig6(c, 0.0) },
+		"6b":          func(c config) error { return fig6(c, 0.2) },
+		"6c":          func(c config) error { return fig6(c, 0.8) },
+		"6d":          func(c config) error { return fig6(c, 1.0) },
+		"7a":          func(c config) error { return fig7(c, bench.GroupClients) },
+		"7b":          func(c config) error { return fig7(c, bench.GroupOrderers) },
+		"7c":          func(c config) error { return fig7(c, bench.GroupExecutors) },
+		"7d":          func(c config) error { return fig7(c, bench.GroupPassive) },
+		"ablations":   ablations,
+		"pipeline":    figPipeline,
+		"stream":      figStream,
+		"durability":  figDurability,
+		"speculation": figSpeculation,
 	}
-	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations", "pipeline", "stream", "durability"}
+	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations", "pipeline", "stream", "durability", "speculation"}
 
 	switch cfg.fig {
 	case "all":
@@ -108,6 +112,7 @@ func (c config) base() bench.Options {
 		Crypto:        c.crypto,
 		PipelineDepth: c.pipeline,
 		SegmentTxns:   c.segTxns,
+		Speculate:     c.speculate,
 	}
 }
 
@@ -330,6 +335,37 @@ func printSeries(c config, title string, series []namedSeries) {
 				p.Result.P95.Round(time.Millisecond), p.Result.Aborted)
 		}
 	}
+}
+
+// figSpeculation measures the speculative commit-wait bypass: cross-app
+// contended OXII with two agents and tau=2 per application, half the
+// voters' COMMITs delayed, speculation off vs on at each delay. Off, a
+// dependent transaction waits the full delay for the quorum before it can
+// execute; on, it executes at the first (fast) vote and overlaps the
+// vote round-trip with useful work.
+func figSpeculation(c config) error {
+	delays := []time.Duration{0, 2 * time.Millisecond, 5 * time.Millisecond}
+	levels := c.clientLevels()
+	if c.quick {
+		delays = []time.Duration{0, 2 * time.Millisecond}
+	}
+	series, err := bench.SpeculationSweep(c.base(), 0.2, delays, levels, os.Stderr)
+	if err != nil {
+		return err
+	}
+	rows := make([]namedSeries, 0, len(series))
+	for _, s := range series {
+		mode := "off"
+		if s.Speculate {
+			mode = "on"
+		}
+		rows = append(rows, namedSeries{
+			name:   fmt.Sprintf("delay=%s/spec-%s", s.VoteDelay, mode),
+			points: s.Points,
+		})
+	}
+	printSeries(c, "Speculation: commit-wait bypass under delayed votes @ 20% cross-app contention", rows)
+	return nil
 }
 
 // figDurability measures the durability subsystem's cost on the

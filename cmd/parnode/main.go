@@ -231,6 +231,7 @@ func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 		Store:         store,
 		Ledger:        led,
 		PipelineDepth: cfg.PipelineDepth,
+		Speculate:     cfg.Speculate,
 		Signer:        signer,
 		Verifier:      verifier,
 		VerifySigs:    cfg.Crypto,

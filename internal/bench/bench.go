@@ -105,6 +105,24 @@ type Options struct {
 	UsePairwiseGraph bool
 	// EagerCommit selects Algorithm 2's eager variant (ablation A1).
 	EagerCommit bool
+	// Speculate lets OXII executors run dependent transactions against a
+	// predecessor's uncommitted (first-vote) result instead of stalling
+	// for the tau quorum, re-validating at commit. Meaningful with
+	// AgentsPerApp/Tau >= 2, where non-local predecessors otherwise stall
+	// dependents for a vote round-trip.
+	Speculate bool
+	// AgentsPerApp replicates each application's contract on this many
+	// consecutive executors (default 1, the paper's disjoint placement).
+	AgentsPerApp int
+	// Tau is the per-application number of matching results required to
+	// commit (default 1; capped at AgentsPerApp).
+	Tau int
+	// VoteDelay adds this one-way delay to COMMIT multicasts sent by
+	// every odd-indexed executor (e2, e4, ...), so with AgentsPerApp=2
+	// each application has one fast and one slow voter: the first vote
+	// arrives quickly while the tau=2 quorum waits out the delay — the
+	// spread speculation exists to exploit. Zero disables the harness.
+	VoteDelay time.Duration
 	// GraphMultiVersion selects the MVCC dependency rule (ablation A2).
 	GraphMultiVersion bool
 	// ExecWorkers sizes OXII executor pools (default 2*BlockTxns).
@@ -183,6 +201,15 @@ func (o Options) withDefaults() Options {
 	if o.ExecWorkers <= 0 {
 		o.ExecWorkers = 2 * o.BlockTxns
 	}
+	if o.AgentsPerApp <= 0 {
+		o.AgentsPerApp = 1
+	}
+	if o.AgentsPerApp > o.Executors {
+		o.AgentsPerApp = o.Executors
+	}
+	if o.Tau > o.AgentsPerApp {
+		o.Tau = o.AgentsPerApp
+	}
 	return o
 }
 
@@ -223,6 +250,17 @@ type Result struct {
 	// finalizing in one batch share a single fsync.
 	WALAppends uint64
 	WALSyncs   uint64
+	// Speculation counters, summed over every executor (all 0 without
+	// Options.Speculate): executions that read at least one uncommitted
+	// input, buffered votes released after every input committed with a
+	// matching digest, invalidated speculations, and cascade
+	// re-executions. In fault-free runs Misses/Reexecs stay 0: honest
+	// agents execute deterministically, so adopted first votes always
+	// match the quorum.
+	SpecExecuted uint64
+	SpecHits     uint64
+	SpecMisses   uint64
+	SpecReexecs  uint64
 }
 
 // String formats the point as a table row.
@@ -252,12 +290,18 @@ func Run(opts Options) (Result, error) {
 
 	apps := make([]types.AppID, opts.Apps)
 	agents := make(map[types.AppID][]types.NodeID, opts.Apps)
+	tau := make(map[types.AppID]int, opts.Apps)
 	contracts := make(map[types.AppID]contract.Contract, opts.Apps)
 	cost := contract.CostModel{Cost: opts.ExecCost, SpinFraction: opts.SpinFraction}
 	for i := range apps {
 		app := types.AppID(fmt.Sprintf("app%d", i+1))
 		apps[i] = app
-		agents[app] = []types.NodeID{executors[i%len(executors)]}
+		for k := 0; k < opts.AgentsPerApp; k++ {
+			agents[app] = append(agents[app], executors[(i+k)%len(executors)])
+		}
+		if opts.Tau > 1 {
+			tau[app] = opts.Tau
+		}
 		contracts[app] = contract.WithCost(contract.NewAccounting(), cost)
 	}
 
@@ -291,14 +335,35 @@ func Run(opts Options) (Result, error) {
 	assign(GroupOrderers, orderers)
 	assign(GroupExecutors, executors)
 	assign(GroupPassive, passive)
-	net := transport.NewInMemNetwork(transport.InMemConfig{
+	netCfg := transport.InMemConfig{
 		Latency: &transport.ZoneLatency{
 			Zone:        zones,
 			DefaultZone: "dc1",
 			Intra:       opts.IntraZoneLatency,
 			Inter:       opts.InterZoneLatency,
 		},
-	})
+	}
+	if opts.VoteDelay > 0 {
+		// The delayed-vote harness: COMMIT multicasts from odd-indexed
+		// executors arrive VoteDelay late, so each application (agents are
+		// consecutive executors) has fast and slow voters — the first vote
+		// leads the tau quorum by the delay, the spread speculation
+		// overlaps with execution.
+		slow := make(map[types.NodeID]bool, len(executors)/2)
+		for i, id := range executors {
+			if i%2 == 1 {
+				slow[id] = true
+			}
+		}
+		delay := opts.VoteDelay
+		netCfg.ExtraLatency = func(from, _ types.NodeID, payload any) time.Duration {
+			if _, ok := payload.(*types.CommitMsg); ok && slow[from] {
+				return delay
+			}
+			return 0
+		}
+	}
+	net := transport.NewInMemNetwork(netCfg)
 	defer net.Close()
 
 	// Instruments.
@@ -314,6 +379,7 @@ func Run(opts Options) (Result, error) {
 	var retriesFn func() uint64
 	var stateHash func() types.Hash
 	var walStats func() persist.Stats
+	var specStats func() (executed, hits, misses, reexecs uint64)
 
 	graphMode := depgraph.Standard
 	if opts.GraphMultiVersion {
@@ -328,12 +394,14 @@ func Run(opts Options) (Result, error) {
 			Clients:          []types.NodeID{clientID},
 			Agents:           agents,
 			Contracts:        contracts,
+			Tau:              tau,
 			Consensus:        opts.Consensus,
 			MaxBlockTxns:     opts.BlockTxns,
 			MaxBlockInterval: opts.BlockInterval,
 			GraphMode:        graphMode,
 			UsePairwiseGraph: opts.UsePairwiseGraph,
 			EagerCommit:      opts.EagerCommit,
+			Speculate:        opts.Speculate,
 			ExecWorkers:      opts.ExecWorkers,
 			PipelineDepth:    opts.PipelineDepth,
 			SegmentTxns:      opts.SegmentTxns,
@@ -377,6 +445,16 @@ func Run(opts Options) (Result, error) {
 				return persist.Stats{}
 			}
 			return nw.Persists[0].Stats()
+		}
+		specStats = func() (executed, hits, misses, reexecs uint64) {
+			for _, e := range nw.Executors {
+				st := e.Stats()
+				executed += st.SpecExecuted
+				hits += st.SpecHits
+				misses += st.SpecMisses
+				reexecs += st.SpecReexecs
+			}
+			return
 		}
 	case SystemOX:
 		nw, err := ox.New(ox.Config{
@@ -507,6 +585,9 @@ func Run(opts Options) (Result, error) {
 	if walStats != nil {
 		st := walStats()
 		result.WALAppends, result.WALSyncs = st.Appends, st.Syncs
+	}
+	if specStats != nil {
+		result.SpecExecuted, result.SpecHits, result.SpecMisses, result.SpecReexecs = specStats()
 	}
 	return result, nil
 }

@@ -139,6 +139,61 @@ func TestGeoSweepSkipsOXForExecutorPlacements(t *testing.T) {
 	}
 }
 
+func TestRunOXIISpeculative(t *testing.T) {
+	opts := short(SystemOXIIX)
+	opts.Contention = 0.5
+	opts.AgentsPerApp = 2
+	opts.Tau = 2
+	opts.Speculate = true
+	opts.VoteDelay = time.Millisecond
+	opts.Duration = 600 * time.Millisecond
+	r, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput <= 0 || r.Errors != 0 {
+		t.Fatalf("bad speculative result: %+v", r)
+	}
+	if r.SpecExecuted == 0 {
+		t.Fatalf("cross-app contention with delayed votes produced no speculative executions: %+v", r)
+	}
+	if r.SpecMisses != 0 || r.SpecReexecs != 0 {
+		t.Fatalf("honest run produced speculation misses: %+v", r)
+	}
+	// Speculation off: the counters must stay untouched.
+	opts.Speculate = false
+	r2, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SpecExecuted != 0 || r2.SpecHits != 0 {
+		t.Fatalf("non-speculative run reported speculation activity: %+v", r2)
+	}
+}
+
+// TestSpeculationSweepSmoke exercises the SpeculationSweep harness end to
+// end (one delay, off and on) so the sweep stays wired; CI's bench-smoke
+// job runs it alongside the benchmarks.
+func TestSpeculationSweepSmoke(t *testing.T) {
+	base := short(SystemOXIIX)
+	base.Duration = 400 * time.Millisecond
+	series, err := SpeculationSweep(base, 0.5, []time.Duration{time.Millisecond}, []int{32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2 (off and on)", len(series))
+	}
+	if series[0].Speculate || !series[1].Speculate {
+		t.Fatal("sweep must emit the off series before the on series per delay")
+	}
+	for _, s := range series {
+		if len(s.Points) != 1 || s.Points[0].Result.Throughput <= 0 {
+			t.Fatalf("bad sweep point: %+v", s)
+		}
+	}
+}
+
 func TestRunOXIIDurable(t *testing.T) {
 	opts := short(SystemOXII)
 	opts.DataDir = t.TempDir()

@@ -45,6 +45,14 @@ type Config struct {
 	// one monolithic NEWBLOCK per block. 0 keeps the monolithic wire
 	// format. Every orderer of a cluster must use the same value.
 	SegmentTxns int `json:"segmentTxns,omitempty"`
+	// Speculate enables the executors' speculative commit-wait bypass:
+	// dependent transactions execute against a predecessor's uncommitted
+	// (first-vote) result instead of stalling for the tau quorum, with
+	// COMMIT multicasts of speculative results buffered until every
+	// speculated-upon input commits with a matching digest, and cascade
+	// re-execution on mismatch. Safe to enable per node (it changes only
+	// local scheduling and vote timing, never committed results).
+	Speculate bool `json:"speculate,omitempty"`
 	// DataDir roots the durability subsystem: each executor keeps its
 	// write-ahead log and state snapshots under DataDir/<node-id>, and a
 	// restarted node resumes from its durable height instead of genesis.

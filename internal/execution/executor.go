@@ -48,6 +48,30 @@
 // successor until their seal validates, which keeps the cross-block
 // stitcher's (block, index) order intact.
 //
+// # Speculative commit-wait bypass
+//
+// Algorithm 1 already lets a transaction run as soon as its predecessors
+// are in Ce ∪ Xe, so a locally executed predecessor never stalls its
+// successors. A predecessor of another application is different: this
+// node cannot execute it, so without speculation the successor waits for
+// tau(A) matching COMMIT votes — a network round-trip on the critical
+// path. With Config.Speculate the executor instead adopts the
+// predecessor's first (pre-quorum) vote result as a speculative value,
+// executes dependents against it, and re-validates when the predecessor
+// commits: a matching committed digest promotes the speculative results
+// in place; a mismatch (or an abort flip) revokes the predecessor's
+// overlay writes and cascades re-execution through the exact set of
+// transactions that read the invalidated value (speculation lineage is
+// recorded per dispatch). Speculative results stay internal until
+// validated: the COMMIT multicast (and the node's own vote) for a result
+// that read any uncommitted input is buffered per transaction and
+// released only once every speculated-upon input has committed with the
+// digest the execution read — the same externalization discipline the
+// seal gate applies to streamed content, so honest agents never launder
+// a result derived from unconfirmed state. Honest agents execute
+// deterministically, so in fault-free runs every speculation validates
+// and ledger and state are bit-identical to the non-speculative path.
+//
 // # Durability
 //
 // With Config.Persist set, the in-order finalize boundary becomes a
@@ -128,6 +152,15 @@ type Config struct {
 	// executed transaction (n*m messages per block) instead of the lazy
 	// cross-application cut rule. Exposed for the A1 ablation.
 	EagerCommit bool
+	// Speculate lets dependent transactions execute against a
+	// predecessor's uncommitted result instead of stalling for the tau
+	// quorum: a non-local predecessor's first vote is adopted as a
+	// speculative value, lineage is tracked per execution, COMMIT
+	// multicasts of speculative results are buffered until every
+	// speculated-upon input commits with a matching digest, and a
+	// mismatch cascades re-execution through the speculation subtree.
+	// Off, the executor behaves exactly as the paper's Algorithms 1-3.
+	Speculate bool
 	// Signer signs outbound COMMIT messages.
 	Signer cryptoutil.Signer
 	// Verifier checks NEWBLOCK, SEGMENT, SEAL, and COMMIT signatures.
@@ -239,6 +272,19 @@ type Stats struct {
 	// retransmits a dropped announcement), or a per-block COMMIT buffer
 	// at capacity.
 	MsgsDroppedFuture uint64
+	// SpecExecuted counts executions dispatched with at least one
+	// uncommitted (speculated-upon) input. 0 unless Config.Speculate.
+	SpecExecuted uint64
+	// SpecHits counts speculative results whose buffered vote was
+	// released after every speculated-upon input committed with the
+	// digest the execution read.
+	SpecHits uint64
+	// SpecMisses counts speculation invalidations: a committed digest
+	// diverged from the value a dependent read (or from an adopted
+	// pre-quorum vote), revoking the speculative result.
+	SpecMisses uint64
+	// SpecReexecs counts executions re-dispatched by mismatch cascades.
+	SpecReexecs uint64
 }
 
 type eventKind int
@@ -254,17 +300,21 @@ type event struct {
 	msg    transport.Message
 	num    uint64
 	idx    int
+	epoch  uint32
 	result types.TxResult
 }
 
 // workItem is one ready transaction handed to the worker pool. It carries
 // the transaction pointer itself: the actor may still be appending to the
 // block's transaction slice (segment streaming), so workers must not read
-// bs.txns.
+// bs.txns. epoch tags the execution attempt: a speculation cascade bumps
+// the transaction's epoch and re-dispatches, and the result of a
+// disowned (stale-epoch) attempt is discarded on arrival.
 type workItem struct {
-	bs  *blockState
-	idx int
-	tx  *types.Transaction
+	bs    *blockState
+	idx   int
+	tx    *types.Transaction
+	epoch uint32
 }
 
 // Executor is one executor node.
@@ -306,6 +356,10 @@ type Executor struct {
 		blocks        atomic.Uint64
 		segsAdmitted  atomic.Uint64
 		droppedFuture atomic.Uint64
+		specExec      atomic.Uint64
+		specHits      atomic.Uint64
+		specMiss      atomic.Uint64
+		specReexec    atomic.Uint64
 	}
 
 	stopOnce sync.Once
@@ -393,8 +447,41 @@ type blockState struct {
 	// this block's transactions, per transaction index.
 	crossSucc [][]crossRef
 
+	// Speculation state (Config.Speculate), indexed by block position.
+	// epoch tags the current execution attempt (bumped per cascade
+	// invalidation, so disowned worker results are discarded); specActive
+	// and specDigest describe the uncommitted result currently recorded
+	// in the overlay (local execution or an adopted pre-quorum vote);
+	// gated holds an executed
+	// result whose vote is withheld until its lineage resolves;
+	// unresolved counts the speculated-upon inputs of the current
+	// execution that have not yet committed; specDeps lists, per
+	// transaction, the dependents that registered lineage on its
+	// uncommitted value; crossPred retains each transaction's conflicting
+	// predecessors in earlier in-flight blocks (the stitch edges, kept
+	// for dispatch-time lineage even after they are satisfied).
+	epoch      []uint32
+	specActive []bool
+	specDigest []types.Hash
+	gated      []*types.TxResult
+	unresolved []int32
+	specDeps   [][]specDep
+	crossPred  [][]crossRef
+
 	// Algorithm 2 buffer (this node's Xe awaiting multicast).
 	outBuf []types.TxResult
+}
+
+// specDep records one dependent's speculation lineage on a transaction's
+// uncommitted value: which transaction read it, at which execution epoch,
+// and the digest of the result it read (the zero hash when the value was
+// revoked or not yet produced at dispatch time — which can never match a
+// committed digest, so such a dependent is guaranteed to re-execute).
+type specDep struct {
+	bs    *blockState
+	idx   int
+	epoch uint32
+	seen  types.Hash
 }
 
 // growTo reserves capacity for n transactions in every per-transaction
@@ -415,6 +502,13 @@ func (bs *blockState) growTo(n int) {
 	bs.votes = slices.Grow(bs.votes, n-len(bs.votes))
 	bs.voted = slices.Grow(bs.voted, n-len(bs.voted))
 	bs.crossSucc = slices.Grow(bs.crossSucc, n-len(bs.crossSucc))
+	bs.epoch = slices.Grow(bs.epoch, n-len(bs.epoch))
+	bs.specActive = slices.Grow(bs.specActive, n-len(bs.specActive))
+	bs.specDigest = slices.Grow(bs.specDigest, n-len(bs.specDigest))
+	bs.gated = slices.Grow(bs.gated, n-len(bs.gated))
+	bs.unresolved = slices.Grow(bs.unresolved, n-len(bs.unresolved))
+	bs.specDeps = slices.Grow(bs.specDeps, n-len(bs.specDeps))
+	bs.crossPred = slices.Grow(bs.crossPred, n-len(bs.crossPred))
 }
 
 // crossRef addresses one transaction of a later in-flight block.
@@ -473,6 +567,10 @@ func (e *Executor) Stats() Stats {
 		BlocksCommitted:   e.stats.blocks.Load(),
 		SegmentsAdmitted:  e.stats.segsAdmitted.Load(),
 		MsgsDroppedFuture: e.stats.droppedFuture.Load(),
+		SpecExecuted:      e.stats.specExec.Load(),
+		SpecHits:          e.stats.specHits.Load(),
+		SpecMisses:        e.stats.specMiss.Load(),
+		SpecReexecs:       e.stats.specReexec.Load(),
 	}
 }
 
@@ -489,10 +587,15 @@ func (e *Executor) recvLoop() {
 	}
 }
 
-// worker executes ready transactions against the block overlay. Reads are
-// zero-copy on both levels: overlay hits are a lock-free map lookup and
-// base-store hits take only a per-shard read lock, so workers executing
-// non-conflicting transactions proceed without contending on shared state.
+// worker executes ready transactions against the block overlay, through a
+// view bounded at the transaction's own block index: writes recorded at or
+// above it are invisible, so an execution that lands out of graph order (a
+// remote quorum satisfied this transaction's successor early, or a
+// speculation cascade re-runs it) still reads exactly the state its
+// dependency prefix produced. Reads are zero-copy on both levels: overlay
+// hits are a lock-free map lookup and base-store hits take only a
+// per-shard read lock, so workers executing non-conflicting transactions
+// proceed without contending on shared state.
 func (e *Executor) worker() {
 	defer e.wg.Done()
 	for {
@@ -502,7 +605,7 @@ func (e *Executor) worker() {
 		}
 		tx := item.tx
 		result := types.TxResult{TxID: tx.ID, Index: item.idx}
-		writes, err := e.cfg.Registry.Execute(tx.App, item.bs.overlay, tx.Op)
+		writes, err := e.cfg.Registry.Execute(tx.App, item.bs.overlay.At(item.idx), tx.Op)
 		if err != nil {
 			result.Aborted = true
 			result.AbortReason = err.Error()
@@ -510,7 +613,10 @@ func (e *Executor) worker() {
 			result.Writes = writes
 		}
 		e.stats.executed.Add(1)
-		e.mailbox.Push(event{kind: evExecDone, num: item.bs.num, idx: item.idx, result: result})
+		e.mailbox.Push(event{
+			kind: evExecDone, num: item.bs.num, idx: item.idx,
+			epoch: item.epoch, result: result,
+		})
 	}
 }
 
@@ -528,7 +634,7 @@ func (e *Executor) actorLoop() {
 		case evMsg:
 			e.handleMsg(ev.msg)
 		case evExecDone:
-			e.handleExecDone(ev.num, ev.idx, ev.result)
+			e.handleExecDone(ev.num, ev.idx, ev.epoch, ev.result)
 		}
 	}
 }
@@ -1195,6 +1301,13 @@ func (e *Executor) extendSegment(bs *blockState, txns []*types.Transaction, pred
 		bs.votes = append(bs.votes, nil)
 		bs.voted = append(bs.voted, nil)
 		bs.crossSucc = append(bs.crossSucc, nil)
+		bs.epoch = append(bs.epoch, 0)
+		bs.specActive = append(bs.specActive, false)
+		bs.specDigest = append(bs.specDigest, types.Hash{})
+		bs.gated = append(bs.gated, nil)
+		bs.unresolved = append(bs.unresolved, 0)
+		bs.specDeps = append(bs.specDeps, nil)
+		bs.crossPred = append(bs.crossPred, nil)
 	}
 	// Stitch the new transactions into the window: an edge per
 	// conflicting, not-yet-satisfied transaction of an earlier in-flight
@@ -1209,7 +1322,18 @@ func (e *Executor) extendSegment(bs *blockState, txns []*types.Transaction, pred
 			j := start + i
 			for _, ref := range crossPreds {
 				pred, ok := e.blocks[ref.Block]
-				if !ok || !pred.started || pred.satisfied[ref.Index] {
+				if !ok || !pred.started {
+					continue
+				}
+				// With speculation on, every conflicting, still-uncommitted
+				// predecessor is retained for dispatch-time lineage — a
+				// satisfied (speculatively executed or adopted) predecessor
+				// imposes no wait, but a dependent must still register on
+				// its uncommitted value so a commit mismatch cascades here.
+				if e.cfg.Speculate && !pred.committed[ref.Index] {
+					bs.crossPred[j] = append(bs.crossPred[j], crossRef{bs: pred, idx: int(ref.Index)})
+				}
+				if pred.satisfied[ref.Index] {
 					continue
 				}
 				pred.crossSucc[ref.Index] = append(pred.crossSucc[ref.Index], crossRef{bs: bs, idx: j})
@@ -1267,16 +1391,54 @@ func (e *Executor) dispatch(bs *blockState, idx int) {
 	if bs.inflight[idx] || bs.execLocal[idx] || bs.committed[idx] {
 		return
 	}
+	if e.cfg.Speculate {
+		e.registerLineage(bs, idx)
+	}
 	bs.inflight[idx] = true
-	e.work.Push(workItem{bs: bs, idx: idx, tx: bs.txns[idx]})
+	e.work.Push(workItem{bs: bs, idx: idx, tx: bs.txns[idx], epoch: bs.epoch[idx]})
+}
+
+// registerLineage records, at dispatch time, which of the transaction's
+// predecessors are satisfied but not yet committed — the inputs this
+// execution will read speculatively. Each such predecessor gains a
+// specDep entry carrying the digest of the value currently backing the
+// overlay (the zero hash if the predecessor's value is revoked or not yet
+// produced, which can never match a committed digest and so forces a
+// re-execution), and the transaction's unresolved count gates its vote.
+func (e *Executor) registerLineage(bs *blockState, idx int) {
+	bs.unresolved[idx] = 0
+	for _, p := range bs.pred[idx] {
+		if !bs.committed[p] {
+			e.addSpecDep(bs, int(p), bs, idx)
+		}
+	}
+	for _, ref := range bs.crossPred[idx] {
+		if !ref.bs.committed[ref.idx] {
+			e.addSpecDep(ref.bs, ref.idx, bs, idx)
+		}
+	}
+	if bs.unresolved[idx] > 0 {
+		e.stats.specExec.Add(1)
+	}
+}
+
+// addSpecDep registers one dependent on a predecessor's uncommitted value.
+func (e *Executor) addSpecDep(pb *blockState, p int, db *blockState, d int) {
+	pb.specDeps[p] = append(pb.specDeps[p], specDep{
+		bs: db, idx: d, epoch: db.epoch[d], seen: pb.specDigest[p],
+	})
+	db.unresolved[d]++
 }
 
 // handleExecDone implements the completion half of Algorithm 1 plus the
 // multicast decision of Algorithm 2.
-func (e *Executor) handleExecDone(num uint64, idx int, result types.TxResult) {
+func (e *Executor) handleExecDone(num uint64, idx int, epoch uint32, result types.TxResult) {
 	bs, ok := e.blocks[num]
 	if !ok || !bs.started {
 		return // block finalized while the worker ran (remote commit race)
+	}
+	if e.cfg.Speculate && epoch != bs.epoch[idx] {
+		return // disowned attempt: a cascade re-dispatched this transaction
 	}
 	bs.inflight[idx] = false
 	if bs.execLocal[idx] {
@@ -1284,14 +1446,28 @@ func (e *Executor) handleExecDone(num uint64, idx int, result types.TxResult) {
 	}
 	bs.execLocal[idx] = true
 	bs.localDone++
-	if !bs.committed[idx] && !result.Aborted {
+	if e.cfg.Speculate {
+		e.recordSpecResult(bs, idx, result)
+	} else if !bs.committed[idx] && !result.Aborted {
 		// Make the result visible to dependent local transactions (Xe).
 		bs.overlay.Record(idx, result.Writes)
 	}
 	e.fireSatisfied(bs, idx)
-	// Stage the result for multicast and vote for it ourselves.
-	bs.outBuf = append(bs.outBuf, result)
-	e.addVote(bs, idx, result, e.cfg.ID)
+	if e.cfg.Speculate && bs.unresolved[idx] > 0 {
+		// The execution read at least one uncommitted input: buffer the
+		// result. The vote and multicast are released by resolveDep once
+		// every speculated-upon input has committed with the digest this
+		// execution read, or discarded by a cascade. The flush decision
+		// below still runs — earlier ungated results in outBuf must not
+		// wait for this transaction's lineage (peers need them to commit
+		// the very inputs this result is gated on).
+		held := result
+		bs.gated[idx] = &held
+	} else {
+		// Stage the result for multicast and vote for it ourselves.
+		bs.outBuf = append(bs.outBuf, result)
+		e.addVote(bs, idx, result, e.cfg.ID)
+	}
 
 	// Algorithm 2: flush when a successor belongs to another application
 	// (its agents need this result to proceed), eagerly when configured,
@@ -1432,6 +1608,219 @@ func (e *Executor) addVote(bs *blockState, idx int, r types.TxResult, voter type
 	rec.count++
 	if rec.count >= e.tau(bs.txns[idx].App) {
 		e.commitTx(bs, idx, rec.result)
+	} else if e.cfg.Speculate {
+		e.maybeAdoptVote(bs, idx, r)
+	}
+}
+
+// maybeAdoptVote adopts the leading (below-quorum) vote for a non-local
+// transaction as a speculative value: the first result any agent reports
+// is recorded in the overlay and satisfies successors immediately, taking
+// the tau-quorum round-trip off their critical path. The adoption is
+// re-validated when the transaction commits (promoteOrCascade); until
+// then every dependent's own vote stays buffered, so a wrong leading vote
+// can never leak through this node's signature.
+//
+// A single vote carries no quorum backing, so its writes must stay inside
+// the transaction's declared write set before anything reads them: the
+// dependency graph (and hence the lineage gating) is built from the
+// declared sets, so a fabricated write to an undeclared key would be
+// visible to readers that have no edge to this transaction — and no
+// registered lineage to invalidate them with. Out-of-set votes are simply
+// not adopted (they still count toward the quorum tally; a quorum that
+// endorses them is beyond the fault assumption, like any other
+// quorum-backed content).
+func (e *Executor) maybeAdoptVote(bs *blockState, idx int, r types.TxResult) {
+	if !bs.started || bs.isLocal[idx] || bs.specActive[idx] || bs.committed[idx] {
+		return
+	}
+	declared := bs.txns[idx].Op.Writes
+	for i := range r.Writes {
+		if !slices.Contains(declared, r.Writes[i].Key) {
+			return
+		}
+	}
+	d := r.Digest()
+	bs.specDigest[idx] = d
+	bs.specActive[idx] = true
+	if !r.Aborted {
+		bs.overlay.Record(idx, r.Writes)
+	}
+	// Dependents registered against a previously revoked adoption (if any)
+	// read something other than this value; cascade them. First adoptions
+	// have no dependents yet, and fireSatisfied no-ops if a prior adoption
+	// already fired it.
+	e.cascadeDeps(bs, idx, d)
+	e.fireSatisfied(bs, idx)
+}
+
+// recordSpecResult installs a local execution's result as the
+// transaction's speculative value and cascades dependents that registered
+// against a previous (revoked) value — they read something other than the
+// result just produced.
+func (e *Executor) recordSpecResult(bs *blockState, idx int, result types.TxResult) {
+	if bs.committed[idx] {
+		return // a remote quorum already committed; its value rules
+	}
+	d := result.Digest()
+	if !result.Aborted {
+		bs.overlay.Record(idx, result.Writes)
+	}
+	bs.specActive[idx] = true
+	bs.specDigest[idx] = d
+	e.cascadeDeps(bs, idx, d)
+}
+
+// cascadeDeps invalidates every epoch-valid dependent of a transaction
+// whose registered lineage digest differs from keep (the value now
+// backing the overlay); matching registrations stay for commit-time
+// resolution. The live slice is detached first: invalidation re-dispatches
+// dependents, whose lineage re-registration appends fresh entries.
+func (e *Executor) cascadeDeps(bs *blockState, idx int, keep types.Hash) {
+	deps := bs.specDeps[idx]
+	if len(deps) == 0 {
+		return
+	}
+	bs.specDeps[idx] = nil
+	for _, dep := range deps {
+		if dep.epoch != dep.bs.epoch[dep.idx] {
+			continue // stale: the dependent was re-dispatched since
+		}
+		if dep.seen == keep {
+			bs.specDeps[idx] = append(bs.specDeps[idx], dep)
+			continue
+		}
+		e.invalidateSpec(dep.bs, dep.idx)
+	}
+}
+
+// invalidateSpec revokes one transaction's speculative execution: the
+// current attempt is disowned (epoch bump), its overlay writes are
+// removed (the multi-version overlay uncovers the newest surviving lower
+// write of each key), its buffered vote is discarded (an invalidated
+// result must never be multicast), its own dependents cascade, and — for
+// a local transaction — a fresh execution is dispatched against the
+// repaired view. Committed transactions are immune: their value came
+// from a tau quorum, not from this node's speculation.
+func (e *Executor) invalidateSpec(bs *blockState, idx int) {
+	if e.halted {
+		return
+	}
+	if bs.committed[idx] {
+		if bs.gated[idx] != nil {
+			bs.gated[idx] = nil
+			e.stats.specMiss.Add(1)
+		}
+		return
+	}
+	e.stats.specMiss.Add(1)
+	bs.epoch[idx]++
+	bs.inflight[idx] = false
+	bs.gated[idx] = nil
+	if bs.execLocal[idx] {
+		bs.execLocal[idx] = false
+		bs.localDone--
+	}
+	if bs.specActive[idx] {
+		bs.specActive[idx] = false
+		bs.specDigest[idx] = types.Hash{}
+		// Revoke the speculative writes; older versions of the affected
+		// keys become visible again through the multi-version overlay.
+		bs.overlay.PurgeIdx(idx)
+	}
+	// Everything that read the revoked value re-executes. Dependents whose
+	// registered digest is already the zero hash were registered against a
+	// revoked value and stay; the re-landing result cascades them if it
+	// still differs from what they read.
+	e.cascadeDeps(bs, idx, types.Hash{})
+	if bs.isLocal[idx] {
+		// Re-dispatch immediately; satisfied stays true (successor counts
+		// were already consumed), so ordering against in-cascade
+		// predecessors is enforced by lineage re-validation rather than
+		// indegrees: an execution that runs before its predecessor
+		// re-lands registers the zero digest and is cascaded again.
+		e.stats.specReexec.Add(1)
+		e.dispatch(bs, idx)
+	}
+}
+
+// resolveDep marks one speculated-upon input of a dependent as committed
+// with the digest the dependent's execution read; when the last input
+// resolves, the dependent's buffered vote is released.
+func (e *Executor) resolveDep(dep specDep) {
+	db, d := dep.bs, dep.idx
+	if db.unresolved[d] > 0 {
+		db.unresolved[d]--
+	}
+	if db.unresolved[d] == 0 && db.gated[d] != nil {
+		e.releaseGated(db, d)
+	}
+}
+
+// releaseGated publishes a buffered speculative result: every
+// speculated-upon input has committed with a matching digest, so the
+// vote is no longer derived from unconfirmed state. For a transaction a
+// remote quorum committed meanwhile, the buffered vote is redundant (the
+// quorum's votes reached every executor) and is only counted.
+func (e *Executor) releaseGated(bs *blockState, idx int) {
+	r := bs.gated[idx]
+	bs.gated[idx] = nil
+	if r == nil {
+		return
+	}
+	if bs.committed[idx] {
+		if bs.final[idx].Digest() == r.Digest() {
+			e.stats.specHits.Add(1)
+		} else {
+			e.stats.specMiss.Add(1)
+		}
+		return
+	}
+	e.stats.specHits.Add(1)
+	bs.outBuf = append(bs.outBuf, *r)
+	e.addVote(bs, idx, *r, e.cfg.ID)
+	if bs.valid {
+		e.flushCommits(bs)
+	}
+}
+
+// promoteOrCascade settles a transaction's speculative value at commit
+// time: a committed digest matching the recorded speculation promotes
+// the in-place results (dependents' buffered votes release as their
+// remaining inputs commit); a mismatch revokes the speculative writes,
+// installs the committed result, and cascades re-execution through every
+// dependent that read the invalidated value.
+func (e *Executor) promoteOrCascade(bs *blockState, idx int, r *types.TxResult) {
+	d := r.Digest()
+	switch {
+	case bs.specActive[idx] && bs.specDigest[idx] == d:
+		// Promoted: the speculative writes in the overlay are bit-identical
+		// to the committed ones (the digest covers the full write set).
+	case bs.specActive[idx]:
+		e.stats.specMiss.Add(1)
+		bs.overlay.PurgeIdx(idx)
+		if !r.Aborted {
+			bs.overlay.Record(idx, r.Writes)
+		}
+	default:
+		if !r.Aborted {
+			bs.overlay.Record(idx, r.Writes)
+		}
+	}
+	bs.specActive[idx] = false
+	bs.specDigest[idx] = d
+	bs.crossPred[idx] = nil
+	deps := bs.specDeps[idx]
+	bs.specDeps[idx] = nil
+	for _, dep := range deps {
+		if dep.epoch != dep.bs.epoch[dep.idx] {
+			continue
+		}
+		if dep.seen == d {
+			e.resolveDep(dep)
+		} else {
+			e.invalidateSpec(dep.bs, dep.idx)
+		}
 	}
 }
 
@@ -1443,15 +1832,19 @@ func (e *Executor) tau(app types.AppID) int {
 }
 
 // commitTx marks one transaction committed, reflects its writes in the
-// block overlay, and unblocks dependent transactions.
+// block overlay (under speculation: promotes a matching speculative value
+// in place, or revokes it and cascades), and unblocks dependents.
 func (e *Executor) commitTx(bs *blockState, idx int, r types.TxResult) {
 	bs.committed[idx] = true
 	bs.final[idx] = r
 	bs.votes[idx] = nil
 	bs.voted[idx] = nil
-	if !r.Aborted {
+	if e.cfg.Speculate {
+		e.promoteOrCascade(bs, idx, &bs.final[idx])
+	} else if !r.Aborted {
 		bs.overlay.Record(idx, r.Writes)
-	} else {
+	}
+	if r.Aborted {
 		e.stats.aborted.Add(1)
 	}
 	bs.commitCount++

@@ -30,9 +30,19 @@ var equivApps = []types.AppID{"app1", "app2", "app3"}
 // tracedBlocks derives a deterministic block sequence from the workload
 // generator: the same seed always cuts the same chain of blocks.
 func tracedBlocks(seed int64, contention float64, numBlocks, blockTxns int) ([][]*types.Transaction, []types.KV) {
+	return tracedBlocksOpt(seed, contention, false, numBlocks, blockTxns)
+}
+
+// tracedBlocksOpt additionally selects the cross-application conflict
+// placement (consecutive conflicting transactions alternate applications
+// over shared hot records — the chains whose predecessors are non-local
+// on a multi-executor deployment, which is what speculation bypasses).
+func tracedBlocksOpt(seed int64, contention float64, crossApp bool,
+	numBlocks, blockTxns int) ([][]*types.Transaction, []types.KV) {
 	gen := workload.New(workload.Config{
 		Apps:               equivApps,
 		Contention:         contention,
+		CrossApp:           crossApp,
 		ColdAccountsPerApp: 512,
 		Seed:               seed,
 	})

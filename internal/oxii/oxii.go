@@ -78,6 +78,14 @@ type Config struct {
 	UsePairwiseGraph bool
 	// EagerCommit selects Algorithm 2's eager per-transaction multicast.
 	EagerCommit bool
+	// Speculate lets executors run dependent transactions against a
+	// predecessor's uncommitted result (the first vote any agent reports)
+	// instead of stalling for the tau(A) quorum, re-validating at commit
+	// and cascading re-execution on a digest mismatch. COMMIT multicasts
+	// of speculative results are buffered until every speculated-upon
+	// input has committed with a matching digest, so ledger and state are
+	// bit-identical to the non-speculative path in fault-free runs.
+	Speculate bool
 	// ExecWorkers sizes each executor's worker pool (default 8).
 	ExecWorkers int
 	// PipelineDepth bounds each executor's window of in-flight blocks:
@@ -289,6 +297,7 @@ func New(cfg Config) (*Network, error) {
 			PipelineDepth: cfg.PipelineDepth,
 			GraphMode:     cfg.GraphMode,
 			EagerCommit:   cfg.EagerCommit,
+			Speculate:     cfg.Speculate,
 			Signer:        nw.signers[id],
 			Verifier:      verifier,
 			VerifySigs:    cfg.Crypto,

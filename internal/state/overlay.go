@@ -15,16 +15,24 @@ import (
 // that view without mutating the committed state until the whole block
 // finalizes.
 //
-// Writes are tagged with the writing transaction's index in the block.
-// Because any two writers of the same key conflict, the dependency graph
-// orders them, and the overlay retains the highest-index write — exactly
-// the value a sequential execution of the block would leave behind.
+// Writes are tagged with the writing transaction's index in the block and
+// retained per key as an index-sorted version list. A reader bound to a
+// transaction index (At) observes only writes strictly below its index —
+// the state a sequential execution of the block's prefix would leave
+// behind — which stays correct even when executions land out of graph
+// order: a transaction whose worker is still running while a successor
+// records its writes (a remote quorum satisfied it early), or one the
+// speculative scheduler re-executes after a mismatch, must not read its
+// successors' values through the overlay. The unbound Get returns the
+// highest write per key, the block's net effect, which is what chained
+// later-block overlays and Final consume.
 //
-// The read path is copy-on-write: Get loads an atomically published,
-// immutable view and performs a plain map lookup — no lock, no atomic
+// The read path is copy-on-write: readers load an atomically published,
+// immutable view and perform a plain map lookup — no lock, no atomic
 // read-modify-write, no cache-line ping-pong between executor workers.
-// Record (the commit path, called once per transaction) builds a new view
-// from the current one and publishes it. That trades O(overlay) work per
+// Record (the commit path, called once per transaction result) builds a
+// new view from the current one and publishes it; version slices are
+// never mutated in place once published. That trades O(overlay) work per
 // Record for zero synchronization on the hot read path, which contract
 // execution hits once per read of every transaction in the block.
 //
@@ -42,9 +50,11 @@ type BlockOverlay struct {
 	base atomic.Pointer[Reader]
 
 	mu   sync.Mutex // serializes writers
-	view atomic.Pointer[map[types.Key]overlayWrite]
+	view atomic.Pointer[map[types.Key][]overlayWrite]
 }
 
+// overlayWrite is one transaction's write of one key. Per-key lists are
+// ascending in idx and immutable once published.
 type overlayWrite struct {
 	val []byte
 	idx int
@@ -56,22 +66,58 @@ type overlayWrite struct {
 func NewBlockOverlay(base Reader) *BlockOverlay {
 	o := &BlockOverlay{}
 	o.base.Store(&base)
-	empty := make(map[types.Key]overlayWrite)
+	empty := make(map[types.Key][]overlayWrite)
 	o.view.Store(&empty)
 	return o
 }
 
-// Get returns the key's value as visible to transactions of this block:
-// the newest overlay write if present, otherwise the base's value.
+// Get returns the key's value as the block's net effect so far: the
+// highest-index overlay write if present, otherwise the base's value.
 // Lock-free.
 func (o *BlockOverlay) Get(key types.Key) ([]byte, bool) {
-	if w, ok := (*o.view.Load())[key]; ok {
+	if vs := (*o.view.Load())[key]; len(vs) > 0 {
+		w := vs[len(vs)-1]
 		if w.val == nil {
 			return nil, false // deletion
 		}
 		return w.val, true
 	}
 	return (*o.base.Load()).Get(key)
+}
+
+// At returns the read view of the transaction at the given block index:
+// overlay writes at or above the index are invisible, so the transaction
+// observes exactly the state its dependency-graph prefix produced,
+// regardless of the order executions actually landed in. The view is
+// lock-free and cheap to create (it captures only the overlay pointer and
+// the bound).
+func (o *BlockOverlay) At(idx int) Reader {
+	return boundedView{o: o, bound: idx}
+}
+
+type boundedView struct {
+	o     *BlockOverlay
+	bound int
+}
+
+// Get returns the newest value written strictly below the view's index,
+// falling through to the base when no such write exists.
+func (v boundedView) Get(key types.Key) ([]byte, bool) {
+	if vs := (*v.o.view.Load())[key]; len(vs) > 0 {
+		// Scan from the top: version lists are ascending in idx and short
+		// (multiple same-key writers imply dependency edges, so long lists
+		// only occur on heavily contended keys).
+		for i := len(vs) - 1; i >= 0; i-- {
+			if vs[i].idx < v.bound {
+				if vs[i].val == nil {
+					return nil, false // deletion
+				}
+				return vs[i].val, true
+			}
+		}
+		// Every overlay write of this key sits at or above the bound.
+	}
+	return (*v.o.base.Load()).Get(key)
 }
 
 // Rebase atomically replaces the fall-through base. The caller must
@@ -83,10 +129,11 @@ func (o *BlockOverlay) Rebase(base Reader) {
 	o.base.Store(&base)
 }
 
-// Record merges a transaction's writes into the overlay. Writes from a
-// lower-index transaction never clobber those of a higher-index one, which
-// makes Record order-insensitive: results may arrive in any commit order
-// and still converge to the sequential outcome.
+// Record merges a transaction's writes into the overlay, inserting each
+// value into its key's version list (replacing a previous write by the
+// same index — a re-execution supersedes its own earlier result). Record
+// is order-insensitive: results may arrive in any commit order and still
+// converge to the sequential outcome.
 func (o *BlockOverlay) Record(idx int, writes []types.KV) {
 	if len(writes) == 0 {
 		return
@@ -94,12 +141,14 @@ func (o *BlockOverlay) Record(idx int, writes []types.KV) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	cur := *o.view.Load()
-	// Skip the copy when every write is shadowed by a higher-index one —
-	// common when results arrive via both local execution and a remote
-	// commit quorum.
+	// Skip the copy when every write already has an entry at this index —
+	// the common case of a commit re-recording the result local execution
+	// recorded earlier. A same-index entry always carries the same value:
+	// every re-execution path purges its index before recording again, so
+	// a surviving entry is this exact attempt's write.
 	dirty := false
 	for i := range writes {
-		if w, ok := cur[writes[i].Key]; !ok || w.idx < idx {
+		if !hasIdx(cur[writes[i].Key], idx) {
 			dirty = true
 			break
 		}
@@ -107,15 +156,84 @@ func (o *BlockOverlay) Record(idx int, writes []types.KV) {
 	if !dirty {
 		return
 	}
-	next := make(map[types.Key]overlayWrite, len(cur)+len(writes))
-	for k, w := range cur {
-		next[k] = w
+	next := make(map[types.Key][]overlayWrite, len(cur)+len(writes))
+	for k, vs := range cur {
+		next[k] = vs
 	}
 	for _, kv := range writes {
-		if w, ok := next[kv.Key]; ok && w.idx >= idx {
-			continue
+		next[kv.Key] = insertWrite(next[kv.Key], overlayWrite{val: kv.Val, idx: idx})
+	}
+	o.view.Store(&next)
+}
+
+// hasIdx reports whether the version list holds an entry by idx.
+func hasIdx(vs []overlayWrite, idx int) bool {
+	for _, v := range vs {
+		if v.idx == idx {
+			return true
 		}
-		next[kv.Key] = overlayWrite{val: kv.Val, idx: idx}
+	}
+	return false
+}
+
+// insertWrite returns a fresh version list with the write inserted in
+// index order (replacing an existing same-index entry). The input list is
+// treated as immutable: it may be visible to concurrent readers.
+func insertWrite(vs []overlayWrite, w overlayWrite) []overlayWrite {
+	out := make([]overlayWrite, 0, len(vs)+1)
+	placed := false
+	for _, v := range vs {
+		if !placed && w.idx <= v.idx {
+			out = append(out, w)
+			placed = true
+			if w.idx == v.idx {
+				continue // superseded by the re-execution's write
+			}
+		}
+		out = append(out, v)
+	}
+	if !placed {
+		out = append(out, w)
+	}
+	return out
+}
+
+// PurgeIdx removes every overlay write by the given transaction index, so
+// the speculative-execution scheduler can revoke one transaction's writes
+// when its speculated result is invalidated (a committed digest diverged
+// from the value dependents read, or the transaction is being
+// re-executed). Older versions of the affected keys simply become visible
+// again. Publication follows the same copy-on-write discipline as Record,
+// so concurrent lock-free readers stay safe.
+func (o *BlockOverlay) PurgeIdx(idx int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cur := *o.view.Load()
+	touched := false
+	for _, vs := range cur {
+		for _, v := range vs {
+			if v.idx == idx {
+				touched = true
+			}
+		}
+	}
+	if !touched {
+		return
+	}
+	next := make(map[types.Key][]overlayWrite, len(cur))
+	for k, vs := range cur {
+		keep := vs
+		for i, v := range vs {
+			if v.idx == idx {
+				keep = make([]overlayWrite, 0, len(vs)-1)
+				keep = append(keep, vs[:i]...)
+				keep = append(keep, vs[i+1:]...)
+				break
+			}
+		}
+		if len(keep) > 0 {
+			next[k] = keep
+		}
 	}
 	o.view.Store(&next)
 }
@@ -127,8 +245,8 @@ func (o *BlockOverlay) Record(idx int, writes []types.KV) {
 func (o *BlockOverlay) Final() []types.KV {
 	view := *o.view.Load()
 	out := make([]types.KV, 0, len(view))
-	for k, w := range view {
-		out = append(out, types.KV{Key: k, Val: w.val})
+	for k, vs := range view {
+		out = append(out, types.KV{Key: k, Val: vs[len(vs)-1].val})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out

@@ -17,6 +17,12 @@ type InMemConfig struct {
 	// effect the paper leans on when it credits batching with amortizing
 	// transfer cost. Zero disables bandwidth modeling.
 	BandwidthBytesPerSec int64
+	// ExtraLatency, when non-nil, returns an additional one-way delay per
+	// message on top of Latency/bandwidth, keyed by the link and the
+	// payload. The benchmark harness uses it to delay COMMIT votes from
+	// chosen executors (the delayed-vote speculation experiments); it must
+	// be safe for concurrent use.
+	ExtraLatency func(from, to types.NodeID, payload any) time.Duration
 }
 
 // InMemNetwork is an in-process implementation of the transport: every
@@ -199,6 +205,9 @@ func (n *InMemNetwork) send(from, to types.NodeID, payload any) error {
 	}
 	if n.cfg.BandwidthBytesPerSec > 0 {
 		delay += time.Duration(int64(size) * int64(time.Second) / n.cfg.BandwidthBytesPerSec)
+	}
+	if n.cfg.ExtraLatency != nil {
+		delay += n.cfg.ExtraLatency(from, to, payload)
 	}
 	l.push(timedMsg{
 		msg:       Message{From: from, To: to, Payload: payload},

@@ -1,28 +1,38 @@
 #!/bin/sh
-# bench_baseline.sh — run the state/codec/executor microbenchmarks and
-# record the numbers as JSON (BENCH_state.json by default), establishing
-# the perf trajectory future PRs are measured against. The executor
-# package includes BenchmarkExecutorPipelined/depth={1,4}, the
-# cross-block pipelining vs per-block barrier comparison; the depth=4
-# row is expected to stay well ahead of depth=1 (>=1.3x tx/s). It also
-# includes BenchmarkOrdererStreaming/{monolithic,segment=16}: the
-# segment=16 first-exec-ns metric (time from first ordered transaction to
-# first execution) is expected to stay well below the monolithic row's —
-# graph generation and block dissemination off the critical path.
+# bench_baseline.sh — run the state/codec/executor/persist
+# microbenchmarks and record the numbers as JSON (BENCH_state.json by
+# default), establishing the perf trajectory future PRs are measured
+# against. The executor package includes
+# BenchmarkExecutorPipelined/depth={1,4}, the cross-block pipelining vs
+# per-block barrier comparison; the depth=4 row is expected to stay well
+# ahead of depth=1 (>=1.3x tx/s). It also includes
+# BenchmarkOrdererStreaming/{monolithic,segment=16}: the segment=16
+# first-exec-ns metric (time from first ordered transaction to first
+# execution) is expected to stay well below the monolithic row's — graph
+# generation and block dissemination off the critical path.
 # BenchmarkExecutorDurable/depth={1,4}/{mem,wal} records the durability
 # subsystem's cost on the finalize hot path: the wal rows' fsyncs/block
 # metric shows the group-commit amortization (1.0 at the per-block
 # barrier, ~1/depth when pipelined blocks finalize as one batch), and
 # the mem-vs-wal tx/s gap is the price of crash durability.
+# BenchmarkExecutorSpeculation/{off,on} is the delayed-vote harness: the
+# on row's tx/s is expected to stay ahead of off (execution overlapped
+# with the tau-quorum wait) with spec-misses/block at 0.
+# BenchmarkSnapshotWrite/{serial,parallel-N} records the shard-parallel
+# snapshot writer against the serial baseline.
+#
+# The default bench time is sized so every executor row completes
+# multiple iterations (single-iteration rows carry no variance
+# information); override with BENCHTIME for quick passes.
 #
 # Usage: scripts/bench_baseline.sh [output.json]
 set -eu
 
 out="${1:-BENCH_state.json}"
-benchtime="${BENCHTIME:-100ms}"
+benchtime="${BENCHTIME:-500ms}"
 
 raw=$(go test -bench '.' -benchtime "$benchtime" -run '^$' \
-	./internal/state/ ./internal/types/ ./internal/execution/)
+	./internal/state/ ./internal/types/ ./internal/execution/ ./internal/persist/)
 
 printf '%s\n' "$raw" | awk -v ncpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
 BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
