@@ -47,7 +47,7 @@ func main() {
 func registerWire() {
 	transport.RegisterWireTypes(
 		&types.RequestMsg{}, &types.NewBlockMsg{}, &types.CommitMsg{},
-		&types.StateSyncMsg{}, &types.CommitNotifyMsg{},
+		&types.CommitNotifyMsg{},
 		pbft.Forward{}, pbft.PrePrepare{}, pbft.Prepare{}, pbft.Commit{},
 		pbft.ViewChange{}, pbft.NewView{},
 		raft.Forward{}, raft.RequestVote{}, raft.VoteResp{},
@@ -232,6 +232,8 @@ func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 		Ledger:        led,
 		PipelineDepth: cfg.PipelineDepth,
 		Speculate:     cfg.Speculate,
+		MinHorizon:    cfg.MinHorizon,
+		StallTimeout:  cfg.SyncStallTimeout(),
 		Signer:        signer,
 		Verifier:      verifier,
 		VerifySigs:    cfg.Crypto,

@@ -261,6 +261,11 @@ type Result struct {
 	SpecHits     uint64
 	SpecMisses   uint64
 	SpecReexecs  uint64
+	// SpecThrottled counts leading votes the adaptive throttle declined
+	// to adopt because the voting agent's speculative miss rate crossed
+	// the threshold. Nonzero only when a faulty or lagging agent keeps
+	// voting results that lose the quorum.
+	SpecThrottled uint64
 }
 
 // String formats the point as a table row.
@@ -379,7 +384,7 @@ func Run(opts Options) (Result, error) {
 	var retriesFn func() uint64
 	var stateHash func() types.Hash
 	var walStats func() persist.Stats
-	var specStats func() (executed, hits, misses, reexecs uint64)
+	var specStats func() (executed, hits, misses, reexecs, throttled uint64)
 
 	graphMode := depgraph.Standard
 	if opts.GraphMultiVersion {
@@ -446,13 +451,14 @@ func Run(opts Options) (Result, error) {
 			}
 			return nw.Persists[0].Stats()
 		}
-		specStats = func() (executed, hits, misses, reexecs uint64) {
+		specStats = func() (executed, hits, misses, reexecs, throttled uint64) {
 			for _, e := range nw.Executors {
 				st := e.Stats()
 				executed += st.SpecExecuted
 				hits += st.SpecHits
 				misses += st.SpecMisses
 				reexecs += st.SpecReexecs
+				throttled += st.SpecThrottled
 			}
 			return
 		}
@@ -587,7 +593,8 @@ func Run(opts Options) (Result, error) {
 		result.WALAppends, result.WALSyncs = st.Appends, st.Syncs
 	}
 	if specStats != nil {
-		result.SpecExecuted, result.SpecHits, result.SpecMisses, result.SpecReexecs = specStats()
+		result.SpecExecuted, result.SpecHits, result.SpecMisses, result.SpecReexecs,
+			result.SpecThrottled = specStats()
 	}
 	return result, nil
 }

@@ -72,6 +72,18 @@ type Config struct {
 	// snapshots and WAL truncations (0 = persist default, negative
 	// disables snapshots). Ignored without DataDir.
 	SnapshotIntervalBlocks int `json:"snapshotIntervalBlocks,omitempty"`
+	// MinHorizon is each executor's minimum future-buffering horizon in
+	// blocks (0 = executor default). Larger values absorb longer skew
+	// between orderers and a lagging executor before far-future traffic
+	// is dropped; state sync recovers whatever the horizon sheds.
+	MinHorizon int `json:"minHorizon,omitempty"`
+	// SyncStallMs arms each executor's state-sync watchdog: a node that
+	// sees peers announce blocks it cannot admit and makes no pipeline
+	// progress for this many milliseconds requests the missing history
+	// from peer executors (served from their WALs and snapshots). 0
+	// disables the watchdog; serving peers is always on when dataDir is
+	// set.
+	SyncStallMs int `json:"syncStallMs,omitempty"`
 	// Crypto enables deterministic demo keys and full verification.
 	Crypto bool `json:"crypto,omitempty"`
 	// Genesis seeds each executor's store with account balances.
@@ -122,6 +134,12 @@ func Load(path string) (*Config, error) {
 	if cfg.DataDir == "" && cfg.SnapshotIntervalBlocks != 0 {
 		return nil, fmt.Errorf("clustercfg: %s: snapshotIntervalBlocks requires dataDir", path)
 	}
+	if cfg.MinHorizon < 0 {
+		return nil, fmt.Errorf("clustercfg: %s: minHorizon must be >= 0", path)
+	}
+	if cfg.SyncStallMs < 0 {
+		return nil, fmt.Errorf("clustercfg: %s: syncStallMs must be >= 0", path)
+	}
 	return &cfg, nil
 }
 
@@ -144,6 +162,12 @@ func (c *Config) ExecutorIDs() []types.NodeID { return sortedIDs(c.Executors) }
 // BlockInterval returns the timeout cut as a duration.
 func (c *Config) BlockInterval() time.Duration {
 	return time.Duration(c.BlockIntervalMs) * time.Millisecond
+}
+
+// SyncStallTimeout returns the state-sync watchdog deadline as a
+// duration (zero when the watchdog is disabled).
+func (c *Config) SyncStallTimeout() time.Duration {
+	return time.Duration(c.SyncStallMs) * time.Millisecond
 }
 
 // AddrBook returns every node's address keyed by identity, the peer map a

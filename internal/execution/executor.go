@@ -86,6 +86,26 @@
 // (pump reads its initial cursor from the ledger, which persist.Open
 // restores from snapshot + WAL tail). With Persist nil, nothing
 // changes: finalization stays purely in memory.
+//
+// # State sync
+//
+// Nothing in the protocol retransmits a missed NEWBLOCK, segment, or
+// seal, so a restarted or partitioned executor used to be stranded: the
+// orderers had moved on, and the node could never admit the next block.
+// With Config.StallTimeout set, a pipeline-progress watchdog detects the
+// stall (no finalize and no admission for the deadline while peers have
+// announced higher blocks) and catches up from peers instead: it
+// requests the missing heights one peer at a time (StateSyncRequestMsg /
+// StateSyncResponseMsg, with per-response byte budgets, response
+// deadlines, and jittered exponential backoff across peers), and peers
+// answer from their durable artifacts — finalization records straight
+// from the WAL, or snapshot chunks when the requester is below the
+// peer's WAL truncation point. Every record is verified before adoption
+// (chain linkage, transaction commitment, delta consistency, recomputed
+// quorum-evidence digest, endorsement count and signatures, post-apply
+// state hash), so a Byzantine peer cannot feed divergent state: its
+// response is rejected and the requester retries elsewhere. See
+// statesync.go.
 package execution
 
 import (
@@ -95,6 +115,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parblockchain/internal/contract"
 	"parblockchain/internal/cryptoutil"
@@ -148,6 +169,24 @@ type Config struct {
 	// must match the mode the orderers built the per-block graphs with.
 	// Zero means depgraph.Standard.
 	GraphMode depgraph.Mode
+	// PairwiseGraph must mirror the orderers' UsePairwiseGraph setting:
+	// the pairwise builder emits the full conflict relation where the
+	// indexed builder emits a reduced edge set, so the two produce
+	// different NEWBLOCK digests. State sync recomputes a monolithic
+	// record's endorsed digest from the block content, which requires
+	// knowing which builder the endorsing orderers ran.
+	PairwiseGraph bool
+	// MinHorizon is the absolute floor of the future-block buffering
+	// horizon (see beyondHorizon). Zero means DefaultMinHorizon.
+	MinHorizon int
+	// StallTimeout arms the pipeline-progress watchdog: when nothing
+	// finalizes and nothing admissible arrives for this long while peers
+	// have announced blocks beyond the local height, the executor starts
+	// requesting the missing heights from peers (state sync), with
+	// timeout, retry, and jittered exponential backoff across peers.
+	// Zero disables the watchdog — and with it the requester side of
+	// state sync (serving peers is always on when Persist is set).
+	StallTimeout time.Duration
 	// EagerCommit switches Algorithm 2 to its eager variant: a COMMIT per
 	// executed transaction (n*m messages per block) instead of the lazy
 	// cross-application cut rule. Exposed for the A1 ablation.
@@ -197,6 +236,9 @@ func (c Config) withDefaults() Config {
 	if c.GraphMode == 0 {
 		c.GraphMode = depgraph.Standard
 	}
+	if c.MinHorizon <= 0 {
+		c.MinHorizon = DefaultMinHorizon
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -209,17 +251,21 @@ const DefaultPipelineDepth = 4
 
 // The buffering horizon: NEWBLOCK, SEGMENT, SEAL, and COMMIT messages
 // for blocks at or beyond height + max(horizonBlocks*PipelineDepth,
-// minHorizon) are dropped instead of buffered, so a flood of far-future
-// messages cannot grow the per-block maps without bound. The horizon
-// scales with the pipeline window but keeps a generous absolute floor:
-// honest orderers legitimately cut well ahead of a lagging executor
-// (nothing in the protocol retransmits a dropped NEWBLOCK, so dropping
-// honest traffic would stall the node forever), and their run-ahead is
-// bounded by client flow control at a few hundred blocks, far under the
-// floor.
+// Config.MinHorizon) are dropped instead of buffered, so a flood of
+// far-future messages cannot grow the per-block maps without bound. The
+// horizon scales with the pipeline window plus a small absolute floor.
+// The floor used to be 512: nothing in the protocol retransmitted a
+// dropped NEWBLOCK, so the horizon had to swallow every block an honest
+// orderer could legitimately cut ahead of a lagging executor — dropping
+// one would have stalled the node forever. Peer-served state sync
+// removed that constraint (a dropped announcement is recovered from any
+// peer's WAL), so the floor now only needs to cover ordinary run-ahead
+// jitter, and far-future traffic is cheap to shed.
 const (
 	horizonBlocks = 4
-	minHorizon    = 512
+	// DefaultMinHorizon is the horizon floor used when Config leaves
+	// MinHorizon zero.
+	DefaultMinHorizon = 64
 )
 
 // Per-block buffering caps, bounding the dimensions the block-number
@@ -250,6 +296,32 @@ const (
 // budget are dropped and counted (a var so tests can lower it).
 var maxCommitBytesPerSender = 128 << 20
 
+// State-sync transfer budgets (vars so tests can lower them). Responses
+// are bounded per message, not per peer-lifetime: a requester asks one
+// peer at a time and verifies everything before asking for more, so the
+// outstanding unverified payload is one response's worth.
+var (
+	// maxSyncRespBytes bounds the finalization-record payload of one
+	// records response; servers clamp the requester's MaxBytes to it.
+	maxSyncRespBytes = 8 << 20
+	// maxSyncChunkBytes is the snapshot chunk size servers slice
+	// snapshot files into.
+	maxSyncChunkBytes = 4 << 20
+	// maxSyncSnapshotBytes bounds the reassembled snapshot a requester
+	// will buffer, so a hostile peer cannot claim an absurd chunk count
+	// and feed chunks forever.
+	maxSyncSnapshotBytes = 1 << 30
+)
+
+// Adaptive speculation throttle parameters (vars so tests can tighten
+// them): once an agent's leading votes have been adopted at least
+// specThrottleMinSamples times and the fraction revoked at commit time
+// reaches specThrottleMissRate, its leads stop being adopted.
+var (
+	specThrottleMinSamples = 8
+	specThrottleMissRate   = 0.5
+)
+
 // Stats exposes executor counters for experiments.
 type Stats struct {
 	// TxExecuted counts transactions executed locally.
@@ -268,9 +340,9 @@ type Stats struct {
 	SegmentsAdmitted uint64
 	// MsgsDroppedFuture counts messages dropped by the buffering bounds:
 	// block number at or beyond the horizon (height +
-	// max(4*PipelineDepth, 512); the floor exists because nothing
-	// retransmits a dropped announcement), or a per-block COMMIT buffer
-	// at capacity.
+	// max(4*PipelineDepth, Config.MinHorizon); dropped announcements are
+	// recovered via peer state sync), or a per-block COMMIT buffer at
+	// capacity.
 	MsgsDroppedFuture uint64
 	// SpecExecuted counts executions dispatched with at least one
 	// uncommitted (speculated-upon) input. 0 unless Config.Speculate.
@@ -285,6 +357,23 @@ type Stats struct {
 	SpecMisses uint64
 	// SpecReexecs counts executions re-dispatched by mismatch cascades.
 	SpecReexecs uint64
+	// SpecThrottled counts leading votes not adopted because the voting
+	// agent's adopted-vote miss rate crossed the throttle threshold.
+	SpecThrottled uint64
+	// SyncRequests counts state-sync requests sent to peers.
+	SyncRequests uint64
+	// SyncServed counts state-sync responses served to peers.
+	SyncServed uint64
+	// SyncRecordsAdopted counts finalization records adopted from peers
+	// after verification.
+	SyncRecordsAdopted uint64
+	// SyncSnapshotsAdopted counts peer snapshots adopted after
+	// verification.
+	SyncSnapshotsAdopted uint64
+	// SyncRejected counts state-sync responses (or records within them)
+	// rejected by verification — tampered content, broken chain linkage,
+	// missing quorum evidence, or a state-hash mismatch.
+	SyncRejected uint64
 }
 
 type eventKind int
@@ -292,6 +381,7 @@ type eventKind int
 const (
 	evMsg eventKind = iota + 1
 	evExecDone
+	evTick
 	evStop
 )
 
@@ -348,6 +438,22 @@ type Executor struct {
 	streamBytes map[types.NodeID]int
 	commitBytes map[types.NodeID]int
 
+	// Watchdog and state-sync requester state, owned by the actor loop
+	// (statesync.go): when the pipeline makes no progress for
+	// Config.StallTimeout while peers have announced blocks beyond the
+	// local height, the executor requests the missing heights from peers.
+	lastProgress time.Time
+	maxSeen      uint64 // one past the highest block number peers announced
+	sync         syncState
+	syncProbed   bool // a startup probe was answered; stop re-probing
+	tickQuit     chan struct{}
+
+	// voterScore tracks, per agent, how many of its leading votes this
+	// node adopted speculatively and how many of those adoptions missed
+	// (the committed digest diverged). Owned by the actor loop; feeds the
+	// adaptive speculation throttle in maybeAdoptVote.
+	voterScore map[types.NodeID]*voterScore
+
 	stats struct {
 		executed      atomic.Uint64
 		committed     atomic.Uint64
@@ -360,6 +466,12 @@ type Executor struct {
 		specHits      atomic.Uint64
 		specMiss      atomic.Uint64
 		specReexec    atomic.Uint64
+		specThrottled atomic.Uint64
+		syncReqs      atomic.Uint64
+		syncServed    atomic.Uint64
+		syncRecs      atomic.Uint64
+		syncSnaps     atomic.Uint64
+		syncRejected  atomic.Uint64
 	}
 
 	stopOnce sync.Once
@@ -399,10 +511,15 @@ type blockState struct {
 	// Quorum evidence, captured when the content digest reaches its
 	// quorum and carried into the durable finalization record: which
 	// orderers endorsed which digest, and whether the endorsement was a
-	// seal (streamed) or a monolithic NEWBLOCK.
+	// seal (streamed) or a monolithic NEWBLOCK. For streamed blocks the
+	// seal parameters (segment count and cumulative segment digest) ride
+	// along — a state-sync requester can only recompute the endorsed seal
+	// digest if it knows how the block was segmented.
 	evDigest   types.Hash
 	evStreamed bool
 	evidence   []persist.Endorsement
+	sealSegs   int
+	sealCum    types.Hash
 
 	// contentDone reports the block's full transaction list and graph are
 	// known and trusted (monolithic quorum, or streamed content matching
@@ -467,6 +584,11 @@ type blockState struct {
 	unresolved []int32
 	specDeps   [][]specDep
 	crossPred  [][]crossRef
+	// specVoter names, per transaction, the agent whose leading vote the
+	// current speculative value was adopted from ("" for local executions
+	// and unadopted transactions); promoteOrCascade charges a commit-time
+	// digest mismatch against it for the adaptive speculation throttle.
+	specVoter []types.NodeID
 
 	// Algorithm 2 buffer (this node's Xe awaiting multicast).
 	outBuf []types.TxResult
@@ -509,6 +631,7 @@ func (bs *blockState) growTo(n int) {
 	bs.unresolved = slices.Grow(bs.unresolved, n-len(bs.unresolved))
 	bs.specDeps = slices.Grow(bs.specDeps, n-len(bs.specDeps))
 	bs.crossPred = slices.Grow(bs.crossPred, n-len(bs.crossPred))
+	bs.specVoter = slices.Grow(bs.specVoter, n-len(bs.specVoter))
 }
 
 // crossRef addresses one transaction of a later in-flight block.
@@ -520,6 +643,20 @@ type crossRef struct {
 type voteRec struct {
 	count  int
 	result types.TxResult
+}
+
+// voterScore is one agent's adoption track record: how many of its
+// leading votes this node adopted speculatively, and how many of those
+// were revoked at commit time. The ratio drives the adaptive throttle —
+// an agent whose adopted votes keep missing stops being worth the
+// cascade cost, so its leads are ignored (counted, never adopted) once
+// the miss rate crosses specThrottleMissRate over at least
+// specThrottleMinSamples adoptions. The score never decays: a diverging
+// agent is diverging for the rest of the run (honest agents are
+// deterministic), and quorum commits are unaffected either way.
+type voterScore struct {
+	adopted uint64
+	missed  uint64
 }
 
 // New creates an executor node. Call Start before use.
@@ -534,10 +671,14 @@ func New(cfg Config) *Executor {
 		stitcher:       depgraph.NewStitcher(cfg.GraphMode),
 		streamBytes:    make(map[types.NodeID]int),
 		commitBytes:    make(map[types.NodeID]int),
+		lastProgress:   time.Now(),
+		tickQuit:       make(chan struct{}),
+		voterScore:     make(map[types.NodeID]*voterScore),
 	}
 }
 
-// Start launches the receive loop, the actor loop, and the worker pool.
+// Start launches the receive loop, the actor loop, the worker pool, and
+// (when the watchdog is armed) the stall ticker.
 func (e *Executor) Start() {
 	e.wg.Add(2 + e.cfg.Workers)
 	go e.recvLoop()
@@ -545,12 +686,38 @@ func (e *Executor) Start() {
 	for i := 0; i < e.cfg.Workers; i++ {
 		go e.worker()
 	}
+	if e.cfg.StallTimeout > 0 {
+		e.wg.Add(1)
+		go e.ticker()
+	}
+}
+
+// ticker feeds the actor loop periodic evTick events so the stall
+// watchdog and the sync retry/backoff machinery run on the actor's own
+// goroutine — the sync state needs no locking.
+func (e *Executor) ticker() {
+	defer e.wg.Done()
+	interval := e.cfg.StallTimeout / 4
+	if interval <= 0 {
+		interval = e.cfg.StallTimeout
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			e.mailbox.Push(event{kind: evTick})
+		case <-e.tickQuit:
+			return
+		}
+	}
 }
 
 // Stop shuts the executor down.
 func (e *Executor) Stop() {
 	e.stopOnce.Do(func() {
 		e.cfg.Endpoint.Close()
+		close(e.tickQuit)
 		e.mailbox.Push(event{kind: evStop})
 		e.work.Close()
 	})
@@ -560,17 +727,23 @@ func (e *Executor) Stop() {
 // Stats returns a snapshot of the executor's counters.
 func (e *Executor) Stats() Stats {
 	return Stats{
-		TxExecuted:        e.stats.executed.Load(),
-		TxCommitted:       e.stats.committed.Load(),
-		TxAborted:         e.stats.aborted.Load(),
-		CommitMsgsSent:    e.stats.commitMsg.Load(),
-		BlocksCommitted:   e.stats.blocks.Load(),
-		SegmentsAdmitted:  e.stats.segsAdmitted.Load(),
-		MsgsDroppedFuture: e.stats.droppedFuture.Load(),
-		SpecExecuted:      e.stats.specExec.Load(),
-		SpecHits:          e.stats.specHits.Load(),
-		SpecMisses:        e.stats.specMiss.Load(),
-		SpecReexecs:       e.stats.specReexec.Load(),
+		TxExecuted:           e.stats.executed.Load(),
+		TxCommitted:          e.stats.committed.Load(),
+		TxAborted:            e.stats.aborted.Load(),
+		CommitMsgsSent:       e.stats.commitMsg.Load(),
+		BlocksCommitted:      e.stats.blocks.Load(),
+		SegmentsAdmitted:     e.stats.segsAdmitted.Load(),
+		MsgsDroppedFuture:    e.stats.droppedFuture.Load(),
+		SpecExecuted:         e.stats.specExec.Load(),
+		SpecHits:             e.stats.specHits.Load(),
+		SpecMisses:           e.stats.specMiss.Load(),
+		SpecReexecs:          e.stats.specReexec.Load(),
+		SpecThrottled:        e.stats.specThrottled.Load(),
+		SyncRequests:         e.stats.syncReqs.Load(),
+		SyncServed:           e.stats.syncServed.Load(),
+		SyncRecordsAdopted:   e.stats.syncRecs.Load(),
+		SyncSnapshotsAdopted: e.stats.syncSnaps.Load(),
+		SyncRejected:         e.stats.syncRejected.Load(),
 	}
 }
 
@@ -635,6 +808,8 @@ func (e *Executor) actorLoop() {
 			e.handleMsg(ev.msg)
 		case evExecDone:
 			e.handleExecDone(ev.num, ev.idx, ev.epoch, ev.result)
+		case evTick:
+			e.handleTick()
 		}
 	}
 }
@@ -652,9 +827,13 @@ func (e *Executor) handleMsg(msg transport.Message) {
 		e.handleSeal(msg.From, m)
 	case *types.CommitMsg:
 		e.handleCommitMsg(msg.From, m)
+	case *types.StateSyncRequestMsg:
+		e.handleSyncRequest(msg.From, m)
+	case *types.StateSyncResponseMsg:
+		e.handleSyncResponse(msg.From, m)
 	default:
-		// Unknown payloads are ignored; executors only speak NEWBLOCK,
-		// SEGMENT, SEAL, and COMMIT.
+		// Unknown payloads are ignored; executors speak NEWBLOCK,
+		// SEGMENT, SEAL, COMMIT, and the state-sync pair.
 	}
 }
 
@@ -673,10 +852,22 @@ func (e *Executor) haltf(format string, args ...any) {
 // to buffer state for (the bounded-buffering horizon).
 func (e *Executor) beyondHorizon(num uint64) bool {
 	h := horizonBlocks * e.cfg.PipelineDepth
-	if h < minHorizon {
-		h = minHorizon
+	if h < e.cfg.MinHorizon {
+		h = e.cfg.MinHorizon
 	}
 	return num >= e.cfg.Ledger.Height()+uint64(h)
+}
+
+// noteSeen records that some peer announced a block number, feeding the
+// stall watchdog's is-anyone-ahead signal. It runs before the horizon
+// drop on purpose: far-future traffic this node sheds is exactly the
+// traffic that proves it is behind. A fabricated number from a hostile
+// sender costs only periodic sync probes that peers answer with what
+// they actually have; the capped backoff bounds the probe rate.
+func (e *Executor) noteSeen(num uint64) {
+	if num+1 > e.maxSeen {
+		e.maxSeen = num + 1
+	}
 }
 
 // handleNewBlock records one orderer's block announcement and validates
@@ -686,6 +877,7 @@ func (e *Executor) handleNewBlock(from types.NodeID, m *types.NewBlockMsg) {
 		return
 	}
 	num := m.Block.Header.Number
+	e.noteSeen(num)
 	if num < e.cfg.Ledger.Height() {
 		return // already committed
 	}
@@ -758,6 +950,7 @@ func (e *Executor) handleSegment(from types.NodeID, m *types.BlockSegmentMsg) {
 	if m.Orderer != from {
 		return
 	}
+	e.noteSeen(m.BlockNum)
 	if m.BlockNum < e.cfg.Ledger.Height() {
 		return // already committed
 	}
@@ -918,6 +1111,7 @@ func (e *Executor) handleSeal(from types.NodeID, m *types.BlockSealMsg) {
 		return
 	}
 	num := m.Header.Number
+	e.noteSeen(num)
 	if num < e.cfg.Ledger.Height() {
 		return
 	}
@@ -956,6 +1150,11 @@ func (e *Executor) handleSeal(from types.NodeID, m *types.BlockSealMsg) {
 		bs.evDigest = digest
 		bs.evStreamed = true
 		bs.evidence = endorsements(bs.sealVotes, bs.sealSigs, digest)
+		// The seal parameters outlive bs.sealed (cleared when content
+		// installs): the WAL record carries them so a sync requester can
+		// recompute the endorsed seal digest.
+		bs.sealSegs = bs.sealed.Segments
+		bs.sealCum = bs.sealed.Cum
 		bs.sealVotes = nil
 		bs.sealSigs = nil
 		bs.sealCount = nil
@@ -1212,6 +1411,7 @@ func (e *Executor) enterWindow(bs *blockState) {
 	bs.started = true
 	bs.prevAdmit = e.admitPrev
 	e.nextAdmit++
+	e.lastProgress = time.Now()
 	var base state.Reader = e.cfg.Store
 	if len(e.window) > 0 {
 		base = e.window[len(e.window)-1].overlay
@@ -1308,6 +1508,7 @@ func (e *Executor) extendSegment(bs *blockState, txns []*types.Transaction, pred
 		bs.unresolved = append(bs.unresolved, 0)
 		bs.specDeps = append(bs.specDeps, nil)
 		bs.crossPred = append(bs.crossPred, nil)
+		bs.specVoter = append(bs.specVoter, "")
 	}
 	// Stitch the new transactions into the window: an edge per
 	// conflicting, not-yet-satisfied transaction of an earlier in-flight
@@ -1521,6 +1722,7 @@ func (e *Executor) handleCommitMsg(from types.NodeID, m *types.CommitMsg) {
 	if m.Executor != from {
 		return
 	}
+	e.noteSeen(m.BlockNum)
 	if m.BlockNum < e.cfg.Ledger.Height() {
 		return // stale
 	}
@@ -1609,7 +1811,7 @@ func (e *Executor) addVote(bs *blockState, idx int, r types.TxResult, voter type
 	if rec.count >= e.tau(bs.txns[idx].App) {
 		e.commitTx(bs, idx, rec.result)
 	} else if e.cfg.Speculate {
-		e.maybeAdoptVote(bs, idx, r)
+		e.maybeAdoptVote(bs, idx, r, voter)
 	}
 }
 
@@ -1630,8 +1832,18 @@ func (e *Executor) addVote(bs *blockState, idx int, r types.TxResult, voter type
 // not adopted (they still count toward the quorum tally; a quorum that
 // endorses them is beyond the fault assumption, like any other
 // quorum-backed content).
-func (e *Executor) maybeAdoptVote(bs *blockState, idx int, r types.TxResult) {
+func (e *Executor) maybeAdoptVote(bs *blockState, idx int, r types.TxResult, voter types.NodeID) {
 	if !bs.started || bs.isLocal[idx] || bs.specActive[idx] || bs.committed[idx] {
+		return
+	}
+	// Adaptive throttle: an agent whose adopted votes keep getting
+	// revoked at commit time (a diverging or hostile agent) costs a
+	// cascade per adoption, so once its miss rate crosses the threshold
+	// its leads stop being adopted. The vote still counted toward the
+	// quorum tally above; only the speculative shortcut is withheld.
+	if sc := e.voterScore[voter]; sc != nil && sc.adopted >= uint64(specThrottleMinSamples) &&
+		float64(sc.missed) >= specThrottleMissRate*float64(sc.adopted) {
+		e.stats.specThrottled.Add(1)
 		return
 	}
 	declared := bs.txns[idx].Op.Writes
@@ -1640,6 +1852,13 @@ func (e *Executor) maybeAdoptVote(bs *blockState, idx int, r types.TxResult) {
 			return
 		}
 	}
+	sc := e.voterScore[voter]
+	if sc == nil {
+		sc = &voterScore{}
+		e.voterScore[voter] = sc
+	}
+	sc.adopted++
+	bs.specVoter[idx] = voter
 	d := r.Digest()
 	bs.specDigest[idx] = d
 	bs.specActive[idx] = true
@@ -1798,6 +2017,14 @@ func (e *Executor) promoteOrCascade(bs *blockState, idx int, r *types.TxResult) 
 		// to the committed ones (the digest covers the full write set).
 	case bs.specActive[idx]:
 		e.stats.specMiss.Add(1)
+		// Charge the miss to the agent whose leading vote was adopted
+		// (empty for locally executed values): the adaptive throttle
+		// stops adopting from agents that keep missing.
+		if voter := bs.specVoter[idx]; voter != "" {
+			if sc := e.voterScore[voter]; sc != nil {
+				sc.missed++
+			}
+		}
 		bs.overlay.PurgeIdx(idx)
 		if !r.Aborted {
 			bs.overlay.Record(idx, r.Writes)
@@ -1809,6 +2036,7 @@ func (e *Executor) promoteOrCascade(bs *blockState, idx int, r *types.TxResult) 
 	}
 	bs.specActive[idx] = false
 	bs.specDigest[idx] = d
+	bs.specVoter[idx] = ""
 	bs.crossPred[idx] = nil
 	deps := bs.specDeps[idx]
 	bs.specDeps[idx] = nil
@@ -1952,6 +2180,8 @@ func (e *Executor) applyFinal(bs *blockState) {
 			StateHash:      e.cfg.Store.Hash(),
 			Streamed:       bs.evStreamed,
 			EvidenceDigest: bs.evDigest,
+			SealSegments:   bs.sealSegs,
+			SealCum:        bs.sealCum,
 			Endorse:        bs.evidence,
 		}
 		if err := e.cfg.Persist.LogBlock(rec); err != nil {
@@ -1971,6 +2201,7 @@ func (e *Executor) externalize(bs *blockState) {
 		return
 	}
 	e.stats.blocks.Add(1)
+	e.lastProgress = time.Now()
 	if e.cfg.PipelineDepth > 1 {
 		e.stitcher.Remove(bs.num)
 	}

@@ -128,6 +128,25 @@ func (l *Ledger) Append(e Entry) error {
 	return nil
 }
 
+// ResetTo reanchors the ledger at a new, higher base: every held entry
+// is discarded and the next block appended must carry the given height
+// and chain from lastHash. State sync uses it when adopting a peer's
+// snapshot — the history below the snapshot is replaced wholesale, not
+// appended to. Moving the anchor backwards is refused: a ledger never
+// un-commits.
+func (l *Ledger) ResetTo(height uint64, lastHash types.Hash) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if height < l.base+uint64(len(l.entries)) {
+		return fmt.Errorf("%w: reset to %d below height %d", ErrBadNumber,
+			height, l.base+uint64(len(l.entries)))
+	}
+	l.base = height
+	l.baseHash = lastHash
+	l.entries = l.entries[:0]
+	return nil
+}
+
 // Get returns the entry at the given height. Heights below a restored
 // ledger's base return ErrPruned.
 func (l *Ledger) Get(height uint64) (Entry, error) {

@@ -129,6 +129,24 @@ type Config struct {
 	// (and WAL truncations); zero uses the persist default. Ignored
 	// without DataDir.
 	SnapshotInterval int
+	// SegmentBytes is each executor's WAL segment roll threshold; zero
+	// uses the persist default. Small values make WAL truncation
+	// aggressive, which (with SnapshotInterval) controls how far back
+	// peers can serve state-sync records before falling back to
+	// snapshots. Ignored without DataDir.
+	SegmentBytes int
+	// MinHorizon sets each executor's minimum future-buffering horizon in
+	// blocks; zero uses the executor default. Larger values absorb longer
+	// orderer/executor skew before far-future traffic is dropped, at the
+	// cost of buffered memory on lagging nodes.
+	MinHorizon int
+	// SyncStallTimeout arms each executor's state-sync watchdog: a node
+	// that sees peers announce blocks it cannot admit, and makes no
+	// pipeline progress for this long, requests the missing history from
+	// peer executors (serving from their WAL and snapshots when DataDir
+	// is set). Zero disables the watchdog; serving peers' requests is
+	// always on when durability is.
+	SyncStallTimeout time.Duration
 	// Crypto enables ed25519 signing and verification end to end. When
 	// false, no-op signers model the crypto-free ablation.
 	Crypto bool
@@ -227,84 +245,11 @@ func New(cfg Config) (*Network, error) {
 
 	// Executors.
 	for i, id := range cfg.Executors {
-		ep, err := cfg.Net.Endpoint(id)
+		exec, store, led, mgr, rec, err := nw.buildExecutor(i, id)
 		if err != nil {
 			closePersists()
 			return nil, err
 		}
-		registry := contract.NewRegistry()
-		for app, agents := range cfg.Agents {
-			for _, agent := range agents {
-				if agent == id {
-					registry.Install(app, cfg.Contracts[app])
-				}
-			}
-		}
-		// Per the zero-copy state contract the genesis value slices end
-		// up shared by every node's store; that is safe because stores
-		// never mutate values and Genesis is not touched after setup.
-		// With DataDir set the store and ledger instead come from the
-		// executor's durable state (genesis seeds only a fresh
-		// directory), so a rebuilt network resumes where it stopped.
-		var (
-			store *state.KVStore
-			led   *ledger.Ledger
-			mgr   *persist.Manager
-			rec   *persist.Recovered
-		)
-		if cfg.DataDir != "" {
-			var err error
-			mgr, rec, err = persist.Open(persist.Config{
-				Dir:              filepath.Join(cfg.DataDir, string(id)),
-				Fsync:            cfg.FsyncPolicy,
-				SnapshotInterval: cfg.SnapshotInterval,
-				Logf:             cfg.Logf,
-			}, cfg.Genesis)
-			if err != nil {
-				closePersists()
-				return nil, fmt.Errorf("oxii: executor %s: %w", id, err)
-			}
-			store, led = rec.Store, rec.Ledger
-		} else {
-			store = state.NewKVStore()
-			store.Apply(cfg.Genesis)
-			led = ledger.New()
-		}
-		// Only the observer (Executors[0]) routes client completions and
-		// feeds the user hook; hooks on every peer would duplicate them.
-		var hook execution.CommitHook
-		if i == 0 {
-			routerHook := nw.router.Hook()
-			userHook := cfg.OnCommit
-			hook = func(block *types.Block, results []types.TxResult) {
-				routerHook(block, results)
-				if userHook != nil {
-					userHook(block, results)
-				}
-			}
-		}
-		exec := execution.New(execution.Config{
-			ID:            id,
-			Endpoint:      ep,
-			Registry:      registry,
-			AgentsOf:      cfg.Agents,
-			Tau:           cfg.Tau,
-			OrderQuorum:   nw.orderQuorum(),
-			Executors:     cfg.Executors,
-			Store:         store,
-			Ledger:        led,
-			Workers:       cfg.ExecWorkers,
-			PipelineDepth: cfg.PipelineDepth,
-			GraphMode:     cfg.GraphMode,
-			EagerCommit:   cfg.EagerCommit,
-			Speculate:     cfg.Speculate,
-			Signer:        nw.signers[id],
-			Verifier:      verifier,
-			VerifySigs:    cfg.Crypto,
-			Persist:       mgr,
-			OnCommit:      hook,
-			Logf:          cfg.Logf,
-		})
 		nw.Executors = append(nw.Executors, exec)
 		nw.Stores = append(nw.Stores, store)
 		nw.Ledgers = append(nw.Ledgers, led)
@@ -412,6 +357,134 @@ func (nw *Network) Stop() {
 		}
 	}
 	nw.router.Shutdown()
+}
+
+// buildExecutor assembles one executor node: endpoint, contract
+// registry, store and ledger (recovered from the durable directory when
+// DataDir is set, genesis-seeded in-memory otherwise), and the executor
+// itself. New uses it for initial construction, RestartExecutor to
+// rebuild a killed node in place.
+func (nw *Network) buildExecutor(i int, id types.NodeID) (*execution.Executor,
+	*state.KVStore, *ledger.Ledger, *persist.Manager, *persist.Recovered, error) {
+	cfg := nw.cfg
+	ep, err := cfg.Net.Endpoint(id)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	registry := contract.NewRegistry()
+	for app, agents := range cfg.Agents {
+		for _, agent := range agents {
+			if agent == id {
+				registry.Install(app, cfg.Contracts[app])
+			}
+		}
+	}
+	// Per the zero-copy state contract the genesis value slices end
+	// up shared by every node's store; that is safe because stores
+	// never mutate values and Genesis is not touched after setup.
+	// With DataDir set the store and ledger instead come from the
+	// executor's durable state (genesis seeds only a fresh
+	// directory), so a rebuilt network resumes where it stopped.
+	var (
+		store *state.KVStore
+		led   *ledger.Ledger
+		mgr   *persist.Manager
+		rec   *persist.Recovered
+	)
+	if cfg.DataDir != "" {
+		mgr, rec, err = persist.Open(persist.Config{
+			Dir:              filepath.Join(cfg.DataDir, string(id)),
+			Fsync:            cfg.FsyncPolicy,
+			SnapshotInterval: cfg.SnapshotInterval,
+			SegmentBytes:     cfg.SegmentBytes,
+			Logf:             cfg.Logf,
+		}, cfg.Genesis)
+		if err != nil {
+			return nil, nil, nil, nil, nil, fmt.Errorf("oxii: executor %s: %w", id, err)
+		}
+		store, led = rec.Store, rec.Ledger
+	} else {
+		store = state.NewKVStore()
+		store.Apply(cfg.Genesis)
+		led = ledger.New()
+	}
+	// Only the observer (Executors[0]) routes client completions and
+	// feeds the user hook; hooks on every peer would duplicate them.
+	var hook execution.CommitHook
+	if i == 0 {
+		routerHook := nw.router.Hook()
+		userHook := cfg.OnCommit
+		hook = func(block *types.Block, results []types.TxResult) {
+			routerHook(block, results)
+			if userHook != nil {
+				userHook(block, results)
+			}
+		}
+	}
+	exec := execution.New(execution.Config{
+		ID:            id,
+		Endpoint:      ep,
+		Registry:      registry,
+		AgentsOf:      cfg.Agents,
+		Tau:           cfg.Tau,
+		OrderQuorum:   nw.orderQuorum(),
+		Executors:     cfg.Executors,
+		Store:         store,
+		Ledger:        led,
+		Workers:       cfg.ExecWorkers,
+		PipelineDepth: cfg.PipelineDepth,
+		GraphMode:     cfg.GraphMode,
+		PairwiseGraph: cfg.UsePairwiseGraph,
+		EagerCommit:   cfg.EagerCommit,
+		Speculate:     cfg.Speculate,
+		MinHorizon:    cfg.MinHorizon,
+		StallTimeout:  cfg.SyncStallTimeout,
+		Signer:        nw.signers[id],
+		Verifier:      nw.verifier(),
+		VerifySigs:    cfg.Crypto,
+		Persist:       mgr,
+		OnCommit:      hook,
+		Logf:          cfg.Logf,
+	})
+	return exec, store, led, mgr, rec, nil
+}
+
+// KillExecutor takes executor i down the way a process kill would: its
+// endpoint is removed from the network first (in-flight and future
+// traffic to the node is lost, peers see silence), then the node's
+// goroutines stop and its durability manager closes, leaving only what
+// the WAL and snapshots already held. The chaos harness pairs it with
+// RestartExecutor.
+func (nw *Network) KillExecutor(i int) {
+	id := nw.cfg.Executors[i]
+	nw.cfg.Net.Remove(id)
+	nw.Executors[i].Stop()
+	if m := nw.Persists[i]; m != nil {
+		if err := m.Close(); err != nil && nw.cfg.Logf != nil {
+			nw.cfg.Logf("oxii: closing durability manager of killed %s: %v", id, err)
+		}
+	}
+}
+
+// RestartExecutor rebuilds and starts a killed executor in place: a
+// fresh endpoint replaces the severed one, store and ledger recover from
+// the node's durable directory (or restart from genesis without
+// DataDir), and the Stores/Ledgers/Persists/Recovered slots update to
+// the new instances. The rejoined node catches up on whatever it missed
+// via the executors' state-sync protocol, so nothing needs to be
+// re-streamed by the orderers.
+func (nw *Network) RestartExecutor(i int) error {
+	exec, store, led, mgr, rec, err := nw.buildExecutor(i, nw.cfg.Executors[i])
+	if err != nil {
+		return err
+	}
+	nw.Executors[i] = exec
+	nw.Stores[i] = store
+	nw.Ledgers[i] = led
+	nw.Persists[i] = mgr
+	nw.Recovered[i] = rec
+	exec.Start()
+	return nil
 }
 
 // Client returns (creating on first use) the driver for a configured

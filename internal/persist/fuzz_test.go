@@ -41,6 +41,8 @@ func fuzzRecord() *BlockRecord {
 		StateHash:      types.Hash{9},
 		Streamed:       true,
 		EvidenceDigest: types.Hash{8},
+		SealSegments:   2,
+		SealCum:        types.Hash{7},
 		Endorse: []Endorsement{
 			{Node: "o1", Sig: []byte{4}},
 			{Node: "o2", Sig: []byte{5, 6}},
@@ -122,6 +124,9 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 	if back.StateHash != rec.StateHash || back.EvidenceDigest != rec.EvidenceDigest ||
 		!back.Streamed {
 		t.Fatalf("scalar fields changed: %+v", back)
+	}
+	if back.SealSegments != rec.SealSegments || back.SealCum != rec.SealCum {
+		t.Fatalf("seal evidence changed: %+v", back)
 	}
 	if len(back.Delta) != 3 {
 		t.Fatalf("delta length = %d", len(back.Delta))

@@ -354,7 +354,11 @@ func (m *Manager) LogBlock(rec *BlockRecord) error {
 	if num := rec.Block.Header.Number; num != m.nextHeight {
 		return fmt.Errorf("persist: WAL record for block %d, expected %d", num, m.nextHeight)
 	}
-	if m.segBytes >= int64(m.cfg.SegmentBytes) {
+	// Roll only a segment that holds at least one record: rolling an
+	// empty one would register a second segment with the same start
+	// height, and the duplicate name breaks pruning (and the positional
+	// height contract sync serving relies on).
+	if m.segBytes >= int64(m.cfg.SegmentBytes) && m.nextHeight > m.segStart {
 		if err := m.rollSegmentLocked(); err != nil {
 			return err
 		}
@@ -416,6 +420,10 @@ func (m *Manager) rollSegmentLocked() error {
 	m.syncedBytes = int64(walHeaderLen)
 	m.segments = append(m.segments, m.segStart)
 	m.dirty = false
+	// The just-sealed segment may sit entirely below the newest snapshot
+	// (it was the active segment when that snapshot pruned, so it had to
+	// be kept); now that it is sealed, retire it.
+	m.pruneSegmentsLocked(m.lastSnap)
 	return nil
 }
 
@@ -471,18 +479,7 @@ func (m *Manager) MaybeSnapshot(height uint64, lastHash types.Hash, store *state
 // snapshot, and snapshot files older than it.
 func (m *Manager) pruneBelow(height uint64) {
 	m.mu.Lock()
-	kept := m.segments[:0]
-	for i, start := range m.segments {
-		if i+1 < len(m.segments) && m.segments[i+1] <= height {
-			if err := os.Remove(filepath.Join(m.walDir, segmentName(start))); err != nil {
-				m.cfg.Logf("persist: pruning WAL segment %d: %v", start, err)
-				kept = append(kept, start)
-			}
-			continue
-		}
-		kept = append(kept, start)
-	}
-	m.segments = kept
+	m.pruneSegmentsLocked(height)
 	m.mu.Unlock()
 	snaps, err := listSnapshots(m.snapDir)
 	if err != nil {
@@ -496,6 +493,25 @@ func (m *Manager) pruneBelow(height uint64) {
 			}
 		}
 	}
+}
+
+// pruneSegmentsLocked removes sealed WAL segments whose records all sit
+// below height. The active segment is never removed (its file is open
+// for appends); the next roll retires it if it is still below the
+// newest snapshot then.
+func (m *Manager) pruneSegmentsLocked(height uint64) {
+	kept := m.segments[:0]
+	for i, start := range m.segments {
+		if i+1 < len(m.segments) && m.segments[i+1] <= height && start != m.segStart {
+			if err := os.Remove(filepath.Join(m.walDir, segmentName(start))); err != nil {
+				m.cfg.Logf("persist: pruning WAL segment %d: %v", start, err)
+				kept = append(kept, start)
+			}
+			continue
+		}
+		kept = append(kept, start)
+	}
+	m.segments = kept
 }
 
 // Close drains the background snapshot writer, syncs any unsynced tail

@@ -274,6 +274,10 @@ func TestSnapshotTruncatesWAL(t *testing.T) {
 			t.Fatal(err)
 		}
 		m.MaybeSnapshot(uint64(i+1), g.prev, g.store)
+		// Settle the background write: a busy-skipped snapshot would
+		// shift which heights get snapshotted and flake the layout
+		// assertions below.
+		m.snapWG.Wait()
 	}
 	if err := m.Close(); err != nil {
 		t.Fatal(err)

@@ -15,8 +15,15 @@ import (
 
 // recordVersion is the on-disk version byte every WAL record starts
 // with; decoders reject versions they do not understand, so the format
-// can evolve without silently misreading old logs.
-const recordVersion = 1
+// can evolve without silently misreading old logs. Version 2 added the
+// seal parameters (SealSegments, SealCum) that let a state-sync
+// requester recompute a streamed block's endorsed seal digest; version-1
+// records still decode (the seal fields stay zero), but cannot serve as
+// sync evidence for streamed blocks.
+const (
+	recordVersion   = 2
+	recordVersionV1 = 1
+)
 
 // Minimum encoded sizes, bounding slice pre-allocation on decode.
 const (
@@ -59,6 +66,13 @@ type BlockRecord struct {
 	Streamed bool
 	// EvidenceDigest is the content digest the quorum endorsed.
 	EvidenceDigest types.Hash
+	// SealSegments and SealCum are the streamed block's seal parameters
+	// (segment count and cumulative segment digest), zero for monolithic
+	// blocks. A state-sync requester needs them to reconstruct the
+	// BlockSealMsg digest the endorsements are over — the block alone
+	// does not determine how it was segmented.
+	SealSegments int
+	SealCum      types.Hash
 	// Endorse lists the quorum's endorsements, sorted by node ID.
 	Endorse []Endorsement
 }
@@ -84,6 +98,8 @@ func (rec *BlockRecord) marshalTo(w *types.ByteWriter) {
 	w.WriteHash(rec.StateHash)
 	w.Bool(rec.Streamed)
 	w.WriteHash(rec.EvidenceDigest)
+	w.U64(uint64(rec.SealSegments))
+	w.WriteHash(rec.SealCum)
 	w.U64(uint64(len(rec.Endorse)))
 	for _, e := range rec.Endorse {
 		w.Str(string(e.Node))
@@ -95,8 +111,9 @@ func (rec *BlockRecord) marshalTo(w *types.ByteWriter) {
 // input returns an error, never panics.
 func UnmarshalBlockRecord(b []byte) (*BlockRecord, error) {
 	r := types.NewByteReader(b)
-	if v := r.Byte(); r.Err() == nil && v != recordVersion {
-		return nil, fmt.Errorf("persist: unsupported WAL record version %d", v)
+	version := r.Byte()
+	if r.Err() == nil && version != recordVersion && version != recordVersionV1 {
+		return nil, fmt.Errorf("persist: unsupported WAL record version %d", version)
 	}
 	rec := &BlockRecord{Block: types.DecodeBlock(r)}
 	rec.Results = types.DecodeTxResults(r)
@@ -104,6 +121,14 @@ func UnmarshalBlockRecord(b []byte) (*BlockRecord, error) {
 	rec.StateHash = r.ReadHash()
 	rec.Streamed = r.Bool()
 	rec.EvidenceDigest = r.ReadHash()
+	if version >= recordVersion {
+		segs := r.U64()
+		if r.Err() == nil && segs > 1<<31-2 {
+			r.Fail() // a segment count no real block could carry
+		}
+		rec.SealSegments = int(segs)
+		rec.SealCum = r.ReadHash()
+	}
 	n := r.U64()
 	if r.Err() == nil && n > uint64(r.Remaining())/minEndorsementLen {
 		r.Fail()

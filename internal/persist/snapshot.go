@@ -284,24 +284,38 @@ func readSnapshotFile(path string) (*Manifest, *state.KVStore, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	man, store, err := DecodeSnapshot(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: snapshot %s: %w", path, err)
+	}
+	return man, store, nil
+}
+
+// DecodeSnapshot decodes and verifies a full snapshot file image —
+// checksum, magic, manifest, shard payloads, record count, and the
+// incremental state hash — into a fresh KVStore. State sync uses it to
+// validate a snapshot reassembled from peer-served chunks before
+// adopting it; recovery uses it via readSnapshotFile. Malformed input
+// returns an error, never panics.
+func DecodeSnapshot(raw []byte) (*Manifest, *state.KVStore, error) {
 	if len(raw) < len(snapMagic)+4+4 {
-		return nil, nil, fmt.Errorf("persist: snapshot %s truncated", path)
+		return nil, nil, fmt.Errorf("snapshot truncated")
 	}
 	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
 	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(tail) {
-		return nil, nil, fmt.Errorf("persist: snapshot %s checksum mismatch", path)
+		return nil, nil, fmt.Errorf("snapshot checksum mismatch")
 	}
 	if [8]byte(body[:8]) != snapMagic {
-		return nil, nil, fmt.Errorf("persist: snapshot %s has bad magic", path)
+		return nil, nil, fmt.Errorf("snapshot has bad magic")
 	}
 	body = body[8:]
 	if len(body) < 4 {
-		return nil, nil, fmt.Errorf("persist: snapshot %s truncated", path)
+		return nil, nil, fmt.Errorf("snapshot truncated")
 	}
 	mlen := int(binary.BigEndian.Uint32(body))
 	body = body[4:]
 	if mlen > len(body) {
-		return nil, nil, fmt.Errorf("persist: snapshot %s truncated", path)
+		return nil, nil, fmt.Errorf("snapshot truncated")
 	}
 	man, err := UnmarshalManifest(body[:mlen])
 	if err != nil {
@@ -341,18 +355,18 @@ func readSnapshotFile(path string) (*Manifest, *state.KVStore, error) {
 		}
 	}
 	if err := r.Err(); err != nil {
-		return nil, nil, fmt.Errorf("persist: decoding snapshot %s: %w", path, err)
+		return nil, nil, fmt.Errorf("decoding snapshot: %w", err)
 	}
 	if r.Remaining() != 0 {
-		return nil, nil, fmt.Errorf("persist: snapshot %s has %d trailing bytes", path, r.Remaining())
+		return nil, nil, fmt.Errorf("snapshot has %d trailing bytes", r.Remaining())
 	}
 	if total != man.Records {
-		return nil, nil, fmt.Errorf("persist: snapshot %s holds %d records, manifest says %d",
-			path, total, man.Records)
+		return nil, nil, fmt.Errorf("snapshot holds %d records, manifest says %d",
+			total, man.Records)
 	}
 	if got := store.Hash(); got != man.StateHash {
-		return nil, nil, fmt.Errorf("persist: snapshot %s state hash mismatch: got %s want %s",
-			path, got, man.StateHash)
+		return nil, nil, fmt.Errorf("snapshot state hash mismatch: got %s want %s",
+			got, man.StateHash)
 	}
 	return man, store, nil
 }

@@ -1,0 +1,230 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file is the durability side of peer-served state sync: range
+// readers that serve finalization records (straight from WAL segments)
+// and snapshot chunks to lagging peers, and the adoption path that
+// installs a verified peer snapshot as this node's own recovery point.
+//
+// Serving runs concurrently with the executor's append path. Reads open
+// their own file handles, so they never disturb the append offset; a
+// same-process read of the active segment sees every frame a completed
+// LogBlock wrote (the page cache is coherent), and background pruning
+// racing a read surfaces as a missing file, which is reported as
+// ErrSyncBelowFloor so the requester falls back to snapshot transfer.
+
+// ErrSyncBelowFloor reports a records request below the WAL truncation
+// point: the segments were pruned under a snapshot, so the requester
+// must take the snapshot instead.
+var ErrSyncBelowFloor = errors.New("persist: requested height below WAL floor")
+
+// errStopReplay ends a replay early once the byte budget is spent.
+var errStopReplay = errors.New("persist: stop replay")
+
+// SyncStatus reports the height range this node can serve records for:
+// floor is the lowest height still in the WAL, next is the height the
+// next finalized block will carry (one past the durable tip).
+func (m *Manager) SyncStatus() (floor, next uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.segments) > 0 {
+		floor = m.segments[0]
+	}
+	return floor, m.nextHeight
+}
+
+// ServeBlocks returns the marshaled finalization records for consecutive
+// heights starting at from, bounded by maxBytes (at least one record is
+// returned when any is available, so a single oversized record cannot
+// wedge a transfer). A from at or above the durable tip returns an empty
+// batch; a from below the WAL floor returns ErrSyncBelowFloor.
+func (m *Manager) ServeBlocks(from uint64, maxBytes int) ([][]byte, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("persist: manager closed")
+	}
+	segs := append([]uint64(nil), m.segments...)
+	next := m.nextHeight
+	m.mu.Unlock()
+
+	if from >= next {
+		return nil, nil
+	}
+	if len(segs) == 0 || from < segs[0] {
+		return nil, ErrSyncBelowFloor
+	}
+
+	var out [][]byte
+	total := 0
+	for i, start := range segs {
+		if i+1 < len(segs) && segs[i+1] <= from {
+			continue // segment ends before the requested range
+		}
+		if start >= next {
+			break
+		}
+		// Record N of a segment starting at height H holds block H+N (the
+		// WAL append contract), so heights are positional — no decode
+		// needed to locate the range.
+		height := start
+		path := filepath.Join(m.walDir, segmentName(start))
+		_, err := replaySegment(path, func(body []byte) error {
+			if height >= from {
+				if total >= maxBytes && len(out) > 0 {
+					return errStopReplay
+				}
+				out = append(out, body) // replaySegment allocates per frame
+				total += len(body)
+			}
+			height++
+			return nil
+		})
+		switch {
+		case err == nil || errors.Is(err, errStopReplay):
+		case errors.Is(err, errTornTail):
+			// Only the newest segment can have an unsynced tail, and only
+			// when another process crashed mid-write — serve the valid
+			// prefix.
+		case os.IsNotExist(err):
+			// Pruned between the snapshot of m.segments and the read.
+			if len(out) == 0 {
+				return nil, ErrSyncBelowFloor
+			}
+		default:
+			return nil, fmt.Errorf("persist: serving blocks from %d: %w", from, err)
+		}
+		if total >= maxBytes {
+			break
+		}
+	}
+	if len(out) == 0 && from < next {
+		// The range exists per the metadata but no file yielded it
+		// (pruned mid-read); make the requester re-negotiate.
+		return nil, ErrSyncBelowFloor
+	}
+	return out, nil
+}
+
+// NewestSnapshot returns the height of the newest durable snapshot file
+// and whether one exists. It lists the directory rather than trusting
+// lastSnap, which is set before the background write completes.
+func (m *Manager) NewestSnapshot() (uint64, bool) {
+	snaps, err := listSnapshots(m.snapDir)
+	if err != nil || len(snaps) == 0 {
+		return 0, false
+	}
+	return snaps[len(snaps)-1], true
+}
+
+// ServeSnapshotChunk returns one chunkBytes-sized slice of the snapshot
+// file at the given height, plus the total chunk count. The file's own
+// CRC protects the reassembled whole; chunks carry no per-chunk
+// checksum.
+func (m *Manager) ServeSnapshotChunk(height, chunk uint64, chunkBytes int) ([]byte, uint64, error) {
+	if chunkBytes <= 0 {
+		return nil, 0, errors.New("persist: non-positive snapshot chunk size")
+	}
+	raw, err := os.ReadFile(m.snapPath(height))
+	if err != nil {
+		return nil, 0, fmt.Errorf("persist: serving snapshot %d: %w", height, err)
+	}
+	chunks := (uint64(len(raw)) + uint64(chunkBytes) - 1) / uint64(chunkBytes)
+	if chunks == 0 {
+		chunks = 1
+	}
+	if chunk >= chunks {
+		return nil, 0, fmt.Errorf("persist: snapshot %d has %d chunks, chunk %d requested",
+			height, chunks, chunk)
+	}
+	lo := chunk * uint64(chunkBytes)
+	hi := lo + uint64(chunkBytes)
+	if hi > uint64(len(raw)) {
+		hi = uint64(len(raw))
+	}
+	return raw[lo:hi], chunks, nil
+}
+
+// AdoptSnapshot installs a peer-served, caller-verified snapshot image
+// as this node's recovery point: the raw bytes become the local snapshot
+// file at the given height, the WAL restarts in a fresh segment at that
+// height, and everything below is pruned. The caller must have verified
+// the image with DecodeSnapshot and reset its store and ledger to match
+// before resuming appends.
+func (m *Manager) AdoptSnapshot(height uint64, raw []byte) error {
+	m.snapWG.Wait() // no background snapshot write racing the swap
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("persist: manager closed")
+	}
+	if height < m.nextHeight {
+		return fmt.Errorf("persist: adopting snapshot at %d below durable tip %d",
+			height, m.nextHeight)
+	}
+	if err := writeRawSnapshot(m.snapPath(height), raw); err != nil {
+		return err
+	}
+	if err := m.seg.Close(); err != nil {
+		return fmt.Errorf("persist: sealing segment for adoption: %w", err)
+	}
+	for _, start := range m.segments {
+		if err := os.Remove(filepath.Join(m.walDir, segmentName(start))); err != nil {
+			m.cfg.Logf("persist: pruning WAL segment %d after adoption: %v", start, err)
+		}
+	}
+	seg, err := createSegment(m.walDir, height)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	m.seg = seg
+	m.segStart = height
+	m.segBytes = int64(walHeaderLen)
+	m.syncedBytes = int64(walHeaderLen)
+	m.segments = []uint64{height}
+	m.dirty = false
+	m.nextHeight = height
+	m.lastSnap = height
+	snaps, err := listSnapshots(m.snapDir)
+	if err == nil {
+		for _, h := range snaps {
+			if h < height {
+				if err := os.Remove(m.snapPath(h)); err != nil {
+					m.cfg.Logf("persist: pruning snapshot %d after adoption: %v", h, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writeRawSnapshot durably writes an already-encoded snapshot image via
+// the same temp-file-and-rename dance writeSnapshotFile uses.
+func writeRawSnapshot(path string, raw []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer os.Remove(tmp)
+	_, err = f.Write(raw)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("persist: writing adopted snapshot %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}

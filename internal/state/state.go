@@ -234,6 +234,24 @@ func (s *KVStore) Apply(writes []types.KV) {
 	}
 }
 
+// Reset atomically discards every record and digest, returning the store
+// to its freshly-constructed state. State sync uses it before installing
+// a peer-served snapshot: adoption replaces the whole state, it does not
+// merge into it. All shards are write-locked for the duration, so
+// concurrent readers see either the old state or the empty one.
+func (s *KVStore) Reset() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	for i := range s.shards {
+		s.shards[i].data = make(map[types.Key]versioned)
+		s.shards[i].digest = [sha256.Size]byte{}
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
 // rlockAll read-locks every shard in ascending order, giving the caller a
 // consistent point-in-time view against Apply's multi-shard write locks.
 func (s *KVStore) rlockAll() {

@@ -83,6 +83,38 @@ func (n *InMemNetwork) Endpoint(id types.NodeID) (Endpoint, error) {
 	return ep, nil
 }
 
+// Remove detaches a node's endpoint from the network, closing it and
+// severing its links, so a subsequent Endpoint call for the same ID
+// registers a fresh one. The chaos harness uses it to model a process
+// kill: a restarted node must come back with a clean endpoint, not the
+// closed carcass of its previous life.
+func (n *InMemNetwork) Remove(id types.NodeID) {
+	n.mu.Lock()
+	ep, ok := n.endpoints[id]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.endpoints, id)
+	var dead []*link
+	for key, l := range n.links {
+		if key.from == id || key.to == id {
+			dead = append(dead, l)
+			delete(n.links, key)
+		}
+	}
+	for key := range n.blocked {
+		if key.from == id || key.to == id {
+			delete(n.blocked, key)
+		}
+	}
+	n.mu.Unlock()
+	for _, l := range dead {
+		l.close()
+	}
+	ep.Close()
+}
+
 // SetBlocked blocks or unblocks the directed link from -> to. Blocked
 // links silently drop messages, modeling a network partition.
 func (n *InMemNetwork) SetBlocked(from, to types.NodeID, blocked bool) {

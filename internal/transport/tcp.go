@@ -28,9 +28,11 @@ import (
 // traffic) as the hand-rolled codecs of their packages, so the wire
 // format is deterministic, free of gob's reflection and per-stream type
 // headers, and hostile input fails in a bounded decoder instead of
-// gob's allocator. Everything else (PBFT messages, commit
-// notifications, state sync) rides a tagged gob escape hatch, encoded
-// per frame with the types registered via RegisterWireTypes.
+// gob's allocator. The state-sync catch-up pair rides its own binary
+// frames too — responses carry whole WAL record batches or snapshot
+// chunks, the worst place for gob overhead. Everything else (PBFT
+// messages, commit notifications) rides a tagged gob escape hatch,
+// encoded per frame with the types registered via RegisterWireTypes.
 //
 // Peer identity is established by a handshake frame and then pinned to
 // the connection. Production deployments would authenticate links with
@@ -85,6 +87,10 @@ const (
 	frameKafkaAppend       byte = 13 // body: kafkaorder.Append binary encoding
 	frameKafkaAck          byte = 14 // body: kafkaorder.Ack binary encoding
 	frameKafkaCommitAnn    byte = 15 // body: kafkaorder.CommitAnn binary encoding
+
+	// Peer-served catch-up (state sync) messages.
+	frameStateSyncReq  byte = 16 // body: types.StateSyncRequestMsg binary encoding
+	frameStateSyncResp byte = 17 // body: types.StateSyncResponseMsg binary encoding
 )
 
 // maxFrameBytes bounds a single inbound frame (64 MiB): far above any
@@ -130,6 +136,10 @@ func encodeFrame(payload any) (byte, []byte, error) {
 		return frameKafkaAck, p.Marshal(), nil
 	case kafkaorder.CommitAnn:
 		return frameKafkaCommitAnn, p.Marshal(), nil
+	case *types.StateSyncRequestMsg:
+		return frameStateSyncReq, p.Marshal(), nil
+	case *types.StateSyncResponseMsg:
+		return frameStateSyncResp, p.Marshal(), nil
 	default:
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(gobFrame{Payload: payload}); err != nil {
@@ -171,6 +181,10 @@ func decodeFrame(tag byte, body []byte) (any, error) {
 		return kafkaorder.UnmarshalAck(body)
 	case frameKafkaCommitAnn:
 		return kafkaorder.UnmarshalCommitAnn(body)
+	case frameStateSyncReq:
+		return types.UnmarshalStateSyncRequest(body)
+	case frameStateSyncResp:
+		return types.UnmarshalStateSyncResponse(body)
 	case frameGob:
 		var f gobFrame
 		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {

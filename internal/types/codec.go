@@ -347,15 +347,6 @@ func (m *CommitMsg) ApproxSize() int {
 	return size
 }
 
-// ApproxSize estimates the message's wire size from its results.
-func (m *StateSyncMsg) ApproxSize() int {
-	size := len(m.Sig) + len(m.From) + 32
-	for i := range m.Results {
-		size += resultApproxSize(&m.Results[i])
-	}
-	return size
-}
-
 func resultApproxSize(r *TxResult) int {
 	size := len(r.TxID) + len(r.AbortReason) + 24
 	for _, kv := range r.Writes {

@@ -211,29 +211,3 @@ type CommitNotifyMsg struct {
 	// AbortReason explains an abort.
 	AbortReason string
 }
-
-// StateSyncMsg lets a passive (non-agent) node or a lagging replica learn
-// committed block results wholesale. It is also the message OX peers use
-// to announce deterministic execution completion in tests.
-type StateSyncMsg struct {
-	// BlockNum is the block whose final results are carried.
-	BlockNum uint64
-	// Results holds the committed result of every transaction in the
-	// block, in block order.
-	Results []TxResult
-	// From is the sending node.
-	From NodeID
-	// Sig is the sender's signature over the results digest.
-	Sig []byte
-}
-
-// Digest returns the signed digest of the state sync message.
-func (m *StateSyncMsg) Digest() Hash {
-	e := newEncoder()
-	e.u64(m.BlockNum)
-	for i := range m.Results {
-		d := m.Results[i].Digest()
-		e.bytes(d[:])
-	}
-	return e.sum()
-}

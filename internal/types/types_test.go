@@ -311,8 +311,12 @@ func TestApproxSizesArePositive(t *testing.T) {
 	if cm.ApproxSize() <= 0 {
 		t.Fatal("COMMIT size must be positive")
 	}
-	sm := &StateSyncMsg{Results: []TxResult{{TxID: "t"}}}
-	if sm.ApproxSize() <= 0 {
-		t.Fatal("STATESYNC size must be positive")
+	req := &StateSyncRequestMsg{Requester: "e1"}
+	if req.ApproxSize() <= 0 {
+		t.Fatal("STATE-SYNC-REQUEST size must be positive")
+	}
+	resp := &StateSyncResponseMsg{Records: [][]byte{{1, 2, 3}}, Responder: "e1"}
+	if resp.ApproxSize() <= len(resp.Records[0]) {
+		t.Fatal("STATE-SYNC-RESPONSE size must exceed its records")
 	}
 }
