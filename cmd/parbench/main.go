@@ -9,6 +9,7 @@
 //	parbench -fig ablations A1 (eager vs lazy COMMIT), A2 (MVCC graph
 //	                        rule), A4 (consensus plug comparison)
 //	parbench -fig pipeline  executor pipeline-depth sweep
+//	parbench -fig scheduler conflict-aware dispatch scheduler sweep
 //	parbench -fig stream    orderer->executor segment-streaming sweep
 //	parbench -fig durability  WAL fsync cost on the finalize hot path
 //	parbench -fig speculation speculative commit-wait bypass vs vote delay
@@ -22,10 +23,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"time"
 
 	"parblockchain/internal/bench"
+	"parblockchain/internal/execution"
 	"parblockchain/internal/oxii"
 	"parblockchain/internal/persist"
 )
@@ -40,6 +43,7 @@ func main() {
 type config struct {
 	fig       string
 	fsync     string
+	scheduler string
 	quick     bool
 	csv       bool
 	duration  time.Duration
@@ -47,13 +51,15 @@ type config struct {
 	execCost  time.Duration
 	crypto    bool
 	pipeline  int
+	prefetch  int
 	segTxns   int
 	speculate bool
+	schedKind execution.SchedulerKind
 }
 
 func run() error {
 	var cfg config
-	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations pipeline stream durability speculation all")
+	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations pipeline scheduler stream durability speculation all")
 	flag.BoolVar(&cfg.quick, "quick", false, "reduced sweep ranges for a fast pass")
 	flag.BoolVar(&cfg.csv, "csv", false, "emit raw CSV rows instead of tables")
 	flag.DurationVar(&cfg.duration, "dur", 2*time.Second, "steady-state measurement window per point")
@@ -61,10 +67,17 @@ func run() error {
 	flag.DurationVar(&cfg.execCost, "execcost", time.Millisecond, "modeled contract service time")
 	flag.BoolVar(&cfg.crypto, "crypto", false, "enable ed25519 signing end to end")
 	flag.IntVar(&cfg.pipeline, "pipeline", 0, "executor pipeline depth for all OXII runs (1 = per-block barrier, 0 = default)")
+	flag.StringVar(&cfg.scheduler, "scheduler", "", "ready-transaction dispatch scheduler for all OXII runs: "+strings.Join(execution.SchedulerNames, ", "))
+	flag.IntVar(&cfg.prefetch, "prefetch", 0, "read-set prefetch workers per OXII executor (0 = off)")
 	flag.IntVar(&cfg.segTxns, "segtxns", 0, "orderer segment size for all OXII runs (0 = monolithic NEWBLOCK)")
 	flag.StringVar(&cfg.fsync, "fsync", "group", "WAL fsync policy for the durability sweep: group, always, or never")
 	flag.BoolVar(&cfg.speculate, "speculate", false, "speculative commit-wait bypass for all OXII runs (adopt first votes, gate multicasts, cascade on mismatch)")
 	flag.Parse()
+
+	var err error
+	if cfg.schedKind, err = execution.ParseScheduler(cfg.scheduler); err != nil {
+		return err
+	}
 
 	figs := map[string]func(config) error{
 		"5a": fig5, "5b": fig5,
@@ -78,11 +91,12 @@ func run() error {
 		"7d":          func(c config) error { return fig7(c, bench.GroupPassive) },
 		"ablations":   ablations,
 		"pipeline":    figPipeline,
+		"scheduler":   figScheduler,
 		"stream":      figStream,
 		"durability":  figDurability,
 		"speculation": figSpeculation,
 	}
-	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations", "pipeline", "stream", "durability", "speculation"}
+	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations", "pipeline", "scheduler", "stream", "durability", "speculation"}
 
 	switch cfg.fig {
 	case "all":
@@ -106,13 +120,15 @@ func run() error {
 
 func (c config) base() bench.Options {
 	return bench.Options{
-		Duration:      c.duration,
-		Warmup:        c.warmup,
-		ExecCost:      c.execCost,
-		Crypto:        c.crypto,
-		PipelineDepth: c.pipeline,
-		SegmentTxns:   c.segTxns,
-		Speculate:     c.speculate,
+		Duration:        c.duration,
+		Warmup:          c.warmup,
+		ExecCost:        c.execCost,
+		Crypto:          c.crypto,
+		PipelineDepth:   c.pipeline,
+		Scheduler:       c.schedKind,
+		PrefetchWorkers: c.prefetch,
+		SegmentTxns:     c.segTxns,
+		Speculate:       c.speculate,
 	}
 }
 
@@ -209,6 +225,26 @@ func figPipeline(c config) error {
 		rows = append(rows, namedSeries{name: fmt.Sprintf("depth=%d", s.Depth), points: s.Points})
 	}
 	printSeries(c, "Pipeline: throughput vs executor pipeline depth @ 20% contention", rows)
+	return nil
+}
+
+// figScheduler sweeps the ready-transaction dispatch schedulers at
+// moderate contention: FIFO vs critical-path vs load-balanced, pipelined
+// executors with a small prefetch pool. Results are bit-identical across
+// schedulers; the sweep isolates dispatch-order throughput.
+func figScheduler(c config) error {
+	scheds := []execution.SchedulerKind{
+		execution.SchedFIFO, execution.SchedCriticalPath, execution.SchedLoadBalanced,
+	}
+	series, err := bench.SchedulerSweep(c.base(), 0.2, scheds, c.clientLevels(), os.Stderr)
+	if err != nil {
+		return err
+	}
+	rows := make([]namedSeries, 0, len(series))
+	for _, s := range series {
+		rows = append(rows, namedSeries{name: s.Scheduler.String(), points: s.Points})
+	}
+	printSeries(c, "Scheduler: conflict-aware dispatch @ 20% contention", rows)
 	return nil
 }
 

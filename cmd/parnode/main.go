@@ -222,23 +222,25 @@ func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 		quorum = (len(cfg.Orderers)-1)/3 + 1
 	}
 	node := execution.New(execution.Config{
-		ID:            id,
-		Endpoint:      ep,
-		Registry:      registry,
-		AgentsOf:      cfg.AgentsOf(),
-		OrderQuorum:   quorum,
-		Executors:     cfg.ExecutorIDs(),
-		Store:         store,
-		Ledger:        led,
-		PipelineDepth: cfg.PipelineDepth,
-		Speculate:     cfg.Speculate,
-		MinHorizon:    cfg.MinHorizon,
-		StallTimeout:  cfg.SyncStallTimeout(),
-		Signer:        signer,
-		Verifier:      verifier,
-		VerifySigs:    cfg.Crypto,
-		Persist:       mgr,
-		NotifyClients: string(id) == cfg.Observer,
+		ID:              id,
+		Endpoint:        ep,
+		Registry:        registry,
+		AgentsOf:        cfg.AgentsOf(),
+		OrderQuorum:     quorum,
+		Executors:       cfg.ExecutorIDs(),
+		Store:           store,
+		Ledger:          led,
+		PipelineDepth:   cfg.PipelineDepth,
+		Scheduler:       cfg.SchedulerKind(),
+		PrefetchWorkers: cfg.PrefetchWorkers,
+		Speculate:       cfg.Speculate,
+		MinHorizon:      cfg.MinHorizon,
+		StallTimeout:    cfg.SyncStallTimeout(),
+		Signer:          signer,
+		Verifier:        verifier,
+		VerifySigs:      cfg.Crypto,
+		Persist:         mgr,
+		NotifyClients:   string(id) == cfg.Observer,
 	})
 	node.Start()
 	return node, closeDurability, nil

@@ -22,6 +22,7 @@ import (
 	"parblockchain/internal/baselines/xov"
 	"parblockchain/internal/contract"
 	"parblockchain/internal/depgraph"
+	"parblockchain/internal/execution"
 	"parblockchain/internal/metrics"
 	"parblockchain/internal/oxii"
 	"parblockchain/internal/persist"
@@ -127,6 +128,12 @@ type Options struct {
 	GraphMultiVersion bool
 	// ExecWorkers sizes OXII executor pools (default 2*BlockTxns).
 	ExecWorkers int
+	// Scheduler selects the OXII executors' ready-transaction dispatch
+	// policy (fifo, critical-path, load-balanced); zero value is FIFO.
+	Scheduler execution.SchedulerKind
+	// PrefetchWorkers sizes the OXII executors' read-set prefetch pool
+	// (0 disables prefetching).
+	PrefetchWorkers int
 	// PipelineDepth bounds each OXII executor's window of in-flight
 	// blocks (cross-block pipelined execution). 1 is the paper's strict
 	// per-block barrier; 0 uses the executor default (4).
@@ -408,6 +415,8 @@ func Run(opts Options) (Result, error) {
 			EagerCommit:      opts.EagerCommit,
 			Speculate:        opts.Speculate,
 			ExecWorkers:      opts.ExecWorkers,
+			Scheduler:        opts.Scheduler,
+			PrefetchWorkers:  opts.PrefetchWorkers,
 			PipelineDepth:    opts.PipelineDepth,
 			SegmentTxns:      opts.SegmentTxns,
 			DataDir:          opts.DataDir,

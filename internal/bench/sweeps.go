@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"parblockchain/internal/execution"
 	"parblockchain/internal/persist"
 )
 
@@ -307,6 +308,46 @@ func SpeculationSweep(base Options, contention float64, delays []time.Duration,
 				}
 				fmt.Fprintln(progress, line)
 			}
+		}
+	}
+	return series, nil
+}
+
+// SchedulerSeries is one line of a scheduler plot: OXII's
+// throughput-latency curve under one ready-transaction dispatch policy.
+type SchedulerSeries struct {
+	Scheduler execution.SchedulerKind
+	Points    []SweepPoint
+}
+
+// SchedulerSweep measures the conflict-aware dispatch policies against
+// the FIFO baseline at a fixed contention level (pipelined executors, a
+// small prefetch pool). All schedulers commit bit-identical results —
+// the sweep isolates pure dispatch-order throughput: critical-path
+// dispatch drains long dependency chains ahead of independent fillers,
+// load-balanced dispatch keeps conflicting transactions on one worker's
+// queue to cut cross-worker contention.
+func SchedulerSweep(base Options, contention float64, scheds []execution.SchedulerKind,
+	clientLevels []int, progress io.Writer) ([]SchedulerSeries, error) {
+	series := make([]SchedulerSeries, 0, len(scheds))
+	for _, sched := range scheds {
+		opts := base
+		opts.System = SystemOXII
+		opts.Contention = contention
+		opts.Scheduler = sched
+		if opts.PrefetchWorkers == 0 {
+			opts.PrefetchWorkers = 2
+		}
+		points, err := Curve(opts, clientLevels)
+		if err != nil {
+			return series, err
+		}
+		series = append(series, SchedulerSeries{Scheduler: sched, Points: points})
+		if progress != nil {
+			peak := Peak(points)
+			fmt.Fprintf(progress, "scheduler %-13s peak=%8.0f tx/s lat=%8s\n",
+				sched, peak.Result.Throughput,
+				peak.Result.AvgLatency.Round(time.Millisecond))
 		}
 	}
 	return series, nil

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"parblockchain/internal/execution"
 	"parblockchain/internal/persist"
 	"parblockchain/internal/types"
 )
@@ -45,6 +46,18 @@ type Config struct {
 	// one monolithic NEWBLOCK per block. 0 keeps the monolithic wire
 	// format. Every orderer of a cluster must use the same value.
 	SegmentTxns int `json:"segmentTxns,omitempty"`
+	// Scheduler selects each executor's ready-transaction dispatch
+	// policy: "fifo" (default), "critical-path" (longest remaining
+	// dependency chain first), or "load-balanced" (per-worker queues
+	// keyed by first write, with stealing). Schedulers reorder only the
+	// ready set, so committed results are identical under all of them;
+	// nodes of one cluster may even mix policies.
+	Scheduler string `json:"scheduler,omitempty"`
+	// PrefetchWorkers sizes each executor's read-set prefetch pool:
+	// declared read sets of an admitted block are warmed against the
+	// overlay chain and state store before execution reaches them,
+	// bounded per block by a byte cap. 0 disables prefetching.
+	PrefetchWorkers int `json:"prefetchWorkers,omitempty"`
 	// Speculate enables the executors' speculative commit-wait bypass:
 	// dependent transactions execute against a predecessor's uncommitted
 	// (first-vote) result instead of stalling for the tau quorum, with
@@ -134,6 +147,12 @@ func Load(path string) (*Config, error) {
 	if cfg.DataDir == "" && cfg.SnapshotIntervalBlocks != 0 {
 		return nil, fmt.Errorf("clustercfg: %s: snapshotIntervalBlocks requires dataDir", path)
 	}
+	if _, err := execution.ParseScheduler(cfg.Scheduler); err != nil {
+		return nil, fmt.Errorf("clustercfg: %s: %w", path, err)
+	}
+	if cfg.PrefetchWorkers < 0 {
+		return nil, fmt.Errorf("clustercfg: %s: prefetchWorkers must be >= 0", path)
+	}
 	if cfg.MinHorizon < 0 {
 		return nil, fmt.Errorf("clustercfg: %s: minHorizon must be >= 0", path)
 	}
@@ -162,6 +181,13 @@ func (c *Config) ExecutorIDs() []types.NodeID { return sortedIDs(c.Executors) }
 // BlockInterval returns the timeout cut as a duration.
 func (c *Config) BlockInterval() time.Duration {
 	return time.Duration(c.BlockIntervalMs) * time.Millisecond
+}
+
+// SchedulerKind returns the parsed dispatch scheduler (Load already
+// validated the string, so the parse cannot fail here).
+func (c *Config) SchedulerKind() execution.SchedulerKind {
+	kind, _ := execution.ParseScheduler(c.Scheduler)
+	return kind
 }
 
 // SyncStallTimeout returns the state-sync watchdog deadline as a

@@ -1,0 +1,163 @@
+package depgraph
+
+// This file provides the per-transaction critical-path analysis behind
+// the executor's conflict-aware scheduler: each transaction's height —
+// the length in edges of the longest dependency chain hanging below it
+// — and its out-degree. Heights() computes both statically over one
+// Graph; HeightTracker maintains them incrementally over the executor's
+// sliding window, where transactions arrive segment by segment and
+// cross-block edges are discovered by the Stitcher as later blocks are
+// admitted.
+
+// Heights assigns each node the length in edges of the longest directed
+// path starting at it: nodes with no successors are height 0, and every
+// other node is one more than the maximum height among its successors.
+// A max-height-first schedule is the classic critical-path heuristic —
+// the tallest ready transaction heads the longest remaining chain, so
+// delaying it delays the whole block. Heights is the downstream dual of
+// Levels (which measures the longest path *ending* at a node).
+func (g *Graph) Heights() []int {
+	heights := make([]int, g.N)
+	// Edges always point from a lower to a higher index (both builders
+	// guarantee pred < self), so reverse index order is reverse
+	// topological order.
+	for j := g.N - 1; j >= 0; j-- {
+		max := -1
+		for _, s := range g.Succ[j] {
+			if heights[s] > max {
+				max = heights[s]
+			}
+		}
+		heights[j] = max + 1
+	}
+	return heights
+}
+
+// HeightTracker incrementally maintains critical-path heights and
+// out-degrees over a window of in-flight blocks. Transactions are
+// appended in admission order (blocks in increasing number order,
+// indices contiguously within a block — the same monotonicity the
+// Stitcher requires), each with its intra-block predecessors and the
+// cross-block predecessors the Stitcher derived. Appending a
+// transaction can only *raise* heights upstream of it, so the update
+// relaxes ancestors along predecessor edges and stops where a height is
+// already tall enough; the amortized cost is proportional to the number
+// of height changes, which a brute-force recompute pays on every append.
+//
+// Removing a block (when it finalizes, or when a state-sync rebase
+// tears the window down) drops its entries outright: edges only point
+// from earlier to later transactions, so a finalized block's
+// transactions are below nothing still in flight and their removal
+// never changes a surviving height.
+//
+// The tracker is not concurrency-safe; the executor's actor loop owns
+// it alongside the Stitcher.
+type HeightTracker struct {
+	blocks  map[uint64]*blockTrack
+	scratch []relaxItem
+}
+
+type blockTrack struct {
+	height []int32
+	outDeg []int32
+	intra  [][]int32 // intra-block predecessor indices, per transaction
+	cross  [][]TxRef // cross-block predecessor refs, per transaction
+}
+
+type relaxItem struct {
+	bt  *blockTrack
+	idx int32
+	h   int32
+}
+
+// NewHeightTracker returns an empty tracker.
+func NewHeightTracker() *HeightTracker {
+	return &HeightTracker{blocks: make(map[uint64]*blockTrack)}
+}
+
+// Append records the next transaction of a block — indices are assigned
+// contiguously per block in call order — with its intra-block
+// predecessors (indices within the same block) and cross-block
+// predecessors (Stitcher refs into earlier tracked blocks). Cross refs
+// to blocks no longer tracked are ignored: a finalized predecessor
+// imposes no scheduling order. The new transaction starts at height 0;
+// every predecessor's out-degree grows by one and its height is relaxed
+// upward through the window.
+func (t *HeightTracker) Append(block uint64, intra []int32, cross []TxRef) {
+	bt, ok := t.blocks[block]
+	if !ok {
+		bt = &blockTrack{}
+		t.blocks[block] = bt
+	}
+	bt.height = append(bt.height, 0)
+	bt.outDeg = append(bt.outDeg, 0)
+	bt.intra = append(bt.intra, intra)
+	bt.cross = append(bt.cross, cross)
+	stack := t.scratch[:0]
+	for _, p := range intra {
+		bt.outDeg[p]++
+		stack = append(stack, relaxItem{bt: bt, idx: p, h: 1})
+	}
+	for _, r := range cross {
+		pb, ok := t.blocks[r.Block]
+		if !ok || int(r.Index) >= len(pb.height) {
+			continue
+		}
+		pb.outDeg[r.Index]++
+		stack = append(stack, relaxItem{bt: pb, idx: r.Index, h: 1})
+	}
+	// Iterative relaxation (a deep chain would overflow a recursive
+	// walk): raise each ancestor that is not already tall enough and
+	// follow its own predecessor edges with h+1.
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if it.h <= it.bt.height[it.idx] {
+			continue
+		}
+		it.bt.height[it.idx] = it.h
+		for _, p := range it.bt.intra[it.idx] {
+			stack = append(stack, relaxItem{bt: it.bt, idx: p, h: it.h + 1})
+		}
+		for _, r := range it.bt.cross[it.idx] {
+			pb, ok := t.blocks[r.Block]
+			if !ok || int(r.Index) >= len(pb.height) {
+				continue
+			}
+			stack = append(stack, relaxItem{bt: pb, idx: r.Index, h: it.h + 1})
+		}
+	}
+	t.scratch = stack[:0]
+}
+
+// Height returns the tracked critical-path height of one transaction,
+// or 0 if the block is not tracked.
+func (t *HeightTracker) Height(block uint64, idx int) int32 {
+	bt, ok := t.blocks[block]
+	if !ok || idx >= len(bt.height) {
+		return 0
+	}
+	return bt.height[idx]
+}
+
+// OutDeg returns the tracked out-degree (intra- plus cross-block
+// successors) of one transaction, or 0 if the block is not tracked.
+func (t *HeightTracker) OutDeg(block uint64, idx int) int32 {
+	bt, ok := t.blocks[block]
+	if !ok || idx >= len(bt.outDeg) {
+		return 0
+	}
+	return bt.outDeg[idx]
+}
+
+// Remove drops a block's entries. Surviving heights never reference a
+// removed block's transactions (edges point from earlier to later
+// blocks only), and dangling cross refs held by later blocks are
+// skipped at relaxation time.
+func (t *HeightTracker) Remove(block uint64) {
+	delete(t.blocks, block)
+}
+
+// Len returns the number of tracked blocks (for tests asserting the
+// window stays bounded).
+func (t *HeightTracker) Len() int { return len(t.blocks) }

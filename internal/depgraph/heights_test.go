@@ -1,0 +1,264 @@
+package depgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// bruteHeights computes longest-downstream-path heights and out-degrees
+// over an arbitrary DAG given as predecessor lists per node, by plain
+// fixpoint iteration — the reference the incremental tracker is checked
+// against.
+func bruteHeights(preds [][]int) (heights, outDeg []int) {
+	n := len(preds)
+	heights = make([]int, n)
+	outDeg = make([]int, n)
+	for j := range preds {
+		for _, p := range preds[j] {
+			outDeg[p]++
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for j := range preds {
+			for _, p := range preds[j] {
+				if heights[j]+1 > heights[p] {
+					heights[p] = heights[j] + 1
+					changed = true
+				}
+			}
+		}
+	}
+	return heights, outDeg
+}
+
+func TestGraphHeightsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		pred := make([][]int32, n)
+		succ := make([][]int32, n)
+		flat := make([][]int, n)
+		for j := 1; j < n; j++ {
+			for p := 0; p < j; p++ {
+				if rng.Float64() < 0.15 {
+					pred[j] = append(pred[j], int32(p))
+					succ[p] = append(succ[p], int32(j))
+					flat[j] = append(flat[j], p)
+				}
+			}
+		}
+		g := &Graph{N: n, Pred: pred, Succ: succ}
+		want, _ := bruteHeights(flat)
+		got := g.Heights()
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d node %d: Heights() = %d, brute force = %d", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestGraphHeightsShapes(t *testing.T) {
+	// A chain 0 -> 1 -> 2 -> 3: heights are 3,2,1,0.
+	chain := &Graph{
+		N:    4,
+		Pred: [][]int32{nil, {0}, {1}, {2}},
+		Succ: [][]int32{{1}, {2}, {3}, nil},
+	}
+	for j, want := range []int{3, 2, 1, 0} {
+		if got := chain.Heights()[j]; got != want {
+			t.Fatalf("chain node %d: height %d, want %d", j, got, want)
+		}
+	}
+	// An independent block: every height 0.
+	flat := &Graph{N: 3, Pred: make([][]int32, 3), Succ: make([][]int32, 3)}
+	for j, h := range flat.Heights() {
+		if h != 0 {
+			t.Fatalf("independent node %d has height %d", j, h)
+		}
+	}
+	if empty := (&Graph{}).Heights(); len(empty) != 0 {
+		t.Fatalf("empty graph produced %d heights", len(empty))
+	}
+}
+
+// windowModel accumulates the flattened multi-block DAG a test window
+// produces, so tracker state can be compared against bruteHeights after
+// every mutation.
+type windowModel struct {
+	refs  []TxRef
+	preds [][]int // indices into refs
+	index map[TxRef]int
+}
+
+func newWindowModel() *windowModel {
+	return &windowModel{index: make(map[TxRef]int)}
+}
+
+func (m *windowModel) add(ref TxRef, preds []TxRef) {
+	flat := make([]int, 0, len(preds))
+	for _, p := range preds {
+		if i, ok := m.index[p]; ok {
+			flat = append(flat, i)
+		}
+	}
+	m.index[ref] = len(m.refs)
+	m.refs = append(m.refs, ref)
+	m.preds = append(m.preds, flat)
+}
+
+func (m *windowModel) remove(block uint64) {
+	// Dropping a block from the model: its nodes vanish along with every
+	// edge touching them. Finalized blocks are always the earliest, so
+	// no surviving node loses downstream height — which is exactly the
+	// property the tracker relies on; the comparison would catch a
+	// violation.
+	keep := make([]int, 0, len(m.refs))
+	for i, ref := range m.refs {
+		if ref.Block != block {
+			keep = append(keep, i)
+		}
+	}
+	remap := make(map[int]int, len(keep))
+	for newI, oldI := range keep {
+		remap[oldI] = newI
+	}
+	refs := make([]TxRef, 0, len(keep))
+	preds := make([][]int, 0, len(keep))
+	index := make(map[TxRef]int, len(keep))
+	for _, oldI := range keep {
+		var ps []int
+		for _, p := range m.preds[oldI] {
+			if np, ok := remap[p]; ok {
+				ps = append(ps, np)
+			}
+		}
+		index[m.refs[oldI]] = len(refs)
+		refs = append(refs, m.refs[oldI])
+		preds = append(preds, ps)
+	}
+	m.refs, m.preds, m.index = refs, preds, index
+}
+
+func (m *windowModel) check(t *testing.T, tr *HeightTracker, when string) {
+	t.Helper()
+	heights, outDeg := bruteHeights(m.preds)
+	for i, ref := range m.refs {
+		if got := tr.Height(ref.Block, int(ref.Index)); int(got) != heights[i] {
+			t.Fatalf("%s: height of block %d tx %d = %d, brute force = %d",
+				when, ref.Block, ref.Index, got, heights[i])
+		}
+		if got := tr.OutDeg(ref.Block, int(ref.Index)); int(got) != outDeg[i] {
+			t.Fatalf("%s: out-degree of block %d tx %d = %d, brute force = %d",
+				when, ref.Block, ref.Index, got, outDeg[i])
+		}
+	}
+}
+
+// TestHeightTrackerIncrementalAgainstBruteForce drives the tracker the
+// way the executor does — blocks admitted in order, transactions
+// appended contiguously with intra-block predecessors plus stitched
+// cross-block edges into every still-tracked earlier block, finalized
+// blocks purged from the front — and after every append and removal
+// compares every tracked height and out-degree against a brute-force
+// longest-path recompute of the surviving window.
+func TestHeightTrackerIncrementalAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		tr := NewHeightTracker()
+		model := newWindowModel()
+		var tracked []uint64
+		sizes := make(map[uint64]int)
+		nextBlock := uint64(trial * 100)
+		for step := 0; step < 60; step++ {
+			if len(tracked) > 0 && rng.Float64() < 0.2 {
+				// Finalize the oldest block, as the executor's pump does.
+				oldest := tracked[0]
+				tracked = tracked[1:]
+				tr.Remove(oldest)
+				model.remove(oldest)
+				delete(sizes, oldest)
+				model.check(t, tr, fmt.Sprintf("trial %d step %d after Remove(%d)", trial, step, oldest))
+				continue
+			}
+			if len(tracked) == 0 || rng.Float64() < 0.3 {
+				tracked = append(tracked, nextBlock)
+				nextBlock++
+			}
+			blk := tracked[len(tracked)-1] // only the newest block grows
+			idx := sizes[blk]
+			var intra []int32
+			for p := 0; p < idx; p++ {
+				if rng.Float64() < 0.2 {
+					intra = append(intra, int32(p))
+				}
+			}
+			var cross []TxRef
+			for _, b := range tracked[:len(tracked)-1] {
+				for p := 0; p < sizes[b]; p++ {
+					if rng.Float64() < 0.1 {
+						cross = append(cross, TxRef{Block: b, Index: int32(p)})
+					}
+				}
+			}
+			// Refs into long-finalized blocks must be tolerated and ignored.
+			if rng.Float64() < 0.1 {
+				cross = append(cross, TxRef{Block: 99999999, Index: 0})
+			}
+			tr.Append(blk, intra, cross)
+			sizes[blk] = idx + 1
+			ref := TxRef{Block: blk, Index: int32(idx)}
+			live := cross[:0:0]
+			for _, c := range cross {
+				if _, ok := sizes[c.Block]; ok {
+					live = append(live, c)
+				}
+			}
+			for _, p := range intra {
+				live = append(live, TxRef{Block: blk, Index: p})
+			}
+			model.add(ref, live)
+			model.check(t, tr, fmt.Sprintf("trial %d step %d after Append(%d,%d)", trial, step, blk, idx))
+		}
+		if tr.Len() != len(tracked) {
+			t.Fatalf("trial %d: tracker holds %d blocks, window has %d", trial, tr.Len(), len(tracked))
+		}
+	}
+}
+
+// TestHeightTrackerCrossBlockChain pins the executor-shaped scenario the
+// scheduler cares about: a hot chain continued across blocks must give
+// the earlier block's chain transactions heights that extend through
+// the later blocks, while independent transactions stay at height 0.
+func TestHeightTrackerCrossBlockChain(t *testing.T) {
+	tr := NewHeightTracker()
+	// Block 0: txs 0,1 form a chain; tx 2 independent.
+	tr.Append(0, nil, nil)
+	tr.Append(0, []int32{0}, nil)
+	tr.Append(0, nil, nil)
+	if h := tr.Height(0, 0); h != 1 {
+		t.Fatalf("block 0 tx 0 height = %d, want 1", h)
+	}
+	// Block 1: tx 0 continues the chain from block 0 tx 1.
+	tr.Append(1, nil, []TxRef{{Block: 0, Index: 1}})
+	tr.Append(1, []int32{0}, nil)
+	if h := tr.Height(0, 0); h != 3 {
+		t.Fatalf("chain head height after stitch = %d, want 3", h)
+	}
+	if h := tr.Height(0, 2); h != 0 {
+		t.Fatalf("independent tx height = %d, want 0", h)
+	}
+	if d := tr.OutDeg(0, 1); d != 1 {
+		t.Fatalf("block 0 tx 1 out-degree = %d, want 1", d)
+	}
+	// Finalizing block 0 leaves block 1's heights untouched.
+	tr.Remove(0)
+	if h := tr.Height(1, 0); h != 1 {
+		t.Fatalf("block 1 tx 0 height after purge = %d, want 1", h)
+	}
+	if h := tr.Height(0, 0); h != 0 {
+		t.Fatalf("removed block still reports height %d", h)
+	}
+}

@@ -161,6 +161,19 @@ type Config struct {
 	Ledger *ledger.Ledger
 	// Workers sizes the execution worker pool. Zero means 8.
 	Workers int
+	// Scheduler selects how ready transactions are ordered between
+	// dispatch and the worker pool: SchedFIFO (discovery order, the
+	// default and the paper's behavior), SchedCriticalPath
+	// (longest-dependency-chain first), or SchedLoadBalanced (per-worker
+	// queues keyed by first write key, with stealing). Every scheduler
+	// produces bit-identical ledgers and state; the knob trades only
+	// which ready transaction a free core runs next.
+	Scheduler SchedulerKind
+	// PrefetchWorkers sizes the read-set prefetch pool: admission hands
+	// each segment's declared reads to these workers, which warm the
+	// overlay chain and KVStore shards ahead of execution (bounded by
+	// maxPrefetchBytesPerBlock per block). Zero disables prefetch.
+	PrefetchWorkers int
 	// PipelineDepth bounds the sliding window of blocks admitted into
 	// execution before the oldest finalizes. 1 restores the strict
 	// per-block barrier of the paper; zero means the default of 4.
@@ -374,6 +387,12 @@ type Stats struct {
 	// rejected by verification — tampered content, broken chain linkage,
 	// missing quorum evidence, or a state-hash mismatch.
 	SyncRejected uint64
+	// PrefetchKeys counts declared read-set keys warmed by the prefetch
+	// pool. 0 unless Config.PrefetchWorkers.
+	PrefetchKeys uint64
+	// PrefetchBytes counts value bytes pulled through the overlay chain
+	// by prefetch (the quantity the per-block budget caps).
+	PrefetchBytes uint64
 }
 
 type eventKind int
@@ -411,7 +430,10 @@ type workItem struct {
 type Executor struct {
 	cfg     Config
 	mailbox *eventq.Queue[event]
-	work    *eventq.Queue[workItem]
+	work    scheduler
+	// prefetch warms declared read sets ahead of execution; nil unless
+	// Config.PrefetchWorkers > 0.
+	prefetch *prefetcher
 
 	// State owned by the actor loop.
 	blocks         map[uint64]*blockState
@@ -430,6 +452,11 @@ type Executor struct {
 	admitPrev types.Hash
 	window    []*blockState
 	stitcher  *depgraph.Stitcher
+	// heights maintains per-transaction critical-path heights over the
+	// window, feeding the critical-path scheduler's priorities; nil for
+	// the other schedulers (they never read it). Owned by the actor loop
+	// like the stitcher; dispatch reads it from the actor loop only.
+	heights *depgraph.HeightTracker
 
 	// streamBytes and commitBytes track, per sender, the segment and
 	// COMMIT payload currently buffered across all blocks (the
@@ -472,6 +499,8 @@ type Executor struct {
 		syncRecs      atomic.Uint64
 		syncSnaps     atomic.Uint64
 		syncRejected  atomic.Uint64
+		prefetchKeys  atomic.Uint64
+		prefetchBytes atomic.Uint64
 	}
 
 	stopOnce sync.Once
@@ -592,6 +621,11 @@ type blockState struct {
 
 	// Algorithm 2 buffer (this node's Xe awaiting multicast).
 	outBuf []types.TxResult
+
+	// prefetchLeft is the block's remaining prefetch byte budget, set at
+	// admission and decremented by the prefetch workers (the only
+	// concurrent access to blockState, which is why it is atomic).
+	prefetchLeft atomic.Int64
 }
 
 // specDep records one dependent's speculation lineage on a transaction's
@@ -662,10 +696,10 @@ type voterScore struct {
 // New creates an executor node. Call Start before use.
 func New(cfg Config) *Executor {
 	cfg = cfg.withDefaults()
-	return &Executor{
+	e := &Executor{
 		cfg:            cfg,
 		mailbox:        eventq.New[event](),
-		work:           eventq.New[workItem](),
+		work:           newScheduler(cfg.Scheduler, cfg.Workers),
 		blocks:         make(map[uint64]*blockState),
 		pendingCommits: make(map[uint64][]*types.CommitMsg),
 		stitcher:       depgraph.NewStitcher(cfg.GraphMode),
@@ -675,16 +709,24 @@ func New(cfg Config) *Executor {
 		tickQuit:       make(chan struct{}),
 		voterScore:     make(map[types.NodeID]*voterScore),
 	}
+	if cfg.Scheduler == SchedCriticalPath {
+		e.heights = depgraph.NewHeightTracker()
+	}
+	return e
 }
 
 // Start launches the receive loop, the actor loop, the worker pool, and
 // (when the watchdog is armed) the stall ticker.
 func (e *Executor) Start() {
+	if e.cfg.PrefetchWorkers > 0 {
+		e.prefetch = newPrefetcher(e.cfg.PrefetchWorkers,
+			&e.stats.prefetchKeys, &e.stats.prefetchBytes)
+	}
 	e.wg.Add(2 + e.cfg.Workers)
 	go e.recvLoop()
 	go e.actorLoop()
 	for i := 0; i < e.cfg.Workers; i++ {
-		go e.worker()
+		go e.worker(i)
 	}
 	if e.cfg.StallTimeout > 0 {
 		e.wg.Add(1)
@@ -720,6 +762,9 @@ func (e *Executor) Stop() {
 		close(e.tickQuit)
 		e.mailbox.Push(event{kind: evStop})
 		e.work.Close()
+		if e.prefetch != nil {
+			e.prefetch.stop()
+		}
 	})
 	e.wg.Wait()
 }
@@ -744,6 +789,8 @@ func (e *Executor) Stats() Stats {
 		SyncRecordsAdopted:   e.stats.syncRecs.Load(),
 		SyncSnapshotsAdopted: e.stats.syncSnaps.Load(),
 		SyncRejected:         e.stats.syncRejected.Load(),
+		PrefetchKeys:         e.stats.prefetchKeys.Load(),
+		PrefetchBytes:        e.stats.prefetchBytes.Load(),
 	}
 }
 
@@ -769,10 +816,10 @@ func (e *Executor) recvLoop() {
 // hits are a lock-free map lookup and base-store hits take only a
 // per-shard read lock, so workers executing non-conflicting transactions
 // proceed without contending on shared state.
-func (e *Executor) worker() {
+func (e *Executor) worker(id int) {
 	defer e.wg.Done()
 	for {
-		item, ok := e.work.Pop()
+		item, ok := e.work.Pop(id)
 		if !ok {
 			return
 		}
@@ -1417,6 +1464,7 @@ func (e *Executor) enterWindow(bs *blockState) {
 		base = e.window[len(e.window)-1].overlay
 	}
 	bs.overlay = state.NewBlockOverlay(base)
+	bs.prefetchLeft.Store(maxPrefetchBytesPerBlock)
 	e.window = append(e.window, bs)
 }
 
@@ -1514,12 +1562,14 @@ func (e *Executor) extendSegment(bs *blockState, txns []*types.Transaction, pred
 	// conflicting, not-yet-satisfied transaction of an earlier in-flight
 	// block. At depth 1 the window never holds an earlier block, so the
 	// barrier configuration skips the stitch bookkeeping wholesale.
+	var stitched [][]depgraph.TxRef
 	if e.cfg.PipelineDepth > 1 {
 		sets := make([]depgraph.RWSet, len(txns))
 		for i, tx := range txns {
 			sets[i] = depgraph.RWSet{Reads: tx.Op.Reads, Writes: tx.Op.Writes}
 		}
-		for i, crossPreds := range e.stitcher.AddBlockAt(bs.num, start, sets) {
+		stitched = e.stitcher.AddBlockAt(bs.num, start, sets)
+		for i, crossPreds := range stitched {
 			j := start + i
 			for _, ref := range crossPreds {
 				pred, ok := e.blocks[ref.Block]
@@ -1541,6 +1591,31 @@ func (e *Executor) extendSegment(bs *blockState, txns []*types.Transaction, pred
 				bs.remaining[j]++
 			}
 		}
+	}
+	// Feed the critical-path tracker before any dispatch, so the seed
+	// loop below already prioritizes by the heights this segment implies.
+	// The tracker mirrors the stitcher's window: blocks enter at
+	// admission and leave at finalize/rebase, so every stitched ref
+	// resolves (refs into finalized blocks were filtered by the stitcher).
+	if e.heights != nil {
+		for i := range txns {
+			var cross []depgraph.TxRef
+			if stitched != nil {
+				cross = stitched[i]
+			}
+			e.heights.Append(bs.num, preds[i], cross)
+		}
+	}
+	// Warm the new transactions' declared read sets ahead of execution.
+	// The overlay's unbound Get is what a chained later block would read
+	// through, and the overlay chain is lock-free for readers, so the
+	// prefetch pool never contends with the workers.
+	if e.prefetch != nil {
+		var keys []types.Key
+		for _, tx := range txns {
+			keys = append(keys, tx.Op.Reads...)
+		}
+		e.prefetch.enqueue(prefetchJob{reader: bs.overlay, keys: keys, budget: &bs.prefetchLeft})
 	}
 	// Algorithm 1 seed: new transactions with no unsatisfied predecessors.
 	for i := range txns {
@@ -1596,7 +1671,16 @@ func (e *Executor) dispatch(bs *blockState, idx int) {
 		e.registerLineage(bs, idx)
 	}
 	bs.inflight[idx] = true
-	e.work.Push(workItem{bs: bs, idx: idx, tx: bs.txns[idx], epoch: bs.epoch[idx]})
+	item := workItem{bs: bs, idx: idx, tx: bs.txns[idx], epoch: bs.epoch[idx]}
+	switch {
+	case e.heights != nil:
+		e.work.Push(item,
+			schedPriority(e.heights.Height(bs.num, idx), e.heights.OutDeg(bs.num, idx)), "")
+	case e.cfg.Scheduler == SchedLoadBalanced:
+		e.work.Push(item, 0, firstWriteKey(&item.tx.Op))
+	default:
+		e.work.Push(item, 0, "")
+	}
 }
 
 // registerLineage records, at dispatch time, which of the transaction's
@@ -2204,6 +2288,9 @@ func (e *Executor) externalize(bs *blockState) {
 	e.lastProgress = time.Now()
 	if e.cfg.PipelineDepth > 1 {
 		e.stitcher.Remove(bs.num)
+	}
+	if e.heights != nil {
+		e.heights.Remove(bs.num)
 	}
 	e.releaseStreams(bs) // normally already nil; covers teardown paths
 	delete(e.blocks, bs.num)

@@ -36,16 +36,18 @@ func newBenchRig(b *testing.B, workers int) *benchRig {
 }
 
 // newBenchRigDepth builds a rig with an explicit pipeline depth and
-// contract, for the cross-block pipelining benchmarks.
-func newBenchRigDepth(b *testing.B, workers, depth int, app1 contract.Contract) *benchRig {
+// contract, for the cross-block pipelining benchmarks. opts mutate the
+// executor Config after the rig defaults (scheduler, prefetch).
+func newBenchRigDepth(b *testing.B, workers, depth int, app1 contract.Contract,
+	opts ...func(*Config)) *benchRig {
 	b.Helper()
-	return newBenchRigDurable(b, workers, depth, app1, "")
+	return newBenchRigDurable(b, workers, depth, app1, "", opts...)
 }
 
 // newBenchRigDurable additionally mounts the durability subsystem at
 // dataDir (empty = in-memory), for the WAL-on-the-hot-path benchmarks.
 func newBenchRigDurable(b *testing.B, workers, depth int, app1 contract.Contract,
-	dataDir string) *benchRig {
+	dataDir string, opts ...func(*Config)) *benchRig {
 	b.Helper()
 	r := &benchRig{commits: make(chan struct{}, 64)}
 	r.net = transport.NewInMemNetwork(transport.InMemConfig{})
@@ -89,6 +91,9 @@ func newBenchRigDurable(b *testing.B, workers, depth int, app1 contract.Contract
 		Persist:       r.mgr,
 		OnCommit:      func(*types.Block, []types.TxResult) { r.commits <- struct{}{} },
 		Logf:          func(string, ...any) {},
+	}
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	r.exec = New(cfg)
 	r.exec.Start()
@@ -267,6 +272,90 @@ func BenchmarkExecutorPipelined(b *testing.B) {
 				b.ReportMetric(float64(b.N*blocksPerIter*blockTxns)/secs, "tx/s")
 			}
 		})
+	}
+}
+
+// skewedBlocks builds the workload shape the critical-path scheduler
+// exists for: each block opens with a tail of independent filler
+// transactions (unique per-block keys) and closes with a hot chain of
+// appends on one shared key, stitched into a single serial chain across
+// every in-flight block. The chain is the critical path — chain/blocks
+// deep per window — but FIFO dispatch buries each ready chain link
+// behind every queued filler, re-paying the queue drain per link;
+// height-first dispatch runs the chain the moment a link frees and lets
+// the fillers soak up the remaining workers.
+func skewedBlocks(startBlock, numBlocks, tail, chain int) [][]*types.Transaction {
+	blocks := make([][]*types.Transaction, numBlocks)
+	for bn := range blocks {
+		abs := startBlock + bn
+		txns := make([]*types.Transaction, 0, tail+chain)
+		n := tail + chain
+		for i := 0; i < tail; i++ {
+			tx := &types.Transaction{
+				App: "app1", Client: "c1", ClientTS: uint64(abs*n + i + 1),
+				Op: contract.PutOp(types.Key(fmt.Sprintf("cold-%d-%d", abs, i)), "v"),
+			}
+			tx.ID = types.TxID(fmt.Sprintf("tx-%d-%d", abs, i))
+			txns = append(txns, tx)
+		}
+		for i := 0; i < chain; i++ {
+			tx := &types.Transaction{
+				App: "app1", Client: "c1", ClientTS: uint64(abs*n + tail + i + 1),
+				Op: contract.AppendOp("hotchain", "x"),
+			}
+			tx.ID = types.TxID(fmt.Sprintf("tx-%d-%d", abs, tail+i))
+			txns = append(txns, tx)
+		}
+		blocks[bn] = txns
+	}
+	return blocks
+}
+
+// BenchmarkExecutorScheduler races the three dispatch schedulers on two
+// workload shapes at the default pipeline window (4): "chained" — the
+// cross-block linked workload of BenchmarkExecutorPipelined, where the
+// ready set is mostly uniform — and "skewed" — a hot serial chain
+// threading through every block plus independent fillers, where
+// dispatch order decides whether the chain (the critical path) stalls
+// behind the fillers. Results are bit-identical across schedulers (see
+// TestSchedulerEquivalence); only the tx/s differs. One iteration = one
+// 4-block window under a 50us modeled contract service time.
+func BenchmarkExecutorScheduler(b *testing.B) {
+	const (
+		tailTxns      = 96
+		chainTxns     = 16
+		chainBlkTxns  = 32
+		blocksPerIter = 4
+	)
+	cost := contract.CostModel{Cost: 50 * time.Microsecond}
+	app := contract.WithCost(contract.NewKV(), cost)
+	workloads := []struct {
+		name   string
+		txns   int
+		blocks func(startBlock int) [][]*types.Transaction
+	}{
+		{"chained", chainBlkTxns, func(start int) [][]*types.Transaction {
+			return crossChainedBlocks(start, blocksPerIter, chainBlkTxns)
+		}},
+		{"skewed", tailTxns + chainTxns, func(start int) [][]*types.Transaction {
+			return skewedBlocks(start, blocksPerIter, tailTxns, chainTxns)
+		}},
+	}
+	for _, wl := range workloads {
+		for _, sched := range allSchedulers {
+			wl, sched := wl, sched
+			b.Run(fmt.Sprintf("%s/%s", wl.name, sched), func(b *testing.B) {
+				r := newBenchRigDepth(b, 8, 4, app, withScheduler(sched))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r.runBlocks(b, wl.blocks(i*blocksPerIter))
+				}
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N*blocksPerIter*wl.txns)/secs, "tx/s")
+				}
+			})
+		}
 	}
 }
 

@@ -95,8 +95,10 @@ func refResults(genesis []types.KV, blocks [][]*types.Transaction) (types.Hash, 
 // dataDir enables the durability subsystem (snapshot every 2 blocks, so
 // short traces still exercise truncation) and, after the run, reopens
 // the directory to assert crash recovery reproduces the final state.
+// opts mutate the executor Config after the rig defaults (scheduler,
+// prefetch, speculation knobs).
 func runPipelined(t *testing.T, depth int, dataDir string, genesis []types.KV,
-	blocks [][]*types.Transaction) (types.Hash, *ledger.Ledger, [][]types.TxResult) {
+	blocks [][]*types.Transaction, opts ...func(*Config)) (types.Hash, *ledger.Ledger, [][]types.TxResult) {
 	t.Helper()
 	net := transport.NewInMemNetwork(transport.InMemConfig{})
 	defer net.Close()
@@ -131,7 +133,7 @@ func runPipelined(t *testing.T, depth int, dataDir string, genesis []types.KV,
 		led = ledger.New()
 	}
 	commits := make(chan []types.TxResult, len(blocks))
-	exec := New(Config{
+	cfg := Config{
 		ID:            "e1",
 		Endpoint:      execEP,
 		Registry:      registry,
@@ -149,7 +151,11 @@ func runPipelined(t *testing.T, depth int, dataDir string, genesis []types.KV,
 			commits <- results
 		},
 		Logf: func(string, ...any) {},
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	exec := New(cfg)
 	exec.Start()
 	defer exec.Stop()
 
@@ -197,10 +203,26 @@ func runPipelined(t *testing.T, depth int, dataDir string, genesis []types.KV,
 	return hash, led, finalized
 }
 
+// allSchedulers enumerates every dispatch scheduler; the equivalence
+// suites run under each one — a scheduler is only admissible if it is
+// bit-identical to the sequential baseline on every path.
+var allSchedulers = []SchedulerKind{SchedFIFO, SchedCriticalPath, SchedLoadBalanced}
+
+// withScheduler returns a Config option selecting a scheduler, plus a
+// small prefetch pool so the prefetch stage is exercised under every
+// scheduler (prefetch must be invisible to results by construction).
+func withScheduler(sched SchedulerKind) func(*Config) {
+	return func(c *Config) {
+		c.Scheduler = sched
+		c.PrefetchWorkers = 2
+	}
+}
+
 // TestPipelineEquivalence asserts, for randomized traces at several
-// contention levels and pipeline depths 1/2/4/8, that the pipelined
-// executor's final state hash, ledger chain, and per-transaction results
-// are bit-identical to the sequential OX baseline.
+// contention levels, pipeline depths 1/2/4/8, and every scheduler, that
+// the pipelined executor's final state hash, ledger chain, and
+// per-transaction results are bit-identical to the sequential OX
+// baseline.
 func TestPipelineEquivalence(t *testing.T) {
 	const (
 		numBlocks = 6
@@ -208,66 +230,73 @@ func TestPipelineEquivalence(t *testing.T) {
 	)
 	depths := []int{1, 2, 4, 8}
 	for _, contention := range []float64{0, 0.4, 1.0} {
-		contention := contention
-		t.Run(fmt.Sprintf("contention=%.0f%%", contention*100), func(t *testing.T) {
-			seed := int64(1000 + int(contention*100))
-			blocks, genesis := tracedBlocks(seed, contention, numBlocks, blockTxns)
-			wantHash, wantResults := refResults(genesis, blocks)
+		for _, sched := range allSchedulers {
+			contention, sched := contention, sched
+			t.Run(fmt.Sprintf("contention=%.0f%%/%s", contention*100, sched), func(t *testing.T) {
+				testPipelineEquivalence(t, contention, sched, depths, numBlocks, blockTxns)
+			})
+		}
+	}
+}
 
-			var wantChain types.Hash
-			for _, depth := range depths {
-				gotHash, led, finalized := runPipelined(t, depth, "", genesis, blocks)
-				if gotHash != wantHash {
-					t.Fatalf("depth %d: state hash diverged from sequential baseline", depth)
-				}
-				if led.Height() != numBlocks {
-					t.Fatalf("depth %d: ledger height = %d, want %d", depth, led.Height(), numBlocks)
-				}
-				if err := led.Verify(); err != nil {
-					t.Fatalf("depth %d: ledger chain invalid: %v", depth, err)
-				}
-				if wantChain.IsZero() {
-					wantChain = led.LastHash()
-				} else if led.LastHash() != wantChain {
-					t.Fatalf("depth %d: ledger chain diverged across depths", depth)
-				}
-				for b, results := range finalized {
-					if len(results) != len(wantResults[b]) {
-						t.Fatalf("depth %d block %d: %d results, want %d",
-							depth, b, len(results), len(wantResults[b]))
-					}
-					for i := range results {
-						if results[i].Digest() != wantResults[b][i].Digest() {
-							t.Fatalf("depth %d block %d tx %d: result diverged from sequential baseline (aborted=%v/%v)",
-								depth, b, i, results[i].Aborted, wantResults[b][i].Aborted)
-						}
-					}
-					// Cross-check the ledger entry carries the same results.
-					entry, err := led.Get(uint64(b))
-					if err != nil {
-						t.Fatal(err)
-					}
-					for i := range entry.Results {
-						if entry.Results[i].Digest() != wantResults[b][i].Digest() {
-							t.Fatalf("depth %d block %d tx %d: ledger result diverged", depth, b, i)
-						}
-					}
+func testPipelineEquivalence(t *testing.T, contention float64, sched SchedulerKind,
+	depths []int, numBlocks, blockTxns int) {
+	seed := int64(1000 + int(contention*100))
+	blocks, genesis := tracedBlocks(seed, contention, numBlocks, blockTxns)
+	wantHash, wantResults := refResults(genesis, blocks)
+
+	var wantChain types.Hash
+	for _, depth := range depths {
+		gotHash, led, finalized := runPipelined(t, depth, "", genesis, blocks, withScheduler(sched))
+		if gotHash != wantHash {
+			t.Fatalf("depth %d: state hash diverged from sequential baseline", depth)
+		}
+		if led.Height() != uint64(numBlocks) {
+			t.Fatalf("depth %d: ledger height = %d, want %d", depth, led.Height(), numBlocks)
+		}
+		if err := led.Verify(); err != nil {
+			t.Fatalf("depth %d: ledger chain invalid: %v", depth, err)
+		}
+		if wantChain.IsZero() {
+			wantChain = led.LastHash()
+		} else if led.LastHash() != wantChain {
+			t.Fatalf("depth %d: ledger chain diverged across depths", depth)
+		}
+		for b, results := range finalized {
+			if len(results) != len(wantResults[b]) {
+				t.Fatalf("depth %d block %d: %d results, want %d",
+					depth, b, len(results), len(wantResults[b]))
+			}
+			for i := range results {
+				if results[i].Digest() != wantResults[b][i].Digest() {
+					t.Fatalf("depth %d block %d tx %d: result diverged from sequential baseline (aborted=%v/%v)",
+						depth, b, i, results[i].Aborted, wantResults[b][i].Aborted)
 				}
 			}
-
-			// Durability on: the WAL append + group fsync at the finalize
-			// boundary must leave ledger and state bit-identical to the
-			// in-memory path at the barrier depth and a pipelined depth
-			// (runPipelined additionally asserts recovery reproduces it).
-			for _, depth := range []int{1, 4} {
-				gotHash, led, _ := runPipelined(t, depth, t.TempDir(), genesis, blocks)
-				if gotHash != wantHash {
-					t.Fatalf("durable depth %d: state hash diverged from sequential baseline", depth)
-				}
-				if led.LastHash() != wantChain {
-					t.Fatalf("durable depth %d: ledger chain diverged", depth)
+			// Cross-check the ledger entry carries the same results.
+			entry, err := led.Get(uint64(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range entry.Results {
+				if entry.Results[i].Digest() != wantResults[b][i].Digest() {
+					t.Fatalf("depth %d block %d tx %d: ledger result diverged", depth, b, i)
 				}
 			}
-		})
+		}
+	}
+
+	// Durability on: the WAL append + group fsync at the finalize
+	// boundary must leave ledger and state bit-identical to the
+	// in-memory path at the barrier depth and a pipelined depth
+	// (runPipelined additionally asserts recovery reproduces it).
+	for _, depth := range []int{1, 4} {
+		gotHash, led, _ := runPipelined(t, depth, t.TempDir(), genesis, blocks, withScheduler(sched))
+		if gotHash != wantHash {
+			t.Fatalf("durable depth %d: state hash diverged from sequential baseline", depth)
+		}
+		if led.LastHash() != wantChain {
+			t.Fatalf("durable depth %d: ledger chain diverged", depth)
+		}
 	}
 }

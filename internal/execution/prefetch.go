@@ -1,0 +1,87 @@
+package execution
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"parblockchain/internal/eventq"
+	"parblockchain/internal/state"
+	"parblockchain/internal/types"
+)
+
+// maxPrefetchBytesPerBlock caps how many value bytes the prefetchers pull
+// on behalf of one block; a block declaring enormous read sets warms only
+// a prefix instead of monopolizing the pool. A var so tests can lower it.
+var maxPrefetchBytesPerBlock int64 = 8 << 20
+
+// prefetchJob asks the prefetch pool to warm one admitted segment's
+// declared read set against the block's overlay chain: every Get walks
+// overlay views (lock-free) down to the KVStore shards, pulling the
+// records through the shard locks and into cache before an execution
+// worker takes the same miss on the critical path. budget is the owning
+// block's remaining byte allowance, shared across the block's segments
+// and decremented by value size as keys are fetched.
+type prefetchJob struct {
+	reader state.Reader
+	keys   []types.Key
+	budget *atomic.Int64
+}
+
+// prefetcher runs Config.PrefetchWorkers goroutines draining admission's
+// read-set jobs. Prefetch is purely a cache warmer: it reads through the
+// same overlay chain execution will, writes nothing, and is never
+// required for correctness — a job skipped because its block's budget
+// ran out (or because Stop drained the queue) only costs the first
+// reader a cold miss.
+type prefetcher struct {
+	jobs  *eventq.Queue[prefetchJob]
+	wg    sync.WaitGroup
+	keys  *atomic.Uint64 // stats: keys warmed
+	bytes *atomic.Uint64 // stats: value bytes pulled
+}
+
+func newPrefetcher(workers int, keys, bytes *atomic.Uint64) *prefetcher {
+	p := &prefetcher{jobs: eventq.New[prefetchJob](), keys: keys, bytes: bytes}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// enqueue hands a segment's read set to the pool. Non-blocking; a no-op
+// after stop.
+func (p *prefetcher) enqueue(job prefetchJob) {
+	if len(job.keys) == 0 {
+		return
+	}
+	p.jobs.Push(job)
+}
+
+// stop closes the job queue and waits for the workers. In-flight jobs
+// finish; queued jobs drain (each is a bounded batch of reads).
+func (p *prefetcher) stop() {
+	p.jobs.Close()
+	p.wg.Wait()
+}
+
+func (p *prefetcher) worker() {
+	defer p.wg.Done()
+	for {
+		job, ok := p.jobs.Pop()
+		if !ok {
+			return
+		}
+		for _, key := range job.keys {
+			if job.budget.Load() <= 0 {
+				break
+			}
+			val, ok := job.reader.Get(key)
+			p.keys.Add(1)
+			if ok {
+				p.bytes.Add(uint64(len(val)))
+				job.budget.Add(-int64(len(val)))
+			}
+		}
+	}
+}

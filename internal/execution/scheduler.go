@@ -1,0 +1,351 @@
+// This file implements the pluggable work scheduler between dispatch
+// and the worker pool. The paper's executor (and this repo's, before
+// the Config.Scheduler knob) drains ready transactions in discovery
+// order; on the skewed graphs high-contention workloads produce that
+// leaves cores idle behind long dependency chains while short
+// independent work waits its turn. The three schedulers:
+//
+//   - fifo: discovery order, the equivalence baseline. Exactly the old
+//     single eventq work queue.
+//   - critical-path: max-height-first. Ready transactions pop in
+//     descending critical-path height (the longest dependency chain
+//     hanging below them, maintained incrementally across blocks by
+//     depgraph.HeightTracker), out-degree breaking ties, discovery
+//     order breaking those. The tallest ready transaction heads the
+//     longest remaining chain, so running it first keeps the chain's
+//     core busy while shorter independent work fills the other cores.
+//   - load-balanced: QueCC-style per-worker queues. Ready transactions
+//     hash to a worker by their first write key, so same-key work lands
+//     on the same core (warm cache, no ping-pong); idle workers steal
+//     from the longest backlog so no core stalls while another has a
+//     queue.
+//
+// Every scheduler preserves the eventq contract the worker pool was
+// built on: non-blocking Push, blocking Pop, Close wakes all consumers
+// and lets them drain remaining items. Schedulers never remove items:
+// epoch-tagged re-dispatch under speculation cascades means a stale
+// item can sit in a queue, get popped, execute, and have its result
+// disowned by the actor's epoch check — exactly as with the FIFO queue.
+// Ordering of ready transactions is the one freedom Algorithm 1 leaves
+// the executor, which is why every scheduler is bit-identical to the
+// sequential baseline (see TestSchedulerEquivalence).
+
+package execution
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+
+	"parblockchain/internal/eventq"
+	"parblockchain/internal/types"
+)
+
+// SchedulerKind selects the dispatch scheduler. The zero value is FIFO,
+// the paper's discovery-order behavior.
+type SchedulerKind uint8
+
+const (
+	// SchedFIFO executes ready transactions in discovery order.
+	SchedFIFO SchedulerKind = iota
+	// SchedCriticalPath executes the ready transaction with the longest
+	// downstream dependency chain first.
+	SchedCriticalPath
+	// SchedLoadBalanced hashes ready transactions to per-worker queues
+	// by first write key, with work stealing.
+	SchedLoadBalanced
+)
+
+// SchedulerNames lists the accepted ParseScheduler spellings, for flag
+// help and config validation messages.
+var SchedulerNames = []string{"fifo", "critical-path", "load-balanced"}
+
+// String returns the canonical knob spelling.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedCriticalPath:
+		return "critical-path"
+	case SchedLoadBalanced:
+		return "load-balanced"
+	default:
+		return "fifo"
+	}
+}
+
+// ParseScheduler maps a knob string to its SchedulerKind. The empty
+// string selects FIFO so zero-valued configs keep the old behavior.
+func ParseScheduler(name string) (SchedulerKind, error) {
+	switch name {
+	case "", "fifo":
+		return SchedFIFO, nil
+	case "critical-path":
+		return SchedCriticalPath, nil
+	case "load-balanced":
+		return SchedLoadBalanced, nil
+	default:
+		return SchedFIFO, fmt.Errorf("unknown scheduler %q (want one of %v)", name, SchedulerNames)
+	}
+}
+
+// scheduler is the ready queue between the actor loop's dispatch and
+// the worker pool. Push never blocks and is a no-op after Close; Pop
+// blocks until an item is available or the queue is closed and drained.
+// prio orders critical-path popping (higher first) and key routes
+// load-balanced placement; each implementation ignores the hints it
+// does not use.
+type scheduler interface {
+	Push(item workItem, prio int64, key string)
+	Pop(worker int) (workItem, bool)
+	Close()
+	Len() int
+}
+
+// newScheduler builds the scheduler for a kind and worker-pool size.
+func newScheduler(kind SchedulerKind, workers int) scheduler {
+	switch kind {
+	case SchedCriticalPath:
+		return newHeapSched()
+	case SchedLoadBalanced:
+		return newLBSched(workers)
+	default:
+		return fifoSched{q: eventq.New[workItem]()}
+	}
+}
+
+// schedPriority packs a transaction's critical-path height and
+// out-degree into one comparable key: height dominates, out-degree
+// (clamped) breaks ties toward the transaction that unlocks more work.
+func schedPriority(height, outDeg int32) int64 {
+	const degBits = 20
+	d := int64(outDeg)
+	if d >= 1<<degBits {
+		d = 1<<degBits - 1
+	}
+	return int64(height)<<degBits | d
+}
+
+// firstWriteKey is the load-balancing routing key: the transaction's
+// first declared write (falling back to its first read for read-only
+// transactions), canonical after Normalize, so every transaction
+// touching a hot record routes to the same worker.
+func firstWriteKey(op *types.Operation) string {
+	if len(op.Writes) > 0 {
+		return op.Writes[0]
+	}
+	if len(op.Reads) > 0 {
+		return op.Reads[0]
+	}
+	return ""
+}
+
+// fifoSched adapts the original eventq work queue to the scheduler
+// interface.
+type fifoSched struct {
+	q *eventq.Queue[workItem]
+}
+
+func (s fifoSched) Push(item workItem, _ int64, _ string) { s.q.Push(item) }
+func (s fifoSched) Pop(int) (workItem, bool)              { return s.q.Pop() }
+func (s fifoSched) Close()                                { s.q.Close() }
+func (s fifoSched) Len() int                              { return s.q.Len() }
+
+// heapSched is the critical-path scheduler: a binary max-heap on
+// (priority, FIFO sequence), O(log n) push and pop under one mutex.
+type heapSched struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   []heapEntry
+	seq    uint64
+	closed bool
+}
+
+type heapEntry struct {
+	item workItem
+	prio int64
+	seq  uint64
+}
+
+func newHeapSched() *heapSched {
+	s := &heapSched{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// before orders the heap: higher priority first, earlier dispatch
+// breaking ties so equal-priority work stays FIFO.
+func (a heapEntry) before(b heapEntry) bool {
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (s *heapSched) Push(item workItem, prio int64, _ string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.heap = append(s.heap, heapEntry{item: item, prio: prio, seq: s.seq})
+	s.seq++
+	// Sift up.
+	for i := len(s.heap) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.heap[i].before(s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+	s.cond.Signal()
+}
+
+func (s *heapSched) Pop(int) (workItem, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.heap) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.heap) == 0 {
+		return workItem{}, false
+	}
+	top := s.heap[0].item
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap[last] = heapEntry{} // release the *blockState reference
+	s.heap = s.heap[:last]
+	// Sift down.
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && s.heap[l].before(s.heap[best]) {
+			best = l
+		}
+		if r < last && s.heap[r].before(s.heap[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
+		i = best
+	}
+	return top, true
+}
+
+func (s *heapSched) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+}
+
+func (s *heapSched) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.heap)
+}
+
+// lbSched is the load-balanced scheduler: one FIFO per worker, items
+// routed by hashing their first write key, idle workers stealing from
+// the longest backlog. One mutex guards all queues — the protected
+// sections are a few slice operations, far cheaper than the per-item
+// contract execution they schedule.
+type lbSched struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues []lbQueue
+	seed   maphash.Seed
+	closed bool
+}
+
+type lbQueue struct {
+	items []workItem
+	head  int
+}
+
+func (q *lbQueue) len() int { return len(q.items) - q.head }
+
+func (q *lbQueue) popFront() workItem {
+	item := q.items[q.head]
+	q.items[q.head] = workItem{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return item
+}
+
+func (q *lbQueue) popBack() workItem {
+	last := len(q.items) - 1
+	item := q.items[last]
+	q.items[last] = workItem{}
+	q.items = q.items[:last]
+	return item
+}
+
+func newLBSched(workers int) *lbSched {
+	s := &lbSched{queues: make([]lbQueue, workers), seed: maphash.MakeSeed()}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *lbSched) Push(item workItem, _ int64, key string) {
+	w := int(maphash.String(s.seed, key) % uint64(len(s.queues)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.queues[w].items = append(s.queues[w].items, item)
+	// One Signal suffices even though the woken worker may not be w:
+	// any idle worker finds the item by stealing.
+	s.cond.Signal()
+}
+
+func (s *lbSched) Pop(worker int) (workItem, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if q := &s.queues[worker]; q.len() > 0 {
+			return q.popFront(), true
+		}
+		// Own queue empty: steal from the back of the longest backlog,
+		// leaving the victim's front (its oldest same-key run) in place.
+		victim, best := -1, 0
+		for i := range s.queues {
+			if n := s.queues[i].len(); n > best {
+				victim, best = i, n
+			}
+		}
+		if victim >= 0 {
+			return s.queues[victim].popBack(), true
+		}
+		if s.closed {
+			return workItem{}, false
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *lbSched) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+}
+
+func (s *lbSched) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for i := range s.queues {
+		total += s.queues[i].len()
+	}
+	return total
+}

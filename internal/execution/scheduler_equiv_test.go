@@ -1,0 +1,65 @@
+package execution
+
+import (
+	"fmt"
+	"testing"
+
+	"parblockchain/internal/types"
+)
+
+// TestSchedulerEquivalence is the scheduler admission gate (a named
+// -race CI step): a scheduler may reorder only the ready set, so at
+// pipeline depths {1,4} × contentions {0,0.4,1.0} × speculation off/on,
+// every scheduler's final state hash and ledger chain must be
+// bit-identical to the sequential baseline — single-executor pipelined
+// intake without speculation, and a three-executor fleet (cross-app
+// conflict chains, tau=2) with it.
+func TestSchedulerEquivalence(t *testing.T) {
+	const (
+		numBlocks = 6
+		blockTxns = 24
+	)
+	for _, contention := range []float64{0, 0.4, 1.0} {
+		contention := contention
+		t.Run(fmt.Sprintf("contention=%.0f%%", contention*100), func(t *testing.T) {
+			seed := int64(11000 + int(contention*100))
+			blocks, genesis := tracedBlocksOpt(seed, contention, true, numBlocks, blockTxns)
+			wantHash, _ := refResults(genesis, blocks)
+
+			for _, depth := range []int{1, 4} {
+				var wantChain types.Hash
+				for _, sched := range allSchedulers {
+					name := fmt.Sprintf("depth=%d/%s", depth, sched)
+					gotHash, led, _ := runPipelined(t, depth, "", genesis, blocks, withScheduler(sched))
+					if gotHash != wantHash {
+						t.Fatalf("%s: state hash diverged from sequential baseline", name)
+					}
+					if err := led.Verify(); err != nil {
+						t.Fatalf("%s: ledger chain invalid: %v", name, err)
+					}
+					if wantChain.IsZero() {
+						wantChain = led.LastHash()
+					} else if led.LastHash() != wantChain {
+						t.Fatalf("%s: ledger chain diverged across schedulers", name)
+					}
+				}
+
+				var wantTip types.Hash
+				for _, sched := range allSchedulers {
+					name := fmt.Sprintf("depth=%d/%s/speculate", depth, sched)
+					gotHash, gotTip := runSpecNet(t, specNetConfig{
+						depth: depth, tau: 2, speculate: true, sched: sched,
+					}, genesis, blocks, 0)
+					if gotHash != wantHash {
+						t.Fatalf("%s: state hash diverged from sequential baseline", name)
+					}
+					if wantTip.IsZero() {
+						wantTip = gotTip
+					} else if gotTip != wantTip {
+						t.Fatalf("%s: ledger chain diverged across schedulers", name)
+					}
+				}
+			}
+		})
+	}
+}

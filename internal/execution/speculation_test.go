@@ -47,6 +47,7 @@ type specNetConfig struct {
 	depth     int
 	tau       int
 	speculate bool
+	sched     SchedulerKind
 	dataDir   string // per-executor subdirectories; "" = in-memory
 }
 
@@ -115,6 +116,7 @@ func newSpecNet(t testing.TB, cfg specNetConfig, genesis []types.KV) *specNet {
 			Ledger:        led,
 			Workers:       4,
 			PipelineDepth: cfg.depth,
+			Scheduler:     cfg.sched,
 			Speculate:     cfg.speculate,
 			Signer:        cryptoutil.NoopSigner{NodeID: string(id)},
 			Verifier:      cryptoutil.NoopVerifier{},
@@ -271,18 +273,20 @@ func TestSpeculationEquivalence(t *testing.T) {
 				t.Fatal("non-speculative fleet diverged from sequential reference")
 			}
 
-			for _, tau := range []int{1, 2} {
-				for _, depth := range []int{1, 4} {
-					for _, segTxns := range []int{0, 16} {
-						name := fmt.Sprintf("tau=%d/depth=%d/seg=%d", tau, depth, segTxns)
-						gotHash, gotTip := runSpecNet(t, specNetConfig{
-							depth: depth, tau: tau, speculate: true,
-						}, genesis, blocks, segTxns)
-						if gotHash != wantHash {
-							t.Fatalf("%s: state hash diverged from baseline", name)
-						}
-						if gotTip != wantTip {
-							t.Fatalf("%s: ledger chain diverged from baseline", name)
+			for _, sched := range allSchedulers {
+				for _, tau := range []int{1, 2} {
+					for _, depth := range []int{1, 4} {
+						for _, segTxns := range []int{0, 16} {
+							name := fmt.Sprintf("%s/tau=%d/depth=%d/seg=%d", sched, tau, depth, segTxns)
+							gotHash, gotTip := runSpecNet(t, specNetConfig{
+								depth: depth, tau: tau, speculate: true, sched: sched,
+							}, genesis, blocks, segTxns)
+							if gotHash != wantHash {
+								t.Fatalf("%s: state hash diverged from baseline", name)
+							}
+							if gotTip != wantTip {
+								t.Fatalf("%s: ledger chain diverged from baseline", name)
+							}
 						}
 					}
 				}

@@ -133,9 +133,9 @@ func (r *streamRig) crash(t testing.TB) {
 	r.net.Close()
 }
 
-func newStreamRig(t testing.TB, depth int, genesis []types.KV) *streamRig {
+func newStreamRig(t testing.TB, depth int, genesis []types.KV, opts ...func(*Config)) *streamRig {
 	t.Helper()
-	return newDurableStreamRig(t, depth, "", genesis)
+	return newDurableStreamRig(t, depth, "", genesis, opts...)
 }
 
 // newDurableStreamRig builds a stream rig whose executor finalizes
@@ -143,7 +143,8 @@ func newStreamRig(t testing.TB, depth int, genesis []types.KV) *streamRig {
 // blocks, so short traces still exercise WAL truncation). An empty
 // dataDir yields the plain in-memory rig. Reopening the same directory
 // resumes from whatever the previous rig made durable.
-func newDurableStreamRig(t testing.TB, depth int, dataDir string, genesis []types.KV) *streamRig {
+func newDurableStreamRig(t testing.TB, depth int, dataDir string, genesis []types.KV,
+	opts ...func(*Config)) *streamRig {
 	t.Helper()
 	r := &streamRig{commits: make(chan []types.TxResult, 64)}
 	r.net = transport.NewInMemNetwork(transport.InMemConfig{})
@@ -172,7 +173,7 @@ func newDurableStreamRig(t testing.TB, depth int, dataDir string, genesis []type
 		r.store.Apply(genesis)
 		r.led = ledger.New()
 	}
-	r.exec = New(Config{
+	cfg := Config{
 		ID:            "e1",
 		Endpoint:      execEP,
 		Registry:      registry,
@@ -190,7 +191,11 @@ func newDurableStreamRig(t testing.TB, depth int, dataDir string, genesis []type
 			r.commits <- results
 		},
 		Logf: func(string, ...any) {},
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	r.exec = New(cfg)
 	r.exec.Start()
 	t.Cleanup(func() { r.shutdown(t) })
 	return r
@@ -225,9 +230,10 @@ func (r *streamRig) awaitBlocks(t testing.TB, n int) [][]types.TxResult {
 // reopens the directory to assert crash recovery reproduces the final
 // state from snapshot + WAL tail.
 func runStreamed(t *testing.T, depth, segTxns, sealLag int, dataDir string,
-	genesis []types.KV, blocks [][]*types.Transaction) (types.Hash, *ledger.Ledger, [][]types.TxResult) {
+	genesis []types.KV, blocks [][]*types.Transaction,
+	opts ...func(*Config)) (types.Hash, *ledger.Ledger, [][]types.TxResult) {
 	t.Helper()
-	r := newDurableStreamRig(t, depth, dataDir, genesis)
+	r := newDurableStreamRig(t, depth, dataDir, genesis, opts...)
 	stream := cutStream(blocks, segTxns, "o1")
 	var pendingSeals []*types.BlockSealMsg
 	for _, sb := range stream {
@@ -279,11 +285,11 @@ func verifyRecovery(t testing.TB, dataDir string, genesis []types.KV,
 }
 
 // TestStreamEquivalence asserts, for randomized traces at several
-// contention levels, that streaming a block in segments of {1, 16, 64}
-// transactions at pipeline depths {1, 4} leaves the state hash, the
-// ledger chain, and every per-transaction result bit-identical to the
-// monolithic NEWBLOCK path (SegmentTxns=0) and to the sequential
-// reference execution.
+// contention levels and every scheduler, that streaming a block in
+// segments of {1, 16, 64} transactions at pipeline depths {1, 4} leaves
+// the state hash, the ledger chain, and every per-transaction result
+// bit-identical to the monolithic NEWBLOCK path (SegmentTxns=0) and to
+// the sequential reference execution.
 func TestStreamEquivalence(t *testing.T) {
 	const (
 		numBlocks = 6
@@ -302,41 +308,44 @@ func TestStreamEquivalence(t *testing.T) {
 			}
 			wantChain := monoLed.LastHash()
 
-			for _, depth := range []int{1, 4} {
-				for _, segTxns := range []int{1, 16, 64} {
-					name := fmt.Sprintf("depth=%d/seg=%d", depth, segTxns)
-					gotHash, led, finalized := runStreamed(t, depth, segTxns, 0, "", genesis, blocks)
-					if gotHash != wantHash {
-						t.Fatalf("%s: state hash diverged from sequential baseline", name)
-					}
-					if led.Height() != numBlocks {
-						t.Fatalf("%s: ledger height = %d, want %d", name, led.Height(), numBlocks)
-					}
-					if err := led.Verify(); err != nil {
-						t.Fatalf("%s: ledger chain invalid: %v", name, err)
-					}
-					if led.LastHash() != wantChain {
-						t.Fatalf("%s: ledger chain diverged from monolithic path", name)
-					}
-					for b, results := range finalized {
-						if len(results) != len(wantResults[b]) {
-							t.Fatalf("%s block %d: %d results, want %d",
-								name, b, len(results), len(wantResults[b]))
+			for _, sched := range allSchedulers {
+				for _, depth := range []int{1, 4} {
+					for _, segTxns := range []int{1, 16, 64} {
+						name := fmt.Sprintf("%s/depth=%d/seg=%d", sched, depth, segTxns)
+						gotHash, led, finalized := runStreamed(t, depth, segTxns, 0, "", genesis, blocks,
+							withScheduler(sched))
+						if gotHash != wantHash {
+							t.Fatalf("%s: state hash diverged from sequential baseline", name)
 						}
-						for i := range results {
-							if results[i].Digest() != wantResults[b][i].Digest() {
-								t.Fatalf("%s block %d tx %d: result diverged", name, b, i)
+						if led.Height() != numBlocks {
+							t.Fatalf("%s: ledger height = %d, want %d", name, led.Height(), numBlocks)
+						}
+						if err := led.Verify(); err != nil {
+							t.Fatalf("%s: ledger chain invalid: %v", name, err)
+						}
+						if led.LastHash() != wantChain {
+							t.Fatalf("%s: ledger chain diverged from monolithic path", name)
+						}
+						for b, results := range finalized {
+							if len(results) != len(wantResults[b]) {
+								t.Fatalf("%s block %d: %d results, want %d",
+									name, b, len(results), len(wantResults[b]))
+							}
+							for i := range results {
+								if results[i].Digest() != wantResults[b][i].Digest() {
+									t.Fatalf("%s block %d tx %d: result diverged", name, b, i)
+								}
 							}
 						}
 					}
 				}
-			}
 
-			// Seals lagging two blocks behind their segments: admission must
-			// stall at the unsealed tail and resume losslessly.
-			gotHash, led, _ := runStreamed(t, 4, 16, 2, "", genesis, blocks)
-			if gotHash != wantHash || led.LastHash() != wantChain {
-				t.Fatal("lagged-seal stream diverged")
+				// Seals lagging two blocks behind their segments: admission must
+				// stall at the unsealed tail and resume losslessly.
+				gotHash, led, _ := runStreamed(t, 4, 16, 2, "", genesis, blocks, withScheduler(sched))
+				if gotHash != wantHash || led.LastHash() != wantChain {
+					t.Fatalf("%s: lagged-seal stream diverged", sched)
+				}
 			}
 
 			// Durability on: streamed finalization through the WAL (group

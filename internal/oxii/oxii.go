@@ -88,6 +88,18 @@ type Config struct {
 	Speculate bool
 	// ExecWorkers sizes each executor's worker pool (default 8).
 	ExecWorkers int
+	// Scheduler selects each executor's ready-transaction dispatch policy:
+	// FIFO (the paper's baseline), critical-path (longest remaining
+	// dependency chain first), or load-balanced (per-worker queues keyed
+	// by first write, QueCC-style, with stealing). Schedulers reorder only
+	// the ready set, so ledger and state are bit-identical under all of
+	// them; the zero value is FIFO.
+	Scheduler execution.SchedulerKind
+	// PrefetchWorkers sizes each executor's read-set prefetch pool: as a
+	// block is admitted, its declared read sets are warmed against the
+	// overlay chain and the state store before workers reach them, bounded
+	// per block by a byte cap. Zero disables prefetching.
+	PrefetchWorkers int
 	// PipelineDepth bounds each executor's window of in-flight blocks:
 	// blocks stream through execution while earlier blocks are still
 	// committing, with cross-block conflicts stitched into the dependency
@@ -422,29 +434,31 @@ func (nw *Network) buildExecutor(i int, id types.NodeID) (*execution.Executor,
 		}
 	}
 	exec := execution.New(execution.Config{
-		ID:            id,
-		Endpoint:      ep,
-		Registry:      registry,
-		AgentsOf:      cfg.Agents,
-		Tau:           cfg.Tau,
-		OrderQuorum:   nw.orderQuorum(),
-		Executors:     cfg.Executors,
-		Store:         store,
-		Ledger:        led,
-		Workers:       cfg.ExecWorkers,
-		PipelineDepth: cfg.PipelineDepth,
-		GraphMode:     cfg.GraphMode,
-		PairwiseGraph: cfg.UsePairwiseGraph,
-		EagerCommit:   cfg.EagerCommit,
-		Speculate:     cfg.Speculate,
-		MinHorizon:    cfg.MinHorizon,
-		StallTimeout:  cfg.SyncStallTimeout,
-		Signer:        nw.signers[id],
-		Verifier:      nw.verifier(),
-		VerifySigs:    cfg.Crypto,
-		Persist:       mgr,
-		OnCommit:      hook,
-		Logf:          cfg.Logf,
+		ID:              id,
+		Endpoint:        ep,
+		Registry:        registry,
+		AgentsOf:        cfg.Agents,
+		Tau:             cfg.Tau,
+		OrderQuorum:     nw.orderQuorum(),
+		Executors:       cfg.Executors,
+		Store:           store,
+		Ledger:          led,
+		Workers:         cfg.ExecWorkers,
+		Scheduler:       cfg.Scheduler,
+		PrefetchWorkers: cfg.PrefetchWorkers,
+		PipelineDepth:   cfg.PipelineDepth,
+		GraphMode:       cfg.GraphMode,
+		PairwiseGraph:   cfg.UsePairwiseGraph,
+		EagerCommit:     cfg.EagerCommit,
+		Speculate:       cfg.Speculate,
+		MinHorizon:      cfg.MinHorizon,
+		StallTimeout:    cfg.SyncStallTimeout,
+		Signer:          nw.signers[id],
+		Verifier:        nw.verifier(),
+		VerifySigs:      cfg.Crypto,
+		Persist:         mgr,
+		OnCommit:        hook,
+		Logf:            cfg.Logf,
 	})
 	return exec, store, led, mgr, rec, nil
 }

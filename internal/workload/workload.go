@@ -175,12 +175,17 @@ func (g *Generator) Next(client types.NodeID, clientTS uint64) *types.Transactio
 
 	var app types.AppID
 	var op types.Operation
+	// One uniform draw partitioned into abort/hot/cold bands, so each
+	// configured fraction is exact. (Two chained draws would make the hot
+	// fraction (1-AbortFraction)·Contention — with fault injection on,
+	// the generator silently undershot the configured contention.)
+	d := g.rng.Float64()
 	switch {
-	case g.cfg.AbortFraction > 0 && g.rng.Float64() < g.cfg.AbortFraction:
+	case d < g.cfg.AbortFraction:
 		app = g.nextColdApp()
 		// Drawn from an unfunded account: aborts deterministically.
 		op = contract.TransferOp(g.poorKey(app), g.nextColdKey(app), g.cfg.Amount)
-	case g.rng.Float64() < g.cfg.Contention:
+	case d < g.cfg.AbortFraction+g.cfg.Contention:
 		app, op = g.nextHotOp()
 	default:
 		app = g.nextColdApp()

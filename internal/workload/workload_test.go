@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"parblockchain/internal/depgraph"
@@ -213,5 +214,37 @@ func TestFinalizeStampsIdentityAndSignature(t *testing.T) {
 	Finalize(tx2, 12345, func(d []byte) []byte { return []byte("sig") })
 	if tx.ID == tx2.ID {
 		t.Fatal("IDs must be unique per (client, ts)")
+	}
+}
+
+// TestAbortHotColdBandsExact pins the band partition in Next: with fault
+// injection enabled the hot fraction must be the configured Contention,
+// not (1-AbortFraction)·Contention. Before the single-draw fix, the
+// chained draws made this test fail with hot ≈ 0.24 instead of 0.30.
+func TestAbortHotColdBandsExact(t *testing.T) {
+	const (
+		n          = 100000
+		abortFrac  = 0.2
+		contention = 0.3
+		tol        = 0.01 // ±1% absolute over 100k draws (σ ≈ 0.0014)
+	)
+	g := New(Config{Apps: apps(2), Contention: contention, AbortFraction: abortFrac, Seed: 17})
+	aborts, hots := 0, 0
+	for i := 0; i < n; i++ {
+		tx := g.Next("c1", uint64(i))
+		from := tx.Op.Params[0]
+		switch {
+		case from == g.poorKey(tx.App):
+			aborts++
+		case strings.Contains(from, "/hot"):
+			hots++
+		}
+	}
+	if got := float64(aborts) / n; got < abortFrac-tol || got > abortFrac+tol {
+		t.Fatalf("abort fraction = %.4f, want %.2f ± %.2f", got, abortFrac, tol)
+	}
+	if got := float64(hots) / n; got < contention-tol || got > contention+tol {
+		t.Fatalf("hot fraction = %.4f, want %.2f ± %.2f (the pre-fix chained draws gave %.2f)",
+			got, contention, tol, (1-abortFrac)*contention)
 	}
 }

@@ -20,6 +20,16 @@
 # with the tau-quorum wait) with spec-misses/block at 0.
 # BenchmarkSnapshotWrite/{serial,parallel-N} records the shard-parallel
 # snapshot writer against the serial baseline.
+# BenchmarkExecutorScheduler/{chained,skewed}/{fifo,critical-path,
+# load-balanced} is the dispatch-scheduler sweep: on the skewed
+# (hot-chain + independent-tail) workload the critical-path row's tx/s
+# is expected to stay >= 1.2x the fifo row's (height-first dispatch
+# keeps the serial chain off the queue-drain path); on the chained
+# workload all three rows should be close (nothing to reorder).
+#
+# Each run refreshes the "benchmarks" snapshot AND appends a dated entry
+# to the "runs" trajectory in the output file, so the perf history
+# accumulates across PRs instead of being overwritten.
 #
 # The default bench time is sized so every executor row completes
 # multiple iterations (single-iteration rows carry no variance
@@ -33,6 +43,9 @@ benchtime="${BENCHTIME:-500ms}"
 
 raw=$(go test -bench '.' -benchtime "$benchtime" -run '^$' \
 	./internal/state/ ./internal/types/ ./internal/execution/ ./internal/persist/)
+
+snapshot=$(mktemp)
+trap 'rm -f "$snapshot"' EXIT
 
 printf '%s\n' "$raw" | awk -v ncpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
 BEGIN { print "{"; printf "  \"benchmarks\": [\n"; first = 1 }
@@ -52,6 +65,38 @@ END {
 	printf "  \"cpu\": \"%s\",\n", cpu
 	printf "  \"gomaxprocs\": %s\n", (ncpu ? ncpu : "null")
 	print "}"
-}' >"$out"
+}' >"$snapshot"
+
+# Merge: fresh snapshot replaces "benchmarks"; the prior file's "runs"
+# trajectory is carried forward with this run appended (name, ns_per_op,
+# and tx/s where reported — compact enough to accumulate indefinitely).
+python3 - "$snapshot" "$out" <<'EOF'
+import json, os, sys, datetime
+
+snapshot_path, out_path = sys.argv[1], sys.argv[2]
+with open(snapshot_path) as f:
+    doc = json.load(f)
+
+runs = []
+if os.path.exists(out_path):
+    try:
+        with open(out_path) as f:
+            runs = json.load(f).get("runs", [])
+    except (json.JSONDecodeError, OSError):
+        runs = []
+
+entry = {
+    "date": datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "results": [
+        {k: row[k] for k in ("name", "ns_per_op", "tx/s") if k in row}
+        for row in doc["benchmarks"]
+    ],
+}
+runs.append(entry)
+doc["runs"] = runs
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
 
 echo "wrote $out"
