@@ -13,6 +13,7 @@
 //	parbench -fig stream    orderer->executor segment-streaming sweep
 //	parbench -fig durability  WAL fsync cost on the finalize hot path
 //	parbench -fig speculation speculative commit-wait bypass vs vote delay
+//	parbench -fig tiered    larger-than-RAM tiered state vs in-memory
 //	parbench -fig all       everything
 //
 // Use -quick for a fast smoke pass with reduced sweep ranges, -dur and
@@ -44,6 +45,7 @@ type config struct {
 	fig       string
 	fsync     string
 	scheduler string
+	backend   string
 	quick     bool
 	csv       bool
 	duration  time.Duration
@@ -54,12 +56,14 @@ type config struct {
 	prefetch  int
 	segTxns   int
 	speculate bool
+	hotBytes  int64
+	zipf      float64
 	schedKind execution.SchedulerKind
 }
 
 func run() error {
 	var cfg config
-	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations pipeline scheduler stream durability speculation all")
+	flag.StringVar(&cfg.fig, "fig", "all", "figure to regenerate: 5a 5b 6a 6b 6c 6d 7a 7b 7c 7d ablations pipeline scheduler stream durability speculation tiered all")
 	flag.BoolVar(&cfg.quick, "quick", false, "reduced sweep ranges for a fast pass")
 	flag.BoolVar(&cfg.csv, "csv", false, "emit raw CSV rows instead of tables")
 	flag.DurationVar(&cfg.duration, "dur", 2*time.Second, "steady-state measurement window per point")
@@ -72,11 +76,21 @@ func run() error {
 	flag.IntVar(&cfg.segTxns, "segtxns", 0, "orderer segment size for all OXII runs (0 = monolithic NEWBLOCK)")
 	flag.StringVar(&cfg.fsync, "fsync", "group", "WAL fsync policy for the durability sweep: group, always, or never")
 	flag.BoolVar(&cfg.speculate, "speculate", false, "speculative commit-wait bypass for all OXII runs (adopt first votes, gate multicasts, cascade on mismatch)")
+	flag.StringVar(&cfg.backend, "backend", "", "state backend for all OXII runs: "+strings.Join(persist.StateBackendNames, ", ")+" (empty = memory)")
+	flag.Int64Var(&cfg.hotBytes, "hotbytes", 0, "tiered backend hot-tier byte cap (0 = backend default; tiered figure default 1MiB)")
+	flag.Float64Var(&cfg.zipf, "zipf", 0, "Zipf s parameter for hot-key selection, 0 = round-robin (must be > 1 otherwise)")
 	flag.Parse()
 
 	var err error
 	if cfg.schedKind, err = execution.ParseScheduler(cfg.scheduler); err != nil {
 		return err
+	}
+	if !persist.ValidStateBackend(cfg.backend) {
+		return fmt.Errorf("unknown -backend %q (want %s)", cfg.backend,
+			strings.Join(persist.StateBackendNames, ", "))
+	}
+	if cfg.zipf != 0 && cfg.zipf <= 1 {
+		return fmt.Errorf("-zipf must be 0 or > 1, got %v", cfg.zipf)
 	}
 
 	figs := map[string]func(config) error{
@@ -95,8 +109,9 @@ func run() error {
 		"stream":      figStream,
 		"durability":  figDurability,
 		"speculation": figSpeculation,
+		"tiered":      figTiered,
 	}
-	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations", "pipeline", "scheduler", "stream", "durability", "speculation"}
+	order := []string{"5a", "6a", "6b", "6c", "6d", "7a", "7b", "7c", "7d", "ablations", "pipeline", "scheduler", "stream", "durability", "speculation", "tiered"}
 
 	switch cfg.fig {
 	case "all":
@@ -129,6 +144,9 @@ func (c config) base() bench.Options {
 		PrefetchWorkers: c.prefetch,
 		SegmentTxns:     c.segTxns,
 		Speculate:       c.speculate,
+		StateBackend:    c.backend,
+		HotTierBytes:    c.hotBytes,
+		ZipfSkew:        c.zipf,
 	}
 }
 
@@ -428,5 +446,31 @@ func figDurability(c config) error {
 		rows = append(rows, namedSeries{name: name, points: s.Points})
 	}
 	printSeries(c, "Durability: WAL fsync cost on the finalize path @ 20% contention", rows)
+	return nil
+}
+
+// figTiered measures the tiered (larger-than-RAM) state backend against
+// the fully resident store under a Zipf-skewed hot working set, with the
+// hot cap forced far below the working set so the cold tier is actually
+// exercised. Committed hashes are identical across backends; the sweep
+// isolates eviction, cold-read, and cold-prefetch cost.
+func figTiered(c config) error {
+	hotBytes := c.hotBytes
+	if hotBytes == 0 {
+		hotBytes = 1 << 20
+	}
+	series, err := bench.TieredSweep(c.base(), 0.8, hotBytes, c.clientLevels(), os.Stderr)
+	if err != nil {
+		return err
+	}
+	rows := make([]namedSeries, 0, len(series))
+	for _, s := range series {
+		name := s.Backend
+		if s.Backend == "tiered" {
+			name = fmt.Sprintf("tiered(cap=%dKiB)", s.HotTierBytes>>10)
+		}
+		rows = append(rows, namedSeries{name: name, points: s.Points})
+	}
+	printSeries(c, "Tiered state: larger-than-RAM backend vs in-memory @ 80% Zipf-skewed contention", rows)
 	return nil
 }

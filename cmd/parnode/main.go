@@ -185,7 +185,7 @@ func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 	}
 	genesis := cfg.GenesisKVs(contract.EncodeBalance)
 	var (
-		store           *state.KVStore
+		store           state.Backend
 		led             *ledger.Ledger
 		mgr             *persist.Manager
 		closeDurability = func() {}
@@ -200,6 +200,8 @@ func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 			Dir:              dataDir,
 			Fsync:            fsync,
 			SnapshotInterval: cfg.SnapshotIntervalBlocks,
+			StateBackend:     cfg.StateBackend,
+			HotTierBytes:     cfg.HotTierBytes,
 		}, genesis)
 		if err != nil {
 			return nil, nil, fmt.Errorf("parnode: %w", err)
@@ -209,13 +211,25 @@ func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 			if err := mgr.Close(); err != nil {
 				log.Printf("parnode: closing durability manager: %v", err)
 			}
+			store.Close()
 		}
 		log.Printf("executor %s durable under %s: height %d (snapshot %d + %d WAL records)",
 			id, dataDir, led.Height(), rec.SnapshotHeight, rec.Replayed)
 	} else {
-		store = state.NewKVStore()
+		if cfg.StateBackend == "tiered" {
+			// No dataDir: the cold tier lives in a throwaway temp dir, so
+			// the node still bounds its resident state without durability.
+			ts, err := state.NewTieredStore(state.TieredConfig{HotBytes: cfg.HotTierBytes})
+			if err != nil {
+				return nil, nil, fmt.Errorf("parnode: %w", err)
+			}
+			store = ts
+		} else {
+			store = state.NewKVStore()
+		}
 		store.Apply(genesis)
 		led = ledger.New()
+		closeDurability = func() { store.Close() }
 	}
 	quorum := 1
 	if cfg.Consensus == "pbft" {

@@ -26,6 +26,7 @@ import (
 	"parblockchain/internal/metrics"
 	"parblockchain/internal/oxii"
 	"parblockchain/internal/persist"
+	"parblockchain/internal/state"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
 	"parblockchain/internal/workload"
@@ -155,6 +156,23 @@ type Options struct {
 	// SnapshotInterval is the number of blocks between snapshots for
 	// durable runs (0 = persist default, negative disables).
 	SnapshotInterval int
+	// StateBackend selects the OXII executors' state store: "" or
+	// "memory" keeps the fully resident KVStore, "tiered" runs a
+	// byte-budgeted hot cache over a disk cold tier (larger-than-RAM
+	// state). Committed results and state hashes are identical.
+	StateBackend string
+	// HotTierBytes caps the tiered backend's hot tier (0 = backend
+	// default). Only meaningful with StateBackend "tiered".
+	HotTierBytes int64
+	// ZipfSkew switches the workload's hot-key selection from
+	// round-robin to a Zipf(s=ZipfSkew) draw over the hot set (0 keeps
+	// round-robin; otherwise must be > 1). Combined with a large
+	// HotAccounts set this builds the skewed working set a tiered store
+	// is measured under.
+	ZipfSkew float64
+	// HotAccounts sizes the workload's hot account set (0 = workload
+	// default of 1).
+	HotAccounts int
 	// Seed fixes the workload stream.
 	Seed int64
 }
@@ -273,6 +291,24 @@ type Result struct {
 	// the threshold. Nonzero only when a faulty or lagging agent keeps
 	// voting results that lose the quorum.
 	SpecThrottled uint64
+	// Tiered-state counters, summed over every executor running the
+	// tiered backend (all 0 under the memory backend): cold-tier point
+	// reads (a hot-tier miss that hit disk), bytes those reads returned,
+	// hot entries evicted to the cold tier, and the end-of-run hot/cold
+	// resident key split at the observer.
+	ColdReads     uint64
+	ColdBytesRead uint64
+	Evictions     uint64
+	HotKeys       int
+	ColdKeys      int
+	// PrefetchColdKeys/Bytes count prefetcher warms that promoted a
+	// cold-tier record into the hot tier before execution needed it —
+	// the tiered backend's reason for having a prefetcher. PrioRefreshes
+	// counts critical-path queue entries re-pushed at a fresher priority
+	// after later segments raised their remaining-chain height.
+	PrefetchColdKeys  uint64
+	PrefetchColdBytes uint64
+	PrioRefreshes     uint64
 }
 
 // String formats the point as a table row.
@@ -327,7 +363,9 @@ func Run(opts Options) (Result, error) {
 		Apps:               apps,
 		Contention:         opts.Contention,
 		CrossApp:           opts.System == SystemOXIIX,
+		HotAccounts:        opts.HotAccounts,
 		ColdAccountsPerApp: coldPool,
+		Skew:               opts.ZipfSkew,
 		Seed:               opts.Seed,
 	})
 	genesis := gen.Genesis()
@@ -392,6 +430,7 @@ func Run(opts Options) (Result, error) {
 	var stateHash func() types.Hash
 	var walStats func() persist.Stats
 	var specStats func() (executed, hits, misses, reexecs, throttled uint64)
+	var tieredStats func(r *Result)
 
 	graphMode := depgraph.Standard
 	if opts.GraphMultiVersion {
@@ -422,6 +461,8 @@ func Run(opts Options) (Result, error) {
 			DataDir:          opts.DataDir,
 			FsyncPolicy:      opts.FsyncPolicy,
 			SnapshotInterval: opts.SnapshotInterval,
+			StateBackend:     opts.StateBackend,
+			HotTierBytes:     opts.HotTierBytes,
 			Crypto:           opts.Crypto,
 			Genesis:          genesis,
 			Net:              net,
@@ -470,6 +511,28 @@ func Run(opts Options) (Result, error) {
 				throttled += st.SpecThrottled
 			}
 			return
+		}
+		tieredStats = func(r *Result) {
+			for _, e := range nw.Executors {
+				st := e.Stats()
+				r.PrefetchColdKeys += st.PrefetchColdKeys
+				r.PrefetchColdBytes += st.PrefetchColdBytes
+				r.PrioRefreshes += st.PrioRefreshes
+			}
+			for _, s := range nw.Stores {
+				ts, ok := s.(*state.TieredStore)
+				if !ok {
+					continue
+				}
+				st := ts.Stats()
+				r.ColdReads += st.ColdReads
+				r.ColdBytesRead += st.ColdBytesRead
+				r.Evictions += st.Evictions
+			}
+			if ts, ok := nw.ObserverStore().(*state.TieredStore); ok {
+				st := ts.Stats()
+				r.HotKeys, r.ColdKeys = st.HotKeys, st.ColdKeys
+			}
 		}
 	case SystemOX:
 		nw, err := ox.New(ox.Config{
@@ -604,6 +667,9 @@ func Run(opts Options) (Result, error) {
 	if specStats != nil {
 		result.SpecExecuted, result.SpecHits, result.SpecMisses, result.SpecReexecs,
 			result.SpecThrottled = specStats()
+	}
+	if tieredStats != nil {
+		tieredStats(&result)
 	}
 	return result, nil
 }

@@ -85,6 +85,15 @@ type Config struct {
 	// snapshots and WAL truncations (0 = persist default, negative
 	// disables snapshots). Ignored without DataDir.
 	SnapshotIntervalBlocks int `json:"snapshotIntervalBlocks,omitempty"`
+	// StateBackend selects each executor's state store: "memory"
+	// (default — everything resident) or "tiered" (byte-budgeted hot
+	// cache over a disk cold tier, for state larger than RAM). Committed
+	// results and state hashes are identical under both; nodes of one
+	// cluster may mix backends.
+	StateBackend string `json:"stateBackend,omitempty"`
+	// HotTierBytes caps the tiered backend's in-memory hot tier (0 =
+	// backend default). Ignored unless StateBackend is "tiered".
+	HotTierBytes int64 `json:"hotTierBytes,omitempty"`
 	// MinHorizon is each executor's minimum future-buffering horizon in
 	// blocks (0 = executor default). Larger values absorb longer skew
 	// between orderers and a lagging executor before far-future traffic
@@ -149,6 +158,16 @@ func Load(path string) (*Config, error) {
 	}
 	if _, err := execution.ParseScheduler(cfg.Scheduler); err != nil {
 		return nil, fmt.Errorf("clustercfg: %s: %w", path, err)
+	}
+	if !persist.ValidStateBackend(cfg.StateBackend) {
+		return nil, fmt.Errorf("clustercfg: %s: unknown stateBackend %q (want %v)",
+			path, cfg.StateBackend, persist.StateBackendNames)
+	}
+	if cfg.HotTierBytes < 0 {
+		return nil, fmt.Errorf("clustercfg: %s: hotTierBytes must be >= 0", path)
+	}
+	if cfg.HotTierBytes != 0 && cfg.StateBackend != "tiered" {
+		return nil, fmt.Errorf("clustercfg: %s: hotTierBytes requires stateBackend \"tiered\"", path)
 	}
 	if cfg.PrefetchWorkers < 0 {
 		return nil, fmt.Errorf("clustercfg: %s: prefetchWorkers must be >= 0", path)

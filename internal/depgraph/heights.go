@@ -55,9 +55,11 @@ func (g *Graph) Heights() []int {
 type HeightTracker struct {
 	blocks  map[uint64]*blockTrack
 	scratch []relaxItem
+	bumped  []TxRef // reusable raised-entry report, valid until the next Append
 }
 
 type blockTrack struct {
+	num    uint64
 	height []int32
 	outDeg []int32
 	intra  [][]int32 // intra-block predecessor indices, per transaction
@@ -83,10 +85,16 @@ func NewHeightTracker() *HeightTracker {
 // imposes no scheduling order. The new transaction starts at height 0;
 // every predecessor's out-degree grows by one and its height is relaxed
 // upward through the window.
-func (t *HeightTracker) Append(block uint64, intra []int32, cross []TxRef) {
+//
+// Append returns the entries whose height the relaxation raised (the
+// ref of each, possibly with duplicates when an entry is raised more
+// than once), so the executor's lazy priority refresh can re-push
+// queued work whose dispatch-time priority went stale. The returned
+// slice is reused by the next Append.
+func (t *HeightTracker) Append(block uint64, intra []int32, cross []TxRef) []TxRef {
 	bt, ok := t.blocks[block]
 	if !ok {
-		bt = &blockTrack{}
+		bt = &blockTrack{num: block}
 		t.blocks[block] = bt
 	}
 	bt.height = append(bt.height, 0)
@@ -109,6 +117,7 @@ func (t *HeightTracker) Append(block uint64, intra []int32, cross []TxRef) {
 	// Iterative relaxation (a deep chain would overflow a recursive
 	// walk): raise each ancestor that is not already tall enough and
 	// follow its own predecessor edges with h+1.
+	t.bumped = t.bumped[:0]
 	for len(stack) > 0 {
 		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -116,6 +125,7 @@ func (t *HeightTracker) Append(block uint64, intra []int32, cross []TxRef) {
 			continue
 		}
 		it.bt.height[it.idx] = it.h
+		t.bumped = append(t.bumped, TxRef{Block: it.bt.num, Index: it.idx})
 		for _, p := range it.bt.intra[it.idx] {
 			stack = append(stack, relaxItem{bt: it.bt, idx: p, h: it.h + 1})
 		}
@@ -128,6 +138,7 @@ func (t *HeightTracker) Append(block uint64, intra []int32, cross []TxRef) {
 		}
 	}
 	t.scratch = stack[:0]
+	return t.bumped
 }
 
 // Height returns the tracked critical-path height of one transaction,

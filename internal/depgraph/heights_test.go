@@ -262,3 +262,46 @@ func TestHeightTrackerCrossBlockChain(t *testing.T) {
 		t.Fatalf("removed block still reports height %d", h)
 	}
 }
+
+// TestHeightTrackerAppendReportsRaised pins the raised-entry report the
+// executor's lazy priority refresh consumes: exactly the entries whose
+// height an Append changed, across blocks, and nothing when the
+// relaxation stops early.
+func TestHeightTrackerAppendReportsRaised(t *testing.T) {
+	asSet := func(refs []TxRef) map[TxRef]bool {
+		s := make(map[TxRef]bool, len(refs))
+		for _, r := range refs {
+			s[r] = true
+		}
+		return s
+	}
+	tr := NewHeightTracker()
+	if got := tr.Append(0, nil, nil); len(got) != 0 {
+		t.Fatalf("independent append raised %v, want nothing", got)
+	}
+	// tx 1 depends on tx 0: the append raises exactly tx 0.
+	got := asSet(tr.Append(0, []int32{0}, nil))
+	if len(got) != 1 || !got[TxRef{Block: 0, Index: 0}] {
+		t.Fatalf("chain append raised %v, want {0/0}", got)
+	}
+	// tx 2 also depends on tx 0: tx 0 is already at height 1, so the
+	// relaxation stops without raising anything.
+	if raised := tr.Append(0, []int32{0}, nil); len(raised) != 0 {
+		t.Fatalf("redundant edge raised %v, want nothing", raised)
+	}
+	// Block 1 continues the chain below tx 1: the whole ancestor chain
+	// (0/1 to height 1, then 0/0 to height 2) is reported, across blocks.
+	got = asSet(tr.Append(1, nil, []TxRef{{Block: 0, Index: 1}}))
+	want := map[TxRef]bool{{Block: 0, Index: 1}: true, {Block: 0, Index: 0}: true}
+	if len(got) != len(want) {
+		t.Fatalf("cross-block append raised %v, want %v", got, want)
+	}
+	for r := range want {
+		if !got[r] {
+			t.Fatalf("cross-block append raised %v, want %v", got, want)
+		}
+	}
+	if h := tr.Height(0, 0); h != 2 {
+		t.Fatalf("chain head height = %d, want 2", h)
+	}
+}

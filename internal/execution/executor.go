@@ -155,8 +155,9 @@ type Config struct {
 	OrderQuorum int
 	// Executors lists all executor nodes: the COMMIT multicast targets.
 	Executors []types.NodeID
-	// Store is the node's committed blockchain state.
-	Store *state.KVStore
+	// Store is the node's committed blockchain state — the in-memory
+	// KVStore, or a TieredStore when the working set must exceed RAM.
+	Store state.Backend
 	// Ledger is the node's copy of the block ledger.
 	Ledger *ledger.Ledger
 	// Workers sizes the execution worker pool. Zero means 8.
@@ -171,7 +172,8 @@ type Config struct {
 	Scheduler SchedulerKind
 	// PrefetchWorkers sizes the read-set prefetch pool: admission hands
 	// each segment's declared reads to these workers, which warm the
-	// overlay chain and KVStore shards ahead of execution (bounded by
+	// overlay chain and committed-store tiers ahead of execution (a
+	// tiered store promotes cold records hot; bounded by
 	// maxPrefetchBytesPerBlock per block). Zero disables prefetch.
 	PrefetchWorkers int
 	// PipelineDepth bounds the sliding window of blocks admitted into
@@ -393,6 +395,17 @@ type Stats struct {
 	// PrefetchBytes counts value bytes pulled through the overlay chain
 	// by prefetch (the quantity the per-block budget caps).
 	PrefetchBytes uint64
+	// PrefetchColdKeys counts prefetched keys that were served from a
+	// tiered store's cold tier (and promoted hot before a worker needed
+	// them). 0 unless the committed store is tiered.
+	PrefetchColdKeys uint64
+	// PrefetchColdBytes counts value bytes the prefetch pool pulled up
+	// from the cold tier.
+	PrefetchColdBytes uint64
+	// PrioRefreshes counts queued work items re-pushed at a fresher
+	// priority because their critical-path height grew after dispatch.
+	// 0 unless Config.Scheduler is critical-path.
+	PrioRefreshes uint64
 }
 
 type eventKind int
@@ -418,12 +431,18 @@ type event struct {
 // block's transaction slice (segment streaming), so workers must not read
 // bs.txns. epoch tags the execution attempt: a speculation cascade bumps
 // the transaction's epoch and re-dispatches, and the result of a
-// disowned (stale-epoch) attempt is discarded on arrival.
+// disowned (stale-epoch) attempt is discarded on arrival. cell is the
+// priority-refresh claim cell shared between the queued entry and the
+// actor loop (critical-path scheduler only, nil otherwise): a worker
+// claims the item by swinging it cellQueued→cellPopped, and the actor
+// invalidates a queued entry whose priority went stale by swinging it
+// cellQueued→cellStale before re-pushing a fresh entry.
 type workItem struct {
 	bs    *blockState
 	idx   int
 	tx    *types.Transaction
 	epoch uint32
+	cell  *atomic.Int32
 }
 
 // Executor is one executor node.
@@ -501,6 +520,9 @@ type Executor struct {
 		syncRejected  atomic.Uint64
 		prefetchKeys  atomic.Uint64
 		prefetchBytes atomic.Uint64
+		prefetchCold  atomic.Uint64
+		prefetchColdB atomic.Uint64
+		prioRefresh   atomic.Uint64
 	}
 
 	stopOnce sync.Once
@@ -567,16 +589,23 @@ type blockState struct {
 
 	// Execution state (Algorithm 1), indexed by block position. For
 	// streamed blocks these grow segment by segment.
-	started    bool
-	overlay    *state.BlockOverlay
-	txns       []*types.Transaction
-	pred       [][]int32 // per-block graph predecessors (sorted)
-	succ       [][]int32 // per-block graph successors (mirror of pred)
-	isLocal    []bool
-	remaining  []int32 // unsatisfied predecessor count
-	satisfied  []bool  // predecessor event fired (Ce ∪ Xe membership)
-	inflight   []bool
-	execLocal  []bool     // Xe membership
+	started   bool
+	overlay   *state.BlockOverlay
+	txns      []*types.Transaction
+	pred      [][]int32 // per-block graph predecessors (sorted)
+	succ      [][]int32 // per-block graph successors (mirror of pred)
+	isLocal   []bool
+	remaining []int32 // unsatisfied predecessor count
+	satisfied []bool  // predecessor event fired (Ce ∪ Xe membership)
+	inflight  []bool
+	execLocal []bool // Xe membership
+	// schedCell holds, per transaction, the claim cell of its live queued
+	// work item (critical-path scheduler only; nil entries elsewhere).
+	// Owned by the actor loop: dispatch installs a cell, a priority
+	// refresh replaces it, and workers touch cells only through the
+	// workItem copy. Grown lazily by dispatch, so the slice may be
+	// shorter than txns.
+	schedCell  []*atomic.Int32
 	prevAdmit  types.Hash // admitPrev at admission; streamed blocks check their seal against it
 	localTotal int
 	localDone  int
@@ -653,6 +682,7 @@ func (bs *blockState) growTo(n int) {
 	bs.satisfied = slices.Grow(bs.satisfied, n-len(bs.satisfied))
 	bs.inflight = slices.Grow(bs.inflight, n-len(bs.inflight))
 	bs.execLocal = slices.Grow(bs.execLocal, n-len(bs.execLocal))
+	bs.schedCell = slices.Grow(bs.schedCell, n-len(bs.schedCell))
 	bs.committed = slices.Grow(bs.committed, n-len(bs.committed))
 	bs.final = slices.Grow(bs.final, n-len(bs.final))
 	bs.votes = slices.Grow(bs.votes, n-len(bs.votes))
@@ -720,7 +750,8 @@ func New(cfg Config) *Executor {
 func (e *Executor) Start() {
 	if e.cfg.PrefetchWorkers > 0 {
 		e.prefetch = newPrefetcher(e.cfg.PrefetchWorkers,
-			&e.stats.prefetchKeys, &e.stats.prefetchBytes)
+			&e.stats.prefetchKeys, &e.stats.prefetchBytes,
+			&e.stats.prefetchCold, &e.stats.prefetchColdB)
 	}
 	e.wg.Add(2 + e.cfg.Workers)
 	go e.recvLoop()
@@ -791,6 +822,9 @@ func (e *Executor) Stats() Stats {
 		SyncRejected:         e.stats.syncRejected.Load(),
 		PrefetchKeys:         e.stats.prefetchKeys.Load(),
 		PrefetchBytes:        e.stats.prefetchBytes.Load(),
+		PrefetchColdKeys:     e.stats.prefetchCold.Load(),
+		PrefetchColdBytes:    e.stats.prefetchColdB.Load(),
+		PrioRefreshes:        e.stats.prioRefresh.Load(),
 	}
 }
 
@@ -1603,7 +1637,12 @@ func (e *Executor) extendSegment(bs *blockState, txns []*types.Transaction, pred
 			if stitched != nil {
 				cross = stitched[i]
 			}
-			e.heights.Append(bs.num, preds[i], cross)
+			// Each raised ancestor that is already queued gets re-pushed at
+			// its fresher priority — without the refresh, work dispatched
+			// before this segment would keep competing at a stale height.
+			for _, raised := range e.heights.Append(bs.num, preds[i], cross) {
+				e.refreshPriority(raised)
+			}
 		}
 	}
 	// Warm the new transactions' declared read sets ahead of execution.
@@ -1674,6 +1713,11 @@ func (e *Executor) dispatch(bs *blockState, idx int) {
 	item := workItem{bs: bs, idx: idx, tx: bs.txns[idx], epoch: bs.epoch[idx]}
 	switch {
 	case e.heights != nil:
+		for len(bs.schedCell) <= idx {
+			bs.schedCell = append(bs.schedCell, nil)
+		}
+		item.cell = new(atomic.Int32)
+		bs.schedCell[idx] = item.cell
 		e.work.Push(item,
 			schedPriority(e.heights.Height(bs.num, idx), e.heights.OutDeg(bs.num, idx)), "")
 	case e.cfg.Scheduler == SchedLoadBalanced:
@@ -1681,6 +1725,33 @@ func (e *Executor) dispatch(bs *blockState, idx int) {
 	default:
 		e.work.Push(item, 0, "")
 	}
+}
+
+// refreshPriority re-pushes one queued transaction whose critical-path
+// height grew after dispatch — a later segment hung a new chain below
+// it, so its dispatch-time heap priority undersells it. The refresh is
+// lazy and lock-free against the workers: the actor invalidates the
+// queued entry's claim cell (cellQueued→cellStale) and pushes a fresh
+// entry at today's priority; the stale entry is skipped when it
+// surfaces. If a worker already claimed the item the CAS fails and the
+// refresh is a no-op — exactly one entry per dispatch ever executes.
+func (e *Executor) refreshPriority(ref depgraph.TxRef) {
+	bs, ok := e.blocks[ref.Block]
+	idx := int(ref.Index)
+	if !ok || !bs.started || idx >= len(bs.schedCell) || bs.schedCell[idx] == nil ||
+		!bs.inflight[idx] || bs.execLocal[idx] || bs.committed[idx] {
+		return
+	}
+	cell := bs.schedCell[idx]
+	if !cell.CompareAndSwap(cellQueued, cellStale) {
+		return // popped (or already refreshed to a fresher cell's entry)
+	}
+	item := workItem{bs: bs, idx: idx, tx: bs.txns[idx], epoch: bs.epoch[idx],
+		cell: new(atomic.Int32)}
+	bs.schedCell[idx] = item.cell
+	e.work.Push(item,
+		schedPriority(e.heights.Height(bs.num, idx), e.heights.OutDeg(bs.num, idx)), "")
+	e.stats.prioRefresh.Add(1)
 }
 
 // registerLineage records, at dispatch time, which of the transaction's

@@ -2,6 +2,8 @@ package execution
 
 import (
 	"fmt"
+	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -22,7 +24,7 @@ import (
 type benchRig struct {
 	net     *transport.InMemNetwork
 	exec    *Executor
-	store   *state.KVStore
+	store   state.Backend
 	mgr     *persist.Manager
 	orderer transport.Endpoint
 	commits chan struct{}
@@ -95,6 +97,7 @@ func newBenchRigDurable(b *testing.B, workers, depth int, app1 contract.Contract
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	r.store = cfg.Store // an opt may swap the backend (tiered benchmarks)
 	r.exec = New(cfg)
 	r.exec.Start()
 	b.Cleanup(func() {
@@ -402,5 +405,107 @@ func BenchmarkExecutorDurable(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// zipfAccountBlocks builds blocks of appends over accounts drawn from
+// the given Zipf source: a heavy head of hot accounts plus a long tail
+// reaching across the whole (mostly cold, under the tiered backend)
+// account space. Draws continue across calls, so the access stream is
+// one continuous Zipfian trace.
+func zipfAccountBlocks(zr *rand.Zipf, startBlock, numBlocks, n int) [][]*types.Transaction {
+	blocks := make([][]*types.Transaction, numBlocks)
+	for bn := range blocks {
+		abs := startBlock + bn
+		txns := make([]*types.Transaction, n)
+		for i := range txns {
+			tx := &types.Transaction{
+				App: "app1", Client: "c1", ClientTS: uint64(abs*n + i + 1),
+				Op: contract.AppendOp(fmt.Sprintf("acct-%06d", zr.Uint64()), "x"),
+			}
+			tx.ID = types.TxID(fmt.Sprintf("tz-%d-%d", abs, i))
+			txns[i] = tx
+		}
+		blocks[bn] = txns
+	}
+	return blocks
+}
+
+// BenchmarkExecutorTiered measures the larger-than-RAM hot path: 100k
+// accounts (~8MiB of state) against a 1MiB hot budget — a working set 8x
+// the cap — under a Zipfian access stream. Rows: the in-RAM KVStore
+// baseline, the tiered store with demand-only cold reads, and the tiered
+// store with the read-set prefetch pool warming cold keys off the
+// critical path (admission hands each block's read set to the
+// prefetcher, so a key's segment pread overlaps scheduling instead of
+// stalling a worker). coldreads/tx counts every cold-tier read;
+// demandcold/tx excludes the prefetched ones — prefetch=on must shift
+// reads from demand to prefetch, and its tx/s must close most of the gap
+// to mem. One iteration = a burst of 4 blocks of 128 transactions.
+func BenchmarkExecutorTiered(b *testing.B) {
+	const (
+		accounts      = 100_000
+		valBytes      = 64
+		hotCap        = 1 << 20
+		blockTxns     = 128
+		blocksPerIter = 4
+		zipfS         = 1.2
+	)
+	genesis := make([]types.KV, accounts)
+	val := []byte(strings.Repeat("a", valBytes))
+	for i := range genesis {
+		genesis[i] = types.KV{Key: fmt.Sprintf("acct-%06d", i), Val: val}
+	}
+	variants := []struct {
+		name     string
+		tiered   bool
+		prefetch int
+	}{
+		{"mem", false, 0},
+		{"tiered/prefetch=off", true, 0},
+		{"tiered/prefetch=on", true, 4},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var ts *state.TieredStore
+			opt := func(c *Config) {
+				if v.tiered {
+					var err error
+					ts, err = state.NewTieredStore(state.TieredConfig{HotBytes: hotCap})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(func() { ts.Close() })
+					c.Store = ts
+				}
+				c.Store.Apply(genesis)
+				c.PrefetchWorkers = v.prefetch
+			}
+			r := newBenchRigDepth(b, 8, 4, contract.NewKV(), opt)
+			zr := rand.NewZipf(rand.New(rand.NewSource(42)), zipfS, 1, accounts-1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.runBlocks(b, zipfAccountBlocks(zr, i*blocksPerIter, blocksPerIter, blockTxns))
+			}
+			b.StopTimer()
+			txns := b.N * blocksPerIter * blockTxns
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(txns)/secs, "tx/s")
+			}
+			if ts != nil {
+				st := ts.Stats()
+				es := r.exec.Stats()
+				b.ReportMetric(float64(st.ColdReads)/float64(txns), "coldreads/tx")
+				demand := st.ColdReads
+				if es.PrefetchColdKeys < demand {
+					demand -= es.PrefetchColdKeys
+				} else {
+					demand = 0
+				}
+				b.ReportMetric(float64(demand)/float64(txns), "demandcold/tx")
+				b.ReportMetric(float64(st.Evictions)/float64(txns), "evictions/tx")
+			}
+		})
 	}
 }

@@ -111,7 +111,7 @@ func runPipelined(t *testing.T, depth int, dataDir string, genesis []types.KV,
 		agents[app] = []types.NodeID{"e1"}
 	}
 	var (
-		store *state.KVStore
+		store state.Backend
 		led   *ledger.Ledger
 		mgr   *persist.Manager
 	)
@@ -155,6 +155,7 @@ func runPipelined(t *testing.T, depth int, dataDir string, genesis []types.KV,
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	store = cfg.Store // an opt may swap the backend (tiered suite)
 	exec := New(cfg)
 	exec.Start()
 	defer exec.Stop()

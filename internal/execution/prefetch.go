@@ -34,14 +34,17 @@ type prefetchJob struct {
 // ran out (or because Stop drained the queue) only costs the first
 // reader a cold miss.
 type prefetcher struct {
-	jobs  *eventq.Queue[prefetchJob]
-	wg    sync.WaitGroup
-	keys  *atomic.Uint64 // stats: keys warmed
-	bytes *atomic.Uint64 // stats: value bytes pulled
+	jobs      *eventq.Queue[prefetchJob]
+	wg        sync.WaitGroup
+	keys      *atomic.Uint64 // stats: keys warmed
+	bytes     *atomic.Uint64 // stats: value bytes pulled
+	coldKeys  *atomic.Uint64 // stats: keys pulled up from a cold tier
+	coldBytes *atomic.Uint64 // stats: value bytes read from a cold tier
 }
 
-func newPrefetcher(workers int, keys, bytes *atomic.Uint64) *prefetcher {
-	p := &prefetcher{jobs: eventq.New[prefetchJob](), keys: keys, bytes: bytes}
+func newPrefetcher(workers int, keys, bytes, coldKeys, coldBytes *atomic.Uint64) *prefetcher {
+	p := &prefetcher{jobs: eventq.New[prefetchJob](), keys: keys, bytes: bytes,
+		coldKeys: coldKeys, coldBytes: coldBytes}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -72,15 +75,33 @@ func (p *prefetcher) worker() {
 		if !ok {
 			return
 		}
+		// A Warmer-capable chain (the overlay delegates to the committed
+		// store) reports value sizes without copying them out and flags
+		// cold-tier reads, which a tiered store serves by promoting the
+		// record hot — the whole point of prefetching ahead of execution.
+		warmer, _ := job.reader.(state.Warmer)
 		for _, key := range job.keys {
 			if job.budget.Load() <= 0 {
 				break
 			}
-			val, ok := job.reader.Get(key)
+			var n int
+			var cold, ok bool
+			if warmer != nil {
+				n, cold, ok = warmer.Warm(key)
+			} else {
+				var val []byte
+				val, ok = job.reader.Get(key)
+				n = len(val)
+			}
 			p.keys.Add(1)
-			if ok {
-				p.bytes.Add(uint64(len(val)))
-				job.budget.Add(-int64(len(val)))
+			if !ok {
+				continue
+			}
+			p.bytes.Add(uint64(n))
+			job.budget.Add(-int64(n))
+			if cold {
+				p.coldKeys.Add(1)
+				p.coldBytes.Add(uint64(n))
 			}
 		}
 	}

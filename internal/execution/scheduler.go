@@ -112,6 +112,19 @@ func newScheduler(kind SchedulerKind, workers int) scheduler {
 	}
 }
 
+// Claim-cell states for the critical-path scheduler's lazy priority
+// refresh. Every heap entry carries a cell created at push time; the
+// cell arbitrates, with a single CAS, between the worker that pops the
+// entry and the actor that wants to re-push the same transaction at a
+// fresher priority. A cell moves out of cellQueued exactly once, so a
+// transaction has at most one live (poppable) entry at any time no
+// matter how many stale duplicates still sit in the heap.
+const (
+	cellQueued int32 = iota // entry poppable at its push-time priority
+	cellStale               // superseded by a re-push; skip when popped
+	cellPopped              // claimed by a worker
+)
+
 // schedPriority packs a transaction's critical-path height and
 // out-degree into one comparable key: height dominates, out-degree
 // (clamped) breaks ties toward the transaction that unlocks more work.
@@ -203,34 +216,41 @@ func (s *heapSched) Push(item workItem, prio int64, _ string) {
 func (s *heapSched) Pop(int) (workItem, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.heap) == 0 && !s.closed {
-		s.cond.Wait()
-	}
-	if len(s.heap) == 0 {
-		return workItem{}, false
-	}
-	top := s.heap[0].item
-	last := len(s.heap) - 1
-	s.heap[0] = s.heap[last]
-	s.heap[last] = heapEntry{} // release the *blockState reference
-	s.heap = s.heap[:last]
-	// Sift down.
-	for i := 0; ; {
-		l, r := 2*i+1, 2*i+2
-		best := i
-		if l < last && s.heap[l].before(s.heap[best]) {
-			best = l
+	for {
+		for len(s.heap) == 0 && !s.closed {
+			s.cond.Wait()
 		}
-		if r < last && s.heap[r].before(s.heap[best]) {
-			best = r
+		if len(s.heap) == 0 {
+			return workItem{}, false
 		}
-		if best == i {
-			break
+		top := s.heap[0].item
+		last := len(s.heap) - 1
+		s.heap[0] = s.heap[last]
+		s.heap[last] = heapEntry{} // release the *blockState reference
+		s.heap = s.heap[:last]
+		// Sift down.
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			best := i
+			if l < last && s.heap[l].before(s.heap[best]) {
+				best = l
+			}
+			if r < last && s.heap[r].before(s.heap[best]) {
+				best = r
+			}
+			if best == i {
+				break
+			}
+			s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
+			i = best
 		}
-		s.heap[i], s.heap[best] = s.heap[best], s.heap[i]
-		i = best
+		// Claim the entry. A failed CAS means the actor marked it stale
+		// (the transaction was re-pushed at a fresher priority); drop it
+		// and keep popping — the live duplicate is still in the heap.
+		if top.cell == nil || top.cell.CompareAndSwap(cellQueued, cellPopped) {
+			return top, true
+		}
 	}
-	return top, true
 }
 
 func (s *heapSched) Close() {

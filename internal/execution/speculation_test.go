@@ -34,7 +34,7 @@ import (
 type specNet struct {
 	net     *transport.InMemNetwork
 	execs   []*Executor
-	stores  []*state.KVStore
+	stores  []state.Backend
 	leds    []*ledger.Ledger
 	mgrs    []*persist.Manager
 	orderer transport.Endpoint
@@ -47,6 +47,7 @@ type specNetConfig struct {
 	depth     int
 	tau       int
 	speculate bool
+	tiered    bool // eviction-forcing tiered store per executor (in-memory rigs only)
 	sched     SchedulerKind
 	dataDir   string // per-executor subdirectories; "" = in-memory
 }
@@ -83,7 +84,7 @@ func newSpecNet(t testing.TB, cfg specNetConfig, genesis []types.KV) *specNet {
 			}
 		}
 		var (
-			store *state.KVStore
+			store state.Backend
 			led   *ledger.Ledger
 			mgr   *persist.Manager
 		)
@@ -100,7 +101,15 @@ func newSpecNet(t testing.TB, cfg specNetConfig, genesis []types.KV) *specNet {
 			}
 			store, led = rec.Store, rec.Ledger
 		} else {
-			store = state.NewKVStore()
+			if cfg.tiered {
+				ts, err := state.NewTieredStore(state.TieredConfig{HotBytes: tieredTestHotBytes})
+				if err != nil {
+					t.Fatal(err)
+				}
+				store = ts
+			} else {
+				store = state.NewKVStore()
+			}
 			store.Apply(genesis)
 			led = ledger.New()
 		}
@@ -148,6 +157,9 @@ func (n *specNet) stop(t testing.TB) {
 				t.Fatal(err)
 			}
 		}
+	}
+	for _, s := range n.stores {
+		s.Close() // tiered stores hold cold-tier temp dirs
 	}
 	n.net.Close()
 }

@@ -88,7 +88,7 @@ func cutStream(blocks [][]*types.Transaction, segTxns int, orderer types.NodeID)
 type streamRig struct {
 	net     *transport.InMemNetwork
 	exec    *Executor
-	store   *state.KVStore
+	store   state.Backend
 	led     *ledger.Ledger
 	mgr     *persist.Manager
 	rec     *persist.Recovered // recovery provenance (durable rigs only)
@@ -195,6 +195,7 @@ func newDurableStreamRig(t testing.TB, depth int, dataDir string, genesis []type
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	r.store = cfg.Store // an opt may swap the backend (tiered suite)
 	r.exec = New(cfg)
 	r.exec.Start()
 	t.Cleanup(func() { r.shutdown(t) })

@@ -147,6 +147,17 @@ type Config struct {
 	// peers can serve state-sync records before falling back to
 	// snapshots. Ignored without DataDir.
 	SegmentBytes int
+	// StateBackend selects each executor's committed-state store: "" or
+	// "memory" for the all-in-RAM KVStore, "tiered" for a byte-budgeted
+	// hot cache over disk-resident cold segments (state larger than
+	// RAM). With DataDir the cold tier lives under the executor's data
+	// directory and snapshots become backend-native; without DataDir a
+	// tiered store uses a private temp directory, removed when the
+	// network stops. Ledger and state are bit-identical across backends.
+	StateBackend string
+	// HotTierBytes budgets the tiered backend's hot cache per executor;
+	// zero uses the state package default. Ignored by the memory backend.
+	HotTierBytes int64
 	// MinHorizon sets each executor's minimum future-buffering horizon in
 	// blocks; zero uses the executor default. Larger values absorb longer
 	// orderer/executor skew before far-future traffic is dropped, at the
@@ -180,8 +191,11 @@ type Network struct {
 	cfg       Config
 	Orderers  []*ordering.Orderer
 	Executors []*execution.Executor
-	// Stores and Ledgers are indexed like cfg.Executors.
-	Stores  []*state.KVStore
+	// Stores and Ledgers are indexed like cfg.Executors. Stop closes the
+	// stores (releasing a tiered backend's cold-tier files), so read
+	// anything you need — hashes stay readable, cold values do not —
+	// before stopping the network.
+	Stores  []state.Backend
 	Ledgers []*ledger.Ledger
 	// Persists holds each executor's durability manager (nil entries
 	// without Config.DataDir), indexed like cfg.Executors; Stop closes
@@ -207,6 +221,10 @@ func New(cfg Config) (*Network, error) {
 	}
 	if cfg.Consensus == "" {
 		cfg.Consensus = ConsensusKafka
+	}
+	if !persist.ValidStateBackend(cfg.StateBackend) {
+		return nil, fmt.Errorf("oxii: unknown state backend %q (want one of %v)",
+			cfg.StateBackend, persist.StateBackendNames)
 	}
 	for app, agents := range cfg.Agents {
 		if len(agents) == 0 {
@@ -244,14 +262,18 @@ func New(cfg Config) (*Network, error) {
 	}
 	verifier := nw.verifier()
 
-	// closePersists releases every durability manager opened so far, so
-	// a construction failure on any later path leaks no WAL segment
-	// handles (and a retried New starts from clean directories).
+	// closePersists releases every durability manager and store opened so
+	// far, so a construction failure on any later path leaks no WAL
+	// segment or cold-tier handles (and a retried New starts from clean
+	// directories).
 	closePersists := func() {
 		for _, m := range nw.Persists {
 			if m != nil {
 				m.Close()
 			}
+		}
+		for _, s := range nw.Stores {
+			s.Close()
 		}
 	}
 
@@ -368,6 +390,11 @@ func (nw *Network) Stop() {
 			nw.cfg.Logf("oxii: closing durability manager of %s: %v", nw.cfg.Executors[i], err)
 		}
 	}
+	for i, s := range nw.Stores {
+		if err := s.Close(); err != nil && nw.cfg.Logf != nil {
+			nw.cfg.Logf("oxii: closing store of %s: %v", nw.cfg.Executors[i], err)
+		}
+	}
 	nw.router.Shutdown()
 }
 
@@ -377,7 +404,7 @@ func (nw *Network) Stop() {
 // itself. New uses it for initial construction, RestartExecutor to
 // rebuild a killed node in place.
 func (nw *Network) buildExecutor(i int, id types.NodeID) (*execution.Executor,
-	*state.KVStore, *ledger.Ledger, *persist.Manager, *persist.Recovered, error) {
+	state.Backend, *ledger.Ledger, *persist.Manager, *persist.Recovered, error) {
 	cfg := nw.cfg
 	ep, err := cfg.Net.Endpoint(id)
 	if err != nil {
@@ -398,7 +425,7 @@ func (nw *Network) buildExecutor(i int, id types.NodeID) (*execution.Executor,
 	// executor's durable state (genesis seeds only a fresh
 	// directory), so a rebuilt network resumes where it stopped.
 	var (
-		store *state.KVStore
+		store state.Backend
 		led   *ledger.Ledger
 		mgr   *persist.Manager
 		rec   *persist.Recovered
@@ -409,6 +436,8 @@ func (nw *Network) buildExecutor(i int, id types.NodeID) (*execution.Executor,
 			Fsync:            cfg.FsyncPolicy,
 			SnapshotInterval: cfg.SnapshotInterval,
 			SegmentBytes:     cfg.SegmentBytes,
+			StateBackend:     cfg.StateBackend,
+			HotTierBytes:     cfg.HotTierBytes,
 			Logf:             cfg.Logf,
 		}, cfg.Genesis)
 		if err != nil {
@@ -416,7 +445,18 @@ func (nw *Network) buildExecutor(i int, id types.NodeID) (*execution.Executor,
 		}
 		store, led = rec.Store, rec.Ledger
 	} else {
-		store = state.NewKVStore()
+		if cfg.StateBackend == "tiered" {
+			// Non-durable tiered mode: the cold tier lives in a private
+			// temp directory, removed when the store closes. Benchmarks
+			// use this to measure larger-than-RAM state without a DataDir.
+			ts, terr := state.NewTieredStore(state.TieredConfig{HotBytes: cfg.HotTierBytes})
+			if terr != nil {
+				return nil, nil, nil, nil, nil, fmt.Errorf("oxii: executor %s: %w", id, terr)
+			}
+			store = ts
+		} else {
+			store = state.NewKVStore()
+		}
 		store.Apply(cfg.Genesis)
 		led = ledger.New()
 	}
@@ -478,6 +518,11 @@ func (nw *Network) KillExecutor(i int) {
 			nw.cfg.Logf("oxii: closing durability manager of killed %s: %v", id, err)
 		}
 	}
+	// A dead process holds no file handles on its cold tier; release
+	// ours so RestartExecutor reopens the directory cleanly.
+	if err := nw.Stores[i].Close(); err != nil && nw.cfg.Logf != nil {
+		nw.cfg.Logf("oxii: closing store of killed %s: %v", id, err)
+	}
 }
 
 // RestartExecutor rebuilds and starts a killed executor in place: a
@@ -527,7 +572,7 @@ func (nw *Network) Router() *CommitRouter { return nw.router }
 // store. It panics with a descriptive message if the network holds no
 // executors — possible only for a Network value not built by New, which
 // rejects executor-less configurations.
-func (nw *Network) ObserverStore() *state.KVStore {
+func (nw *Network) ObserverStore() state.Backend {
 	if len(nw.Stores) == 0 {
 		panic("oxii: network has no executors; ObserverStore needs Executors[0] (construct the Network with New)")
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"parblockchain/internal/state"
 	"parblockchain/internal/types"
 )
 
@@ -141,4 +142,37 @@ func TestRecordCodecRoundTrip(t *testing.T) {
 		!bytes.Equal(back.Endorse[1].Sig, []byte{5, 6}) {
 		t.Fatalf("endorsements changed: %+v", back.Endorse)
 	}
+}
+
+func FuzzUnmarshalTieredManifest(f *testing.F) {
+	man := &TieredManifest{
+		Height:       12,
+		LastHash:     types.Hash{1},
+		StateHash:    types.Hash{2},
+		Shards:       32,
+		Records:      441,
+		DirtyRecords: 17,
+		Segments: []state.ColdSegRef{
+			{Seq: 0, Len: 16},
+			{Seq: 3, Len: 1 << 20},
+		},
+	}
+	f.Add(man.Marshal())
+	f.Add((&TieredManifest{}).Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, 120))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalTieredManifest(data)
+		if err != nil {
+			return
+		}
+		enc := m.Marshal()
+		m2, err := UnmarshalTieredManifest(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if !bytes.Equal(enc, m2.Marshal()) {
+			t.Fatal("tiered manifest encoding is not a fixed point")
+		}
+	})
 }

@@ -298,31 +298,42 @@ func readSnapshotFile(path string) (*Manifest, *state.KVStore, error) {
 // adopting it; recovery uses it via readSnapshotFile. Malformed input
 // returns an error, never panics.
 func DecodeSnapshot(raw []byte) (*Manifest, *state.KVStore, error) {
+	store := state.NewKVStore()
+	man, err := decodeSnapshotInto(raw, store)
+	if err != nil {
+		return nil, nil, err
+	}
+	return man, store, nil
+}
+
+// decodeSnapshotInto is DecodeSnapshot applying into a caller-supplied
+// empty store, so recovery can restore a full-format snapshot into
+// whichever backend the node is configured with.
+func decodeSnapshotInto(raw []byte, store state.Backend) (*Manifest, error) {
 	if len(raw) < len(snapMagic)+4+4 {
-		return nil, nil, fmt.Errorf("snapshot truncated")
+		return nil, fmt.Errorf("snapshot truncated")
 	}
 	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
 	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(tail) {
-		return nil, nil, fmt.Errorf("snapshot checksum mismatch")
+		return nil, fmt.Errorf("snapshot checksum mismatch")
 	}
 	if [8]byte(body[:8]) != snapMagic {
-		return nil, nil, fmt.Errorf("snapshot has bad magic")
+		return nil, fmt.Errorf("snapshot has bad magic")
 	}
 	body = body[8:]
 	if len(body) < 4 {
-		return nil, nil, fmt.Errorf("snapshot truncated")
+		return nil, fmt.Errorf("snapshot truncated")
 	}
 	mlen := int(binary.BigEndian.Uint32(body))
 	body = body[4:]
 	if mlen > len(body) {
-		return nil, nil, fmt.Errorf("snapshot truncated")
+		return nil, fmt.Errorf("snapshot truncated")
 	}
 	man, err := UnmarshalManifest(body[:mlen])
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	r := types.NewByteReader(body[mlen:])
-	store := state.NewKVStore()
 	var total uint64
 	for s := uint64(0); s < man.Shards && r.Err() == nil; s++ {
 		n := r.U64()
@@ -355,20 +366,20 @@ func DecodeSnapshot(raw []byte) (*Manifest, *state.KVStore, error) {
 		}
 	}
 	if err := r.Err(); err != nil {
-		return nil, nil, fmt.Errorf("decoding snapshot: %w", err)
+		return nil, fmt.Errorf("decoding snapshot: %w", err)
 	}
 	if r.Remaining() != 0 {
-		return nil, nil, fmt.Errorf("snapshot has %d trailing bytes", r.Remaining())
+		return nil, fmt.Errorf("snapshot has %d trailing bytes", r.Remaining())
 	}
 	if total != man.Records {
-		return nil, nil, fmt.Errorf("snapshot holds %d records, manifest says %d",
+		return nil, fmt.Errorf("snapshot holds %d records, manifest says %d",
 			total, man.Records)
 	}
 	if got := store.Hash(); got != man.StateHash {
-		return nil, nil, fmt.Errorf("snapshot state hash mismatch: got %s want %s",
+		return nil, fmt.Errorf("snapshot state hash mismatch: got %s want %s",
 			got, man.StateHash)
 	}
-	return man, store, nil
+	return man, nil
 }
 
 // syncDir fsyncs a directory so a just-created or just-renamed file's

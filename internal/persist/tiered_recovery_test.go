@@ -1,0 +1,207 @@
+package persist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"parblockchain/internal/state"
+	"parblockchain/internal/types"
+)
+
+// These tests pin the tiered backend's recovery contract: a node whose
+// state lives mostly in the cold tier must come back bit-identical from
+// its backend-native (PBSNAP02) snapshot plus WAL replay, whether it
+// shut down cleanly or crashed, and the full-format snapshot of a
+// memory-backend directory must migrate into a tiered store.
+
+// tieredConfig forces eviction hard: the hot budget holds only a small
+// fraction of wideGenesis, so most records live cold at every point.
+func tieredConfig(dir string) Config {
+	return Config{
+		Dir:              dir,
+		StateBackend:     "tiered",
+		HotTierBytes:     16 << 10,
+		SnapshotInterval: 2,
+		Logf:             func(string, ...any) {},
+	}
+}
+
+// wideGenesis dwarfs the 16KiB hot budget (~2000 records of ~30 bytes
+// of key+value each, plus per-entry overhead).
+func wideGenesis() []types.KV {
+	out := make([]types.KV, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		out = append(out, types.KV{
+			Key: fmt.Sprintf("acct%08d", i),
+			Val: []byte(strings.Repeat("v", 16)),
+		})
+	}
+	return out
+}
+
+func TestTieredRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	genesis := wideGenesis()
+	m, rec, err := Open(tieredConfig(dir), genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, ok := rec.Store.(*state.TieredStore)
+	if !ok {
+		t.Fatalf("recovered store is %T, want *state.TieredStore", rec.Store)
+	}
+
+	g := newChainGen(rec)
+	for b := 0; b < 6; b++ {
+		delta := []types.KV{
+			// Overwrite a rotating slice of genesis accounts...
+			{Key: fmt.Sprintf("acct%08d", b*7), Val: []byte(fmt.Sprintf("block%d", b))},
+			// ...mint a fresh one, and delete one that is almost
+			// certainly cold-resident by now.
+			{Key: fmt.Sprintf("new%04d", b), Val: []byte("minted")},
+			{Key: fmt.Sprintf("acct%08d", 1000+b), Val: nil},
+		}
+		if err := m.LogBlock(g.next(delta)); err != nil {
+			t.Fatal(err)
+		}
+		m.MaybeSnapshot(g.num, g.prev, rec.Store)
+	}
+	m.snapWG.Wait()
+	if st := ts.Stats(); st.Evictions == 0 || st.ColdKeys == 0 {
+		t.Fatalf("hot budget never overflowed (stats %+v); the test is not exercising the cold tier", st)
+	}
+	wantHash, wantLen := rec.Store.Hash(), rec.Store.Len()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Store.Close()
+
+	m2, rec2, err := Open(tieredConfig(dir), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	defer rec2.Store.Close()
+	if rec2.SnapshotHeight == 0 {
+		t.Fatal("recovery ignored the tiered snapshots")
+	}
+	if rec2.Ledger.Height() != 6 {
+		t.Fatalf("recovered height = %d, want 6", rec2.Ledger.Height())
+	}
+	if rec2.Store.Hash() != wantHash || rec2.Store.Len() != wantLen {
+		t.Fatalf("recovered store diverged: hash %s len %d, want %s %d",
+			rec2.Store.Hash(), rec2.Store.Len(), wantHash, wantLen)
+	}
+	if v, ok := rec2.Store.Get("acct00000035"); !ok || string(v) != "block5" {
+		t.Fatalf("overwritten account = %q %v, want block5", v, ok)
+	}
+	if _, ok := rec2.Store.Get("acct00001003"); ok {
+		t.Fatal("deleted cold account resurrected by recovery")
+	}
+	if v, ok := rec2.Store.Get("acct00001999"); !ok || string(v) != strings.Repeat("v", 16) {
+		t.Fatalf("untouched cold account = %q %v", v, ok)
+	}
+}
+
+func TestTieredCrashRecoversDurablePrefix(t *testing.T) {
+	dir := t.TempDir()
+	m, rec, err := Open(tieredConfig(dir), wideGenesis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newChainGen(rec)
+	for b := 0; b < 3; b++ {
+		if err := m.LogBlock(g.next([]types.KV{
+			{Key: fmt.Sprintf("durable%d", b), Val: []byte("yes")},
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	wantHash := rec.Store.Hash()
+
+	// One more block that never reaches the disk: a crash must shed it.
+	if err := m.LogBlock(g.next([]types.KV{{Key: "lost", Val: []byte("tail")}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Store.Close()
+
+	m2, rec2, err := Open(tieredConfig(dir), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	defer rec2.Store.Close()
+	if rec2.Ledger.Height() != 3 {
+		t.Fatalf("recovered height = %d, want the 3 synced blocks", rec2.Ledger.Height())
+	}
+	if rec2.Store.Hash() != wantHash {
+		t.Fatal("recovered store diverged from the durable prefix")
+	}
+	if _, ok := rec2.Store.Get("lost"); ok {
+		t.Fatal("unsynced tail survived the crash")
+	}
+}
+
+// TestMemoryToTieredMigration reopens a memory-backend directory under
+// the tiered backend: the full-format snapshot restores into the tiered
+// store, so operators can switch backends without a resync.
+func TestMemoryToTieredMigration(t *testing.T) {
+	dir := t.TempDir()
+	m, rec := mustOpen(t, testConfig(dir))
+	g := newChainGen(rec)
+	if err := m.LogBlock(g.next([]types.KV{{Key: "carol", Val: []byte("7")}})); err != nil {
+		t.Fatal(err)
+	}
+	wantHash := rec.Store.Hash()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig(dir)
+	cfg.StateBackend = "tiered"
+	cfg.HotTierBytes = 16 << 10
+	m2, rec2, err := Open(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	defer rec2.Store.Close()
+	if _, ok := rec2.Store.(*state.TieredStore); !ok {
+		t.Fatalf("migrated store is %T, want *state.TieredStore", rec2.Store)
+	}
+	if rec2.Store.Hash() != wantHash {
+		t.Fatal("migration changed the state hash")
+	}
+	if v, ok := rec2.Store.Get("carol"); !ok || string(v) != "7" {
+		t.Fatalf("replayed record = %q %v", v, ok)
+	}
+}
+
+// TestTieredToMemoryReopenRejected pins the reverse direction: a tiered
+// snapshot references this node's cold segment files, which the memory
+// backend cannot read, so the reopen must fail loudly instead of
+// silently booting from an empty store.
+func TestTieredToMemoryReopenRejected(t *testing.T) {
+	dir := t.TempDir()
+	m, rec, err := Open(tieredConfig(dir), wideGenesis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Store.Close()
+
+	if m2, rec2, err := Open(testConfig(dir), nil); err == nil {
+		rec2.Store.Close()
+		m2.Close()
+		t.Fatal("memory-backend reopen of a tiered directory must fail")
+	}
+}

@@ -58,6 +58,14 @@ type Config struct {
 	// AbortFraction injects transactions drawn from an unfunded account,
 	// which deterministically abort. Used by fault-injection tests.
 	AbortFraction float64
+	// Skew switches hot-key selection from round-robin cycling to a
+	// Zipf(s=Skew) draw over the hot set, so low-numbered hot accounts
+	// absorb most of the conflicting traffic — the access pattern a
+	// tiered (larger-than-RAM) state store is built for. Must be 0
+	// (round-robin, the exact stream of earlier versions) or > 1 (the
+	// Zipf s parameter; larger is more skewed). The draw shares the
+	// generator's seeded RNG, so skewed streams stay reproducible.
+	Skew float64
 	// Seed makes the stream reproducible.
 	Seed int64
 }
@@ -85,6 +93,7 @@ type Generator struct {
 
 	mu       sync.Mutex
 	rng      *rand.Rand
+	zipf     *rand.Zipf // nil unless cfg.Skew > 1
 	coldNext map[types.AppID]int
 	appRR    int // round-robin cursor over apps for cold traffic
 	hotRR    int // round-robin cursor over the hot set
@@ -92,14 +101,23 @@ type Generator struct {
 	txSeq    uint64
 }
 
-// New returns a generator for the config.
+// New returns a generator for the config. It panics on a Skew in (0,1]:
+// the standard library's Zipf sampler is undefined there, and silently
+// falling back to round-robin would misreport a benchmark as skewed.
 func New(cfg Config) *Generator {
 	cfg = cfg.withDefaults()
-	return &Generator{
+	g := &Generator{
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		coldNext: make(map[types.AppID]int, len(cfg.Apps)),
 	}
+	if cfg.Skew != 0 {
+		if cfg.Skew <= 1 {
+			panic(fmt.Sprintf("workload: Skew must be 0 or > 1, got %v", cfg.Skew))
+		}
+		g.zipf = rand.NewZipf(g.rng, cfg.Skew, 1, uint64(cfg.HotAccounts-1))
+	}
+	return g
 }
 
 // Seed returns the deterministic RNG seed the generator was built with.
@@ -212,8 +230,14 @@ func (g *Generator) nextHotOp() (types.AppID, types.Operation) {
 	} else {
 		app = g.cfg.Apps[0]
 	}
-	hot := g.HotKey(app, g.hotRR%g.cfg.HotAccounts)
-	g.hotRR++
+	var idx int
+	if g.zipf != nil {
+		idx = int(g.zipf.Uint64())
+	} else {
+		idx = g.hotRR % g.cfg.HotAccounts
+		g.hotRR++
+	}
+	hot := g.HotKey(app, idx)
 	return app, contract.TransferOp(hot, g.nextColdKey(app), g.cfg.Amount)
 }
 
