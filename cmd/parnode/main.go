@@ -30,6 +30,7 @@ import (
 	"parblockchain/internal/ordering"
 	"parblockchain/internal/persist"
 	"parblockchain/internal/state"
+	"parblockchain/internal/telemetry"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
 )
@@ -37,8 +38,9 @@ import (
 func main() {
 	configPath := flag.String("config", "cluster.json", "cluster description file")
 	id := flag.String("id", "", "this node's identity (must appear in the config)")
+	opsAddr := flag.String("ops", "", "ops server listen address (overrides the config's opsAddrs entry; empty keeps telemetry off)")
 	flag.Parse()
-	if err := run(*configPath, types.NodeID(*id)); err != nil {
+	if err := run(*configPath, types.NodeID(*id), *opsAddr); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -57,13 +59,16 @@ func registerWire() {
 	)
 }
 
-func run(configPath string, id types.NodeID) error {
+func run(configPath string, id types.NodeID, opsAddr string) error {
 	if id == "" {
 		return fmt.Errorf("parnode: -id is required")
 	}
 	cfg, err := clustercfg.Load(configPath)
 	if err != nil {
 		return err
+	}
+	if opsAddr == "" {
+		opsAddr = cfg.OpsAddr(id)
 	}
 	registerWire()
 
@@ -85,17 +90,44 @@ func run(configPath string, id types.NodeID) error {
 	signer, verifier := keys(cfg, id)
 
 	var stop func()
+	var ops *telemetry.Server
 	switch {
 	case has(cfg.Orderers, id):
 		node, err := runOrderer(cfg, id, ep, signer, verifier)
 		if err != nil {
 			return err
 		}
+		ops, err = startOps(opsAddr, func(reg *telemetry.Registry, labels telemetry.Labels) telemetry.ServerConfig {
+			node.RegisterTelemetry(reg, labels)
+			ep.RegisterTelemetry(reg, labels)
+			return telemetry.ServerConfig{
+				Status: func() any { return node.Status() },
+				Health: node.Healthy,
+			}
+		}, id)
+		if err != nil {
+			node.Stop()
+			return err
+		}
 		stop = node.Stop
 		log.Printf("orderer %s listening on %s", id, ep.Addr())
 	case has(cfg.Executors, id):
-		node, closeDurability, err := runExecutor(cfg, id, ep, signer, verifier)
+		node, closeDurability, err := runExecutor(cfg, id, ep, signer, verifier, opsAddr)
 		if err != nil {
+			return err
+		}
+		ops, err = startOps(opsAddr, func(reg *telemetry.Registry, labels telemetry.Labels) telemetry.ServerConfig {
+			node.RegisterTelemetry(reg, labels)
+			ep.RegisterTelemetry(reg, labels)
+			return telemetry.ServerConfig{
+				Status: func() any { return node.Status() },
+				Health: node.Healthy,
+				Traces: func() []telemetry.TraceRecord { return node.Tracer().Slowest() },
+			}
+		}, id)
+		if err != nil {
+			node.Stop()
+			closeDurability()
 			return err
 		}
 		stop = func() {
@@ -111,8 +143,32 @@ func run(configPath string, id types.NodeID) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("%s shutting down", id)
+	if ops != nil {
+		ops.Close()
+	}
 	stop()
 	return nil
+}
+
+// startOps starts the node's ops server when an address is configured.
+// The register callback wires the role's collectors into a fresh
+// registry and returns the role-specific status/health/trace hooks.
+func startOps(addr string, register func(*telemetry.Registry, telemetry.Labels) telemetry.ServerConfig,
+	id types.NodeID) (*telemetry.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	reg := telemetry.NewRegistry()
+	sc := register(reg, telemetry.Labels{"node": string(id)})
+	sc.Addr = addr
+	sc.Registry = reg
+	sc.Logf = log.Printf
+	srv, err := telemetry.StartServer(sc)
+	if err != nil {
+		return nil, fmt.Errorf("parnode: ops server: %w", err)
+	}
+	log.Printf("%s ops server on http://%s (/metrics /statusz /healthz /traces /debug/pprof)", id, srv.Addr())
+	return srv, nil
 }
 
 func has(m map[string]string, id types.NodeID) bool {
@@ -172,7 +228,7 @@ func runOrderer(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 }
 
 func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
-	signer cryptoutil.Signer, verifier cryptoutil.Verifier) (*execution.Executor, func(), error) {
+	signer cryptoutil.Signer, verifier cryptoutil.Verifier, opsAddr string) (*execution.Executor, func(), error) {
 	registry := contract.NewRegistry()
 	for app, agents := range cfg.AgentsOf() {
 		for _, agent := range agents {
@@ -235,9 +291,16 @@ func runExecutor(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 	if cfg.Consensus == "pbft" {
 		quorum = (len(cfg.Orderers)-1)/3 + 1
 	}
+	// Tracing rides the ops server: without one nobody can read the
+	// histograms, so the executor keeps its nil (zero-overhead) tracer.
+	var tracer *telemetry.BlockTracer
+	if opsAddr != "" {
+		tracer = telemetry.NewBlockTracer(cfg.TraceRing)
+	}
 	node := execution.New(execution.Config{
 		ID:              id,
 		Endpoint:        ep,
+		Tracer:          tracer,
 		Registry:        registry,
 		AgentsOf:        cfg.AgentsOf(),
 		OrderQuorum:     quorum,

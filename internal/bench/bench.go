@@ -164,6 +164,16 @@ type Options struct {
 	// HotTierBytes caps the tiered backend's hot tier (0 = backend
 	// default). Only meaningful with StateBackend "tiered".
 	HotTierBytes int64
+	// Trace enables block-lifecycle tracing on the OXII executors: every
+	// block's delivery-to-externalize span is split into pipeline stages
+	// and Result.Stages reports the observer's per-stage latency
+	// breakdown. Off (the default), executors run with nil tracers and
+	// the instrumentation costs nothing — the configuration every
+	// headline throughput number is measured under.
+	Trace bool
+	// TraceRing sizes the tracer's slowest-blocks ring (0 = telemetry
+	// default). Ignored without Trace.
+	TraceRing int
 	// ZipfSkew switches the workload's hot-key selection from
 	// round-robin to a Zipf(s=ZipfSkew) draw over the hot set (0 keeps
 	// round-robin; otherwise must be > 1). Combined with a large
@@ -309,6 +319,14 @@ type Result struct {
 	PrefetchColdKeys  uint64
 	PrefetchColdBytes uint64
 	PrioRefreshes     uint64
+	// Stages is the observer executor's per-stage block-lifecycle latency
+	// breakdown (nil without Options.Trace), keyed by stage name —
+	// admission, dispatch, execute, seal, finalize, fsync, externalize —
+	// plus "total" for the whole delivery-to-externalize span. Each entry
+	// summarizes one block-stage histogram over every block the observer
+	// finalized during the run (warm-up included; stages are per-block
+	// spans, not per-operation latencies).
+	Stages map[string]metrics.LatencyStats
 }
 
 // String formats the point as a table row.
@@ -431,6 +449,7 @@ func Run(opts Options) (Result, error) {
 	var walStats func() persist.Stats
 	var specStats func() (executed, hits, misses, reexecs, throttled uint64)
 	var tieredStats func(r *Result)
+	var stageStats func() map[string]metrics.LatencyStats
 
 	graphMode := depgraph.Standard
 	if opts.GraphMultiVersion {
@@ -463,6 +482,8 @@ func Run(opts Options) (Result, error) {
 			SnapshotInterval: opts.SnapshotInterval,
 			StateBackend:     opts.StateBackend,
 			HotTierBytes:     opts.HotTierBytes,
+			Trace:            opts.Trace,
+			TraceRing:        opts.TraceRing,
 			Crypto:           opts.Crypto,
 			Genesis:          genesis,
 			Net:              net,
@@ -532,6 +553,17 @@ func Run(opts Options) (Result, error) {
 			if ts, ok := nw.ObserverStore().(*state.TieredStore); ok {
 				st := ts.Stats()
 				r.HotKeys, r.ColdKeys = st.HotKeys, st.ColdKeys
+			}
+		}
+		if opts.Trace {
+			observer := nw.Executors[0]
+			stageStats = func() map[string]metrics.LatencyStats {
+				snaps := observer.Tracer().StageSnapshot()
+				out := make(map[string]metrics.LatencyStats, len(snaps))
+				for stage, snap := range snaps {
+					out[stage] = metrics.StatsFromHistogram(snap)
+				}
+				return out
 			}
 		}
 	case SystemOX:
@@ -670,6 +702,9 @@ func Run(opts Options) (Result, error) {
 	}
 	if tieredStats != nil {
 		tieredStats(&result)
+	}
+	if stageStats != nil {
+		result.Stages = stageStats()
 	}
 	return result, nil
 }

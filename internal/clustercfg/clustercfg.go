@@ -106,6 +106,15 @@ type Config struct {
 	// disables the watchdog; serving peers is always on when dataDir is
 	// set.
 	SyncStallMs int `json:"syncStallMs,omitempty"`
+	// OpsAddrs maps node IDs to ops-server listen addresses. A node whose
+	// ID appears here serves /metrics (Prometheus text), /statusz (JSON),
+	// /healthz, /traces, and net/http/pprof on that address; nodes absent
+	// from the map run with telemetry fully disabled (zero overhead).
+	OpsAddrs map[string]string `json:"opsAddrs,omitempty"`
+	// TraceRing sizes each traced executor's ring of slowest block traces
+	// (0 = telemetry default). Tracing itself turns on with the node's
+	// ops server; the ring only bounds the /traces postmortem dump.
+	TraceRing int `json:"traceRing,omitempty"`
 	// Crypto enables deterministic demo keys and full verification.
 	Crypto bool `json:"crypto,omitempty"`
 	// Genesis seeds each executor's store with account balances.
@@ -178,6 +187,18 @@ func Load(path string) (*Config, error) {
 	if cfg.SyncStallMs < 0 {
 		return nil, fmt.Errorf("clustercfg: %s: syncStallMs must be >= 0", path)
 	}
+	if cfg.TraceRing < 0 {
+		return nil, fmt.Errorf("clustercfg: %s: traceRing must be >= 0", path)
+	}
+	for id := range cfg.OpsAddrs {
+		if _, ord := cfg.Orderers[id]; ord {
+			continue
+		}
+		if _, exe := cfg.Executors[id]; exe {
+			continue
+		}
+		return nil, fmt.Errorf("clustercfg: %s: opsAddrs lists %s, which is neither an orderer nor an executor", path, id)
+	}
 	return &cfg, nil
 }
 
@@ -213,6 +234,12 @@ func (c *Config) SchedulerKind() execution.SchedulerKind {
 // duration (zero when the watchdog is disabled).
 func (c *Config) SyncStallTimeout() time.Duration {
 	return time.Duration(c.SyncStallMs) * time.Millisecond
+}
+
+// OpsAddr returns the ops-server listen address for one node, or ""
+// when the node runs without an ops server.
+func (c *Config) OpsAddr(id types.NodeID) string {
+	return c.OpsAddrs[string(id)]
 }
 
 // AddrBook returns every node's address keyed by identity, the peer map a

@@ -140,3 +140,55 @@ func TestLoadRejectsFsyncWithoutDataDir(t *testing.T) {
 		t.Fatal("fsyncPolicy without dataDir must be rejected")
 	}
 }
+
+func TestLoadOpsFields(t *testing.T) {
+	cfg, err := Load(write(t, `{
+  "orderers": {"o1": "127.0.0.1:7001"},
+  "executors": {"e1": "127.0.0.1:7101"},
+  "opsAddrs": {"o1": "127.0.0.1:9001", "e1": "127.0.0.1:9101"},
+  "traceRing": 16
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.OpsAddr("o1") != "127.0.0.1:9001" || cfg.OpsAddr("e1") != "127.0.0.1:9101" {
+		t.Fatalf("OpsAddr lookups wrong: %+v", cfg.OpsAddrs)
+	}
+	if cfg.OpsAddr("e2") != "" {
+		t.Fatal("unknown node must have no ops address")
+	}
+	if cfg.TraceRing != 16 {
+		t.Fatalf("TraceRing = %d", cfg.TraceRing)
+	}
+
+	// Ops defaults: absent map means every node runs without telemetry.
+	cfg, err = Load(write(t, `{"orderers": {"o1": "x"}, "executors": {"e1": "y"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.OpsAddr("o1") != "" || cfg.TraceRing != 0 {
+		t.Fatalf("ops defaults wrong: %+v", cfg)
+	}
+}
+
+func TestLoadRejectsOpsAddrForUnknownNode(t *testing.T) {
+	bad := `{
+  "orderers": {"o1": "x"},
+  "executors": {"e1": "y"},
+  "opsAddrs": {"ghost": "127.0.0.1:9999"}
+}`
+	if _, err := Load(write(t, bad)); err == nil {
+		t.Fatal("opsAddrs entry for unknown node must be rejected")
+	}
+}
+
+func TestLoadRejectsNegativeTraceRing(t *testing.T) {
+	bad := `{
+  "orderers": {"o1": "x"},
+  "executors": {"e1": "y"},
+  "traceRing": -1
+}`
+	if _, err := Load(write(t, bad)); err == nil {
+		t.Fatal("negative traceRing must be rejected")
+	}
+}

@@ -124,6 +124,7 @@ import (
 	"parblockchain/internal/ledger"
 	"parblockchain/internal/persist"
 	"parblockchain/internal/state"
+	"parblockchain/internal/telemetry"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
 )
@@ -227,6 +228,13 @@ type Config struct {
 	// transaction's client on finalization. Enable it on exactly one
 	// executor of a TCP cluster; in-process deployments use OnCommit.
 	NotifyClients bool
+	// Tracer, when non-nil, records every block's lifecycle span timeline
+	// (consensus delivery → admission → first dispatch → execution drain →
+	// seal quorum → finalize → WAL fsync → externalize) into per-stage
+	// latency histograms and a ring of the slowest traces. Nil disables
+	// tracing entirely: blocks carry a nil trace and every mark is a
+	// pointer-nil check — no clock reads on the hot path.
+	Tracer *telemetry.BlockTracer
 	// Persist, when non-nil, makes finalization durable: every block's
 	// finalization record is appended to the write-ahead log (and the
 	// batch fsynced per the manager's policy) before the block's effects
@@ -525,6 +533,19 @@ type Executor struct {
 		prioRefresh   atomic.Uint64
 	}
 
+	// mirror holds atomic copies of actor-owned values the ops server
+	// needs: the actor loop stores on every change, scrapers (Status,
+	// Healthy, registered gauges) load without touching actor state.
+	mirror struct {
+		windowLen    atomic.Int64 // pipeline window occupancy
+		halted       atomic.Bool
+		syncing      atomic.Bool
+		lastProgress atomic.Int64  // unix nanos of the last pipeline progress
+		maxSeen      atomic.Uint64 // one past the highest peer-announced block
+		streamBytes  atomic.Int64  // buffered segment payload, all senders
+		commitBytes  atomic.Int64  // buffered COMMIT payload, all senders
+	}
+
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 }
@@ -550,6 +571,11 @@ type segStream struct {
 // synthesized when the seal validates).
 type blockState struct {
 	num uint64
+
+	// trace is the block's lifecycle span timeline; nil unless
+	// Config.Tracer is set. Marks use atomic CAS internally, so the
+	// fsync batch path may stamp it off the actor loop.
+	trace *telemetry.BlockTrace
 
 	// Validation: matching NEWBLOCK messages per content digest.
 	ordererVotes map[types.NodeID]types.Hash
@@ -742,6 +768,7 @@ func New(cfg Config) *Executor {
 	if cfg.Scheduler == SchedCriticalPath {
 		e.heights = depgraph.NewHeightTracker()
 	}
+	e.mirror.lastProgress.Store(e.lastProgress.UnixNano())
 	return e
 }
 
@@ -927,6 +954,7 @@ func (e *Executor) handleMsg(msg transport.Message) {
 func (e *Executor) haltf(format string, args ...any) {
 	e.cfg.Logf("executor %s: halting: %s", e.cfg.ID, fmt.Sprintf(format, args...))
 	e.halted = true
+	e.mirror.halted.Store(true)
 }
 
 // beyondHorizon reports whether a block number is too far in the future
@@ -948,6 +976,7 @@ func (e *Executor) beyondHorizon(num uint64) bool {
 func (e *Executor) noteSeen(num uint64) {
 	if num+1 > e.maxSeen {
 		e.maxSeen = num + 1
+		e.mirror.maxSeen.Store(e.maxSeen)
 	}
 }
 
@@ -997,6 +1026,7 @@ func (e *Executor) handleNewBlock(from types.NodeID, m *types.NewBlockMsg) {
 		bs.evDigest = digest
 		bs.evStreamed = false
 		bs.evidence = endorsements(bs.ordererVotes, bs.ordererSigs, digest)
+		bs.trace.Mark(telemetry.MarkSealed)
 		bs.proposals = nil
 		if bs.started {
 			// The block is mid-stream in the window; the monolithic quorum
@@ -1089,6 +1119,7 @@ func (e *Executor) handleSegment(from types.NodeID, m *types.BlockSegmentMsg) {
 	// orderer stays bounded in bytes, not just transaction count.
 	st.bytes += segBytes
 	e.streamBytes[from] += segBytes
+	e.mirror.streamBytes.Add(int64(segBytes))
 	if bs.started && bs.specFrom == from {
 		// Feeding execution directly: the content lives in the
 		// blockState, so no second copy is buffered.
@@ -1136,6 +1167,7 @@ func (e *Executor) creditStreamBytes(from types.NodeID, st *segStream) {
 		return
 	}
 	e.streamBytes[from] -= st.bytes
+	e.mirror.streamBytes.Add(int64(-st.bytes))
 	if e.streamBytes[from] <= 0 {
 		delete(e.streamBytes, from)
 	}
@@ -1230,6 +1262,7 @@ func (e *Executor) handleSeal(from types.NodeID, m *types.BlockSealMsg) {
 		bs.sealed = bs.seals[digest]
 		bs.evDigest = digest
 		bs.evStreamed = true
+		bs.trace.Mark(telemetry.MarkSealed)
 		bs.evidence = endorsements(bs.sealVotes, bs.sealSigs, digest)
 		// The seal parameters outlive bs.sealed (cleared when content
 		// installs): the WAL record carries them so a sync requester can
@@ -1436,6 +1469,11 @@ func (e *Executor) getBlockState(num uint64) *blockState {
 			digestCount:  make(map[types.Hash]int),
 			proposals:    make(map[types.Hash]*types.NewBlockMsg),
 		}
+		if e.cfg.Tracer != nil {
+			// First consensus delivery for this height: the span starts.
+			bs.trace = e.cfg.Tracer.Start(num)
+			bs.trace.Mark(telemetry.MarkDelivered)
+		}
 		e.blocks[num] = bs
 	}
 	return bs
@@ -1493,6 +1531,8 @@ func (e *Executor) enterWindow(bs *blockState) {
 	bs.prevAdmit = e.admitPrev
 	e.nextAdmit++
 	e.lastProgress = time.Now()
+	e.mirror.lastProgress.Store(e.lastProgress.UnixNano())
+	bs.trace.MarkAt(telemetry.MarkAdmitted, e.lastProgress)
 	var base state.Reader = e.cfg.Store
 	if len(e.window) > 0 {
 		base = e.window[len(e.window)-1].overlay
@@ -1500,6 +1540,7 @@ func (e *Executor) enterWindow(bs *blockState) {
 	bs.overlay = state.NewBlockOverlay(base)
 	bs.prefetchLeft.Store(maxPrefetchBytesPerBlock)
 	e.window = append(e.window, bs)
+	e.mirror.windowLen.Store(int64(len(e.window)))
 }
 
 // admit moves one fully validated block into the execution window: it
@@ -1686,6 +1727,7 @@ func (e *Executor) replayPending(bs *blockState) {
 // budget.
 func (e *Executor) creditCommitBytes(m *types.CommitMsg) {
 	e.commitBytes[m.Executor] -= m.ApproxSize()
+	e.mirror.commitBytes.Add(int64(-m.ApproxSize()))
 	if e.commitBytes[m.Executor] <= 0 {
 		delete(e.commitBytes, m.Executor)
 	}
@@ -1709,6 +1751,7 @@ func (e *Executor) dispatch(bs *blockState, idx int) {
 	if e.cfg.Speculate {
 		e.registerLineage(bs, idx)
 	}
+	bs.trace.Mark(telemetry.MarkDispatched) // idempotent: first dispatch wins
 	bs.inflight[idx] = true
 	item := workItem{bs: bs, idx: idx, tx: bs.txns[idx], epoch: bs.epoch[idx]}
 	switch {
@@ -1802,6 +1845,9 @@ func (e *Executor) handleExecDone(num uint64, idx int, epoch uint32, result type
 	}
 	bs.execLocal[idx] = true
 	bs.localDone++
+	if bs.contentDone && bs.localDone == bs.localTotal {
+		bs.trace.Mark(telemetry.MarkDrained)
+	}
 	if e.cfg.Speculate {
 		e.recordSpecResult(bs, idx, result)
 	} else if !bs.committed[idx] && !result.Aborted {
@@ -1905,6 +1951,7 @@ func (e *Executor) handleCommitMsg(from types.NodeID, m *types.CommitMsg) {
 			return
 		}
 		e.commitBytes[from] += size
+		e.mirror.commitBytes.Add(int64(size))
 		e.pendingCommits[m.BlockNum] = append(e.pendingCommits[m.BlockNum], m)
 		return
 	}
@@ -2281,6 +2328,7 @@ func (e *Executor) finalizeBatch() bool {
 	}
 	batch := e.window[:n:n]
 	e.window = e.window[n:]
+	e.mirror.windowLen.Store(int64(len(e.window)))
 	for _, bs := range batch {
 		e.applyFinal(bs)
 		if e.halted {
@@ -2291,6 +2339,13 @@ func (e *Executor) finalizeBatch() bool {
 		if err := e.cfg.Persist.Sync(); err != nil {
 			e.haltf("WAL sync failed: %v", err)
 			return true
+		}
+		if e.cfg.Tracer != nil {
+			// One clock read covers the whole group-committed batch.
+			now := time.Now()
+			for _, bs := range batch {
+				bs.trace.MarkAt(telemetry.MarkFsynced, now)
+			}
 		}
 	}
 	for _, bs := range batch {
@@ -2343,6 +2398,7 @@ func (e *Executor) applyFinal(bs *blockState) {
 			e.haltf("WAL append failed for block %d: %v", bs.num, err)
 		}
 	}
+	bs.trace.Mark(telemetry.MarkFinalized)
 }
 
 // externalize performs one finalized block's externally visible effects:
@@ -2357,6 +2413,9 @@ func (e *Executor) externalize(bs *blockState) {
 	}
 	e.stats.blocks.Add(1)
 	e.lastProgress = time.Now()
+	e.mirror.lastProgress.Store(e.lastProgress.UnixNano())
+	bs.trace.MarkAt(telemetry.MarkExternalized, e.lastProgress)
+	e.cfg.Tracer.Finish(bs.trace)
 	if e.cfg.PipelineDepth > 1 {
 		e.stitcher.Remove(bs.num)
 	}

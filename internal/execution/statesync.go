@@ -128,6 +128,7 @@ func (e *Executor) startSync() {
 		peers:  peers,
 		peer:   rand.Intn(len(peers)), // spread restarted nodes across peers
 	}
+	e.mirror.syncing.Store(true)
 	e.cfg.Logf("executor %s: stalled at height %d with peers at %d; starting state sync",
 		e.cfg.ID, e.cfg.Ledger.Height(), e.maxSeen)
 	e.sendSyncRequest()
@@ -201,6 +202,7 @@ func (e *Executor) endSync(format string, args ...any) {
 	e.cfg.Logf("executor %s: state sync done: %s", e.cfg.ID, fmt.Sprintf(format, args...))
 	nonce := e.sync.nonce
 	e.sync = syncState{nonce: nonce}
+	e.mirror.syncing.Store(false)
 }
 
 // handleSyncRequest serves one peer's catch-up request from the durable

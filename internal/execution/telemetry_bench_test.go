@@ -1,0 +1,76 @@
+package execution
+
+import (
+	"fmt"
+	"testing"
+
+	"parblockchain/internal/contract"
+	"parblockchain/internal/telemetry"
+)
+
+// BenchmarkTelemetryOverhead measures the block pipeline with telemetry
+// fully off (nil tracer — the configuration every headline number runs
+// under) against fully on (lifecycle tracing plus a registry scraping
+// every executor family once per iteration, a far hotter scrape rate
+// than any real Prometheus interval). The off row is the
+// zero-overhead-when-disabled contract: it must stay within noise of
+// the plain pipeline benchmarks. The on rows also report the observer's
+// per-stage p50s, the breakdown recorded in BENCH_state.json.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	const (
+		blockTxns = 32
+		burst     = 4
+		depth     = 4
+	)
+	for _, mode := range []struct {
+		name  string
+		trace bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var tracer *telemetry.BlockTracer
+			reg := telemetry.NewRegistry()
+			r := newBenchRigDepth(b, 8, depth, contract.NewKV(), func(cfg *Config) {
+				if mode.trace {
+					tracer = telemetry.NewBlockTracer(0)
+					cfg.Tracer = tracer
+				}
+			})
+			if mode.trace {
+				r.exec.RegisterTelemetry(reg, telemetry.Labels{"node": "e1"})
+			}
+			scrape := make([]byte, 0, 1<<14)
+			buf := discardWriter{&scrape}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.runBlocks(b, crossChainedBlocks(i*burst, burst, blockTxns))
+				if mode.trace {
+					scrape = scrape[:0]
+					if err := reg.WritePrometheus(buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N*burst*blockTxns)/secs, "tx/s")
+			}
+			if mode.trace {
+				for stage, snap := range tracer.StageSnapshot() {
+					if snap.Count == 0 {
+						continue
+					}
+					b.ReportMetric(float64(snap.Quantile(0.5)), fmt.Sprintf("stage_%s_p50_ns", stage))
+				}
+			}
+		})
+	}
+}
+
+// discardWriter appends into a reused buffer, so scrapes during the
+// benchmark cost rendering but no per-iteration allocation churn.
+type discardWriter struct{ buf *[]byte }
+
+func (w discardWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}

@@ -6,62 +6,40 @@
 package metrics
 
 import (
-	"math"
-	"sort"
 	"sync"
 	"time"
+
+	"parblockchain/internal/telemetry"
 )
 
-// LatencyRecorder accumulates latency samples. It is safe for concurrent
-// use. To bound memory on very long runs it keeps a uniform reservoir of
-// up to maxSamples samples; counts and the mean remain exact.
+// LatencyRecorder accumulates latency samples into the telemetry layer's
+// mergeable log-bucketed histogram: constant memory at any sample count,
+// exact count/mean/max, and percentiles computed from the same bucket
+// code the ops server exposes — a bench percentile and a /metrics
+// percentile for the same samples agree by construction.
 type LatencyRecorder struct {
-	mu      sync.Mutex
-	samples []time.Duration
-	count   int64
-	sum     time.Duration
-	max     time.Duration
-	rngSeed uint64
+	hist telemetry.Histogram
 }
-
-// maxSamples bounds the reservoir size of a LatencyRecorder.
-const maxSamples = 1 << 18
 
 // NewLatencyRecorder returns an empty recorder.
 func NewLatencyRecorder() *LatencyRecorder {
-	return &LatencyRecorder{samples: make([]time.Duration, 0, 1024), rngSeed: 0x9E3779B97F4A7C15}
+	return &LatencyRecorder{}
 }
 
-// Record adds one sample.
+// Record adds one sample. Safe for concurrent use.
 func (r *LatencyRecorder) Record(d time.Duration) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.count++
-	r.sum += d
-	if d > r.max {
-		r.max = d
-	}
-	if len(r.samples) < maxSamples {
-		r.samples = append(r.samples, d)
-		return
-	}
-	// Reservoir sampling keeps the retained set uniform.
-	r.rngSeed ^= r.rngSeed << 13
-	r.rngSeed ^= r.rngSeed >> 7
-	r.rngSeed ^= r.rngSeed << 17
-	if idx := r.rngSeed % uint64(r.count); idx < maxSamples {
-		r.samples[idx] = d
-	}
+	r.hist.Observe(int64(d))
 }
 
 // Reset discards all samples, e.g. at the end of a warm-up phase.
 func (r *LatencyRecorder) Reset() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.samples = r.samples[:0]
-	r.count = 0
-	r.sum = 0
-	r.max = 0
+	r.hist.Reset()
+}
+
+// Hist exposes the underlying histogram so callers can register it on a
+// telemetry.Registry or merge it into another histogram.
+func (r *LatencyRecorder) Hist() *telemetry.Histogram {
+	return &r.hist
 }
 
 // LatencyStats is a point-in-time summary of recorded latencies.
@@ -70,7 +48,9 @@ type LatencyStats struct {
 	Count int64
 	// Mean is the exact arithmetic mean.
 	Mean time.Duration
-	// P50, P90, P95, P99 are percentiles over the retained reservoir.
+	// P50, P90, P95, P99 are percentile estimates from the log-bucketed
+	// histogram (relative error bounded by one power-of-two bucket,
+	// interpolated within it; never above Max).
 	P50, P90, P95, P99 time.Duration
 	// Max is the exact maximum.
 	Max time.Duration
@@ -78,49 +58,46 @@ type LatencyStats struct {
 
 // Snapshot summarizes the recorded samples.
 func (r *LatencyRecorder) Snapshot() LatencyStats {
-	r.mu.Lock()
-	sorted := append([]time.Duration(nil), r.samples...)
-	stats := LatencyStats{Count: r.count, Max: r.max}
-	if r.count > 0 {
-		stats.Mean = r.sum / time.Duration(r.count)
+	return StatsFromHistogram(r.hist.Snapshot())
+}
+
+// StatsFromHistogram summarizes any telemetry histogram of nanosecond
+// observations as latency statistics — the bridge the bench harness uses
+// to fold block-stage histograms into its reports.
+func StatsFromHistogram(s telemetry.HistogramSnapshot) LatencyStats {
+	stats := LatencyStats{Count: int64(s.Count), Max: time.Duration(s.Max)}
+	if s.Count > 0 {
+		stats.Mean = time.Duration(float64(s.Sum) / float64(s.Count))
 	}
-	r.mu.Unlock()
-	if len(sorted) == 0 {
-		return stats
-	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	pct := func(p float64) time.Duration {
-		idx := int(math.Ceil(p*float64(len(sorted)))) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(sorted) {
-			idx = len(sorted) - 1
-		}
-		return sorted[idx]
-	}
-	stats.P50 = pct(0.50)
-	stats.P90 = pct(0.90)
-	stats.P95 = pct(0.95)
-	stats.P99 = pct(0.99)
+	stats.P50 = time.Duration(s.Quantile(0.50))
+	stats.P90 = time.Duration(s.Quantile(0.90))
+	stats.P95 = time.Duration(s.Quantile(0.95))
+	stats.P99 = time.Duration(s.Quantile(0.99))
 	return stats
 }
 
 // Meter measures throughput over an explicit steady-state window: Mark
 // commits as they happen, call WindowStart when warm-up ends and
 // WindowEnd when measurement stops.
+//
+// All window timekeeping is offsets from a base time.Time captured at
+// construction. Because the base retains its monotonic clock reading and
+// every offset comes from time.Since(base), window durations are pure
+// monotonic arithmetic: a wall-clock step (NTP, leap smear, manual set)
+// mid-run cannot produce a negative or inflated window.
 type Meter struct {
-	mu          sync.Mutex
-	total       int64
-	windowBase  int64
-	windowStart time.Time
-	windowEnd   time.Time
-	started     bool
-	ended       bool
+	mu         sync.Mutex
+	base       time.Time
+	total      int64
+	windowBase int64
+	start      time.Duration // offset from base
+	end        time.Duration // offset from base
+	started    bool
+	ended      bool
 }
 
 // NewMeter returns a meter with no window set.
-func NewMeter() *Meter { return &Meter{} }
+func NewMeter() *Meter { return &Meter{base: time.Now()} }
 
 // Mark counts n committed transactions.
 func (m *Meter) Mark(n int) {
@@ -141,7 +118,7 @@ func (m *Meter) WindowStart() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.windowBase = m.total
-	m.windowStart = time.Now()
+	m.start = time.Since(m.base)
 	m.started = true
 	m.ended = false
 }
@@ -150,7 +127,7 @@ func (m *Meter) WindowStart() {
 func (m *Meter) WindowEnd() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.windowEnd = time.Now()
+	m.end = time.Since(m.base)
 	m.ended = true
 }
 
@@ -162,11 +139,11 @@ func (m *Meter) Throughput() float64 {
 	if !m.started {
 		return 0
 	}
-	end := m.windowEnd
+	end := m.end
 	if !m.ended {
-		end = time.Now()
+		end = time.Since(m.base)
 	}
-	secs := end.Sub(m.windowStart).Seconds()
+	secs := (end - m.start).Seconds()
 	if secs <= 0 {
 		return 0
 	}

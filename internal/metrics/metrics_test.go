@@ -19,18 +19,31 @@ func TestLatencyRecorderBasics(t *testing.T) {
 		t.Fatalf("Count = %d", s.Count)
 	}
 	if s.Mean != 50500*time.Microsecond {
-		t.Fatalf("Mean = %v, want 50.5ms", s.Mean)
+		t.Fatalf("Mean = %v, want 50.5ms (exact)", s.Mean)
 	}
 	if s.Max != 100*time.Millisecond {
-		t.Fatalf("Max = %v", s.Max)
+		t.Fatalf("Max = %v (exact)", s.Max)
 	}
-	if s.P50 != 50*time.Millisecond {
-		t.Fatalf("P50 = %v, want 50ms", s.P50)
+	// Percentiles come from power-of-two buckets: each estimate must land
+	// within a factor of two of the exact value and never above the max.
+	for _, c := range []struct {
+		name  string
+		got   time.Duration
+		exact time.Duration
+	}{
+		{"P50", s.P50, 50 * time.Millisecond},
+		{"P90", s.P90, 90 * time.Millisecond},
+		{"P95", s.P95, 95 * time.Millisecond},
+		{"P99", s.P99, 99 * time.Millisecond},
+	} {
+		if c.got < c.exact/2 || c.got > 2*c.exact {
+			t.Errorf("%s = %v, want within 2x of %v", c.name, c.got, c.exact)
+		}
+		if c.got > s.Max {
+			t.Errorf("%s = %v exceeds max %v", c.name, c.got, s.Max)
+		}
 	}
-	if s.P99 != 99*time.Millisecond {
-		t.Fatalf("P99 = %v, want 99ms", s.P99)
-	}
-	if s.P95 < s.P50 || s.P99 < s.P95 || s.Max < s.P99 {
+	if s.P90 < s.P50 || s.P95 < s.P90 || s.P99 < s.P95 || s.Max < s.P99 {
 		t.Fatal("percentiles must be monotone")
 	}
 }
@@ -62,21 +75,41 @@ func TestLatencyRecorderConcurrent(t *testing.T) {
 	}
 }
 
-func TestLatencyRecorderReservoirBounded(t *testing.T) {
+// Memory is constant no matter the sample count (log-bucketed histogram,
+// no reservoir) and the count stays exact.
+func TestLatencyRecorderUnboundedSamples(t *testing.T) {
 	r := NewLatencyRecorder()
-	n := maxSamples + 5000
+	const n = 1 << 19
 	for i := 0; i < n; i++ {
 		r.Record(time.Microsecond)
 	}
 	s := r.Snapshot()
-	if s.Count != int64(n) {
-		t.Fatalf("Count = %d, want %d (exact despite reservoir)", s.Count, n)
+	if s.Count != n {
+		t.Fatalf("Count = %d, want %d (exact at any volume)", s.Count, n)
 	}
-	r.mu.Lock()
-	retained := len(r.samples)
-	r.mu.Unlock()
-	if retained > maxSamples {
-		t.Fatalf("reservoir grew to %d", retained)
+	if s.P99 > 2*time.Microsecond || s.P99 == 0 {
+		t.Fatalf("P99 = %v, want ~1µs", s.P99)
+	}
+}
+
+// Snapshot percentiles must agree with the shared telemetry bucket code:
+// the recorder's histogram, queried directly, yields the same values.
+func TestLatencyRecorderMatchesHistogram(t *testing.T) {
+	r := NewLatencyRecorder()
+	v := int64(1)
+	for i := 0; i < 5000; i++ {
+		r.Record(time.Duration(v))
+		v = v*5%1000003 + 1
+	}
+	s := r.Snapshot()
+	hs := r.Hist().Snapshot()
+	for _, c := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, s.P50}, {0.90, s.P90}, {0.95, s.P95}, {0.99, s.P99}} {
+		if got := time.Duration(hs.Quantile(c.q)); got != c.want {
+			t.Errorf("Quantile(%v) = %v, Snapshot says %v — shared bucket code must agree", c.q, got, c.want)
+		}
 	}
 }
 
@@ -126,6 +159,30 @@ func TestMeterThroughputValue(t *testing.T) {
 	// scheduler jitter.
 	if tput < 2000 || tput > 6000 {
 		t.Fatalf("throughput = %.0f, want ~5000", tput)
+	}
+}
+
+// The meter's window arithmetic is pure monotonic-offset math: every
+// timestamp is time.Since(base) against the construction-time base, so a
+// wall-clock step cannot corrupt a window. Verifiable invariants: an
+// instantly-closed window never goes negative, and restarting a window
+// resets its bounds.
+func TestMeterMonotonicWindow(t *testing.T) {
+	m := NewMeter()
+	m.WindowStart()
+	m.WindowEnd()
+	if tput := m.Throughput(); tput < 0 {
+		t.Fatalf("throughput = %v, must never be negative", tput)
+	}
+	m.Mark(10)
+	m.WindowStart() // restart: prior end must not apply
+	m.Mark(5)
+	time.Sleep(20 * time.Millisecond)
+	if tput := m.Throughput(); tput <= 0 {
+		t.Fatalf("open-window throughput = %v, want positive", tput)
+	}
+	if m.WindowCount() != 5 {
+		t.Fatalf("restarted window count = %d, want 5", m.WindowCount())
 	}
 }
 

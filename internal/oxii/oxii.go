@@ -26,6 +26,7 @@ import (
 	"parblockchain/internal/ordering"
 	"parblockchain/internal/persist"
 	"parblockchain/internal/state"
+	"parblockchain/internal/telemetry"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
 )
@@ -170,6 +171,20 @@ type Config struct {
 	// is set). Zero disables the watchdog; serving peers' requests is
 	// always on when durability is.
 	SyncStallTimeout time.Duration
+	// Trace enables block-lifecycle tracing on every executor: per-stage
+	// latency histograms (admission through externalize) plus a ring of
+	// the slowest traces. Off, executors carry a nil tracer and the
+	// instrumentation costs nothing — not even a clock read.
+	Trace bool
+	// TraceRing sizes each tracer's slowest-blocks ring (0 = telemetry
+	// default). Ignored unless tracing is on.
+	TraceRing int
+	// OpsAddrs maps node IDs to ops-server listen addresses (":0" picks a
+	// free port). A node listed here serves /metrics, /statusz, /healthz,
+	// /traces, and pprof from Start until Stop; listed executors are
+	// traced as if Trace were set. Nodes absent from the map get no
+	// server and no telemetry registry.
+	OpsAddrs map[types.NodeID]string
 	// Crypto enables ed25519 signing and verification end to end. When
 	// false, no-op signers model the crypto-free ablation.
 	Crypto bool
@@ -204,11 +219,12 @@ type Network struct {
 	// Recovered holds each executor's recovery provenance (snapshot
 	// height, WAL records replayed) when DataDir is set, for logs and
 	// tests; nil entries otherwise.
-	Recovered []*persist.Recovered
-	signers   map[types.NodeID]cryptoutil.Signer
-	keyring   *cryptoutil.KeyRing
-	clients   map[types.NodeID]*Client
-	router    *CommitRouter
+	Recovered  []*persist.Recovered
+	signers    map[types.NodeID]cryptoutil.Signer
+	keyring    *cryptoutil.KeyRing
+	clients    map[types.NodeID]*Client
+	router     *CommitRouter
+	opsServers map[types.NodeID]*telemetry.Server
 }
 
 // New builds a ParBlockchain network. Call Start to run it.
@@ -236,11 +252,12 @@ func New(cfg Config) (*Network, error) {
 	}
 
 	nw := &Network{
-		cfg:     cfg,
-		signers: make(map[types.NodeID]cryptoutil.Signer),
-		keyring: cryptoutil.NewKeyRing(),
-		clients: make(map[types.NodeID]*Client),
-		router:  NewCommitRouter(),
+		cfg:        cfg,
+		signers:    make(map[types.NodeID]cryptoutil.Signer),
+		keyring:    cryptoutil.NewKeyRing(),
+		clients:    make(map[types.NodeID]*Client),
+		router:     NewCommitRouter(),
+		opsServers: make(map[types.NodeID]*telemetry.Server),
 	}
 
 	// Keys for every identity in the deployment.
@@ -361,7 +378,8 @@ func buildConsensus(kind ConsensusKind, id types.NodeID, members []types.NodeID,
 }
 
 // Start launches every node. Executors start first so no NEWBLOCK is
-// dropped.
+// dropped. Nodes listed in Config.OpsAddrs get their ops servers here;
+// a server that fails to listen is logged and skipped, never fatal.
 func (nw *Network) Start() {
 	for _, e := range nw.Executors {
 		e.Start()
@@ -369,6 +387,83 @@ func (nw *Network) Start() {
 	for _, o := range nw.Orderers {
 		o.Start()
 	}
+	for i, id := range nw.cfg.Executors {
+		nw.startExecutorOps(i, id)
+	}
+	for i, id := range nw.cfg.Orderers {
+		nw.startOrdererOps(i, id)
+	}
+}
+
+// startExecutorOps starts executor i's ops server when configured. The
+// status/health/trace closures dereference nw.Executors[i] at request
+// time, so a restarted executor is observed live; the metrics registry
+// binds to the current instance (RestartExecutor rebuilds the server).
+func (nw *Network) startExecutorOps(i int, id types.NodeID) {
+	addr, ok := nw.cfg.OpsAddrs[id]
+	if !ok {
+		return
+	}
+	reg := telemetry.NewRegistry()
+	labels := telemetry.Labels{"node": string(id)}
+	nw.Executors[i].RegisterTelemetry(reg, labels)
+	nw.cfg.Net.RegisterTelemetry(reg, labels)
+	srv, err := telemetry.StartServer(telemetry.ServerConfig{
+		Addr:     addr,
+		Registry: reg,
+		Status:   func() any { return nw.Executors[i].Status() },
+		Health:   func() error { return nw.Executors[i].Healthy() },
+		Traces:   func() []telemetry.TraceRecord { return nw.Executors[i].Tracer().Slowest() },
+		Logf:     nw.cfg.Logf,
+	})
+	if err != nil {
+		if nw.cfg.Logf != nil {
+			nw.cfg.Logf("oxii: ops server for %s: %v", id, err)
+		}
+		return
+	}
+	nw.opsServers[id] = srv
+}
+
+// startOrdererOps starts orderer i's ops server when configured.
+func (nw *Network) startOrdererOps(i int, id types.NodeID) {
+	addr, ok := nw.cfg.OpsAddrs[id]
+	if !ok {
+		return
+	}
+	reg := telemetry.NewRegistry()
+	labels := telemetry.Labels{"node": string(id)}
+	nw.Orderers[i].RegisterTelemetry(reg, labels)
+	nw.cfg.Net.RegisterTelemetry(reg, labels)
+	ord := nw.Orderers[i]
+	srv, err := telemetry.StartServer(telemetry.ServerConfig{
+		Addr:     addr,
+		Registry: reg,
+		Status:   func() any { return ord.Status() },
+		Health:   ord.Healthy,
+		Logf:     nw.cfg.Logf,
+	})
+	if err != nil {
+		if nw.cfg.Logf != nil {
+			nw.cfg.Logf("oxii: ops server for %s: %v", id, err)
+		}
+		return
+	}
+	nw.opsServers[id] = srv
+}
+
+// closeOps shuts down one node's ops server, if running.
+func (nw *Network) closeOps(id types.NodeID) {
+	if srv, ok := nw.opsServers[id]; ok {
+		srv.Close()
+		delete(nw.opsServers, id)
+	}
+}
+
+// OpsServer returns the running ops server of a node, or nil. The
+// returned server's Addr resolves ":0" configs to the bound port.
+func (nw *Network) OpsServer(id types.NodeID) *telemetry.Server {
+	return nw.opsServers[id]
 }
 
 // Stop shuts every node down and closes the transport endpoints owned by
@@ -376,6 +471,9 @@ func (nw *Network) Start() {
 // Durability managers close after their executors quiesce, so every
 // finalized block is on disk when Stop returns.
 func (nw *Network) Stop() {
+	for id := range nw.opsServers {
+		nw.closeOps(id)
+	}
 	for _, o := range nw.Orderers {
 		o.Stop()
 	}
@@ -473,9 +571,14 @@ func (nw *Network) buildExecutor(i int, id types.NodeID) (*execution.Executor,
 			}
 		}
 	}
+	var tracer *telemetry.BlockTracer
+	if cfg.Trace || cfg.OpsAddrs[id] != "" {
+		tracer = telemetry.NewBlockTracer(cfg.TraceRing)
+	}
 	exec := execution.New(execution.Config{
 		ID:              id,
 		Endpoint:        ep,
+		Tracer:          tracer,
 		Registry:        registry,
 		AgentsOf:        cfg.Agents,
 		Tau:             cfg.Tau,
@@ -511,6 +614,7 @@ func (nw *Network) buildExecutor(i int, id types.NodeID) (*execution.Executor,
 // RestartExecutor.
 func (nw *Network) KillExecutor(i int) {
 	id := nw.cfg.Executors[i]
+	nw.closeOps(id)
 	nw.cfg.Net.Remove(id)
 	nw.Executors[i].Stop()
 	if m := nw.Persists[i]; m != nil {
@@ -543,6 +647,9 @@ func (nw *Network) RestartExecutor(i int) error {
 	nw.Persists[i] = mgr
 	nw.Recovered[i] = rec
 	exec.Start()
+	// A fresh ops server binds the metrics registry to the rebuilt
+	// executor; the old one (closed by KillExecutor) sampled the corpse.
+	nw.startExecutorOps(i, nw.cfg.Executors[i])
 	return nil
 }
 

@@ -1,0 +1,30 @@
+package state
+
+import "parblockchain/internal/telemetry"
+
+// RegisterTelemetry exposes the tier counters and occupancy gauges on
+// reg. Counters sample atomics; the occupancy gauges take the shard read
+// locks exactly as Stats does, so a scrape is safe (and cheap) at any
+// point of a live store.
+func (s *TieredStore) RegisterTelemetry(reg *telemetry.Registry, labels telemetry.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("parblockchain_state_cold_reads_total",
+		"Gets and warms served by a cold-tier pread.", labels, s.coldReads.Load)
+	reg.CounterFunc("parblockchain_state_cold_bytes_read_total",
+		"Value bytes pread from the cold tier.", labels, s.coldBytesRead.Load)
+	reg.CounterFunc("parblockchain_state_evictions_total",
+		"Hot-cache entries evicted to the cold tier.", labels, s.evictions.Load)
+	reg.CounterFunc("parblockchain_state_flushed_bytes_total",
+		"Dirty value bytes flushed cold by eviction.", labels, s.flushedBytes.Load)
+	reg.GaugeFunc("parblockchain_state_hot_keys",
+		"Current hot-cache entries.", labels,
+		func() float64 { return float64(s.Stats().HotKeys) })
+	reg.GaugeFunc("parblockchain_state_cold_keys",
+		"Current cold index entries (including stale overlaps).", labels,
+		func() float64 { return float64(s.Stats().ColdKeys) })
+	reg.GaugeFunc("parblockchain_state_hot_bytes",
+		"Current charged hot-cache bytes.", labels,
+		func() float64 { return float64(s.Stats().HotBytes) })
+}

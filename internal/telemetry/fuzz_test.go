@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLabelEscape feeds arbitrary label values and help text through the
+// exposition writer and checks the invariants the text format demands:
+// the escaped value round-trips losslessly, and no rendered line breaks
+// the one-sample-per-line framing.
+func FuzzLabelEscape(f *testing.F) {
+	f.Add("plain", "help")
+	f.Add(`back\slash`, "multi\nline help")
+	f.Add("quo\"te", `already \n escaped`)
+	f.Add("new\nline", "")
+	f.Add("\\\"\n\\n", "\\")
+	f.Fuzz(func(t *testing.T, val, help string) {
+		esc := escapeLabelValue(val)
+		if strings.ContainsRune(esc, '\n') {
+			t.Fatalf("escaped value %q contains raw newline", esc)
+		}
+		if got := unescapeLabelValue(esc); got != val {
+			t.Fatalf("escape round-trip: %q -> %q -> %q", val, esc, got)
+		}
+		reg := NewRegistry()
+		reg.Counter("fuzz_total", help, Labels{"v": val}).Inc()
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+			switch {
+			case strings.HasPrefix(line, "# HELP "), strings.HasPrefix(line, "# TYPE "):
+			case strings.HasPrefix(line, "fuzz_total"):
+				if !strings.HasSuffix(line, " 1") {
+					t.Fatalf("sample line lost its value: %q", line)
+				}
+			default:
+				t.Fatalf("unexpected exposition line %q (label leaked across lines?)", line)
+			}
+		}
+	})
+}
+
+// unescapeLabelValue inverts escapeLabelValue (test-only).
+func unescapeLabelValue(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerConfig configures a per-node ops server. Only Addr is required;
+// absent sections simply 404.
+type ServerConfig struct {
+	// Addr is the listen address (e.g. "127.0.0.1:9180", ":0").
+	Addr string
+	// Registry backs /metrics.
+	Registry *Registry
+	// Status produces the /statusz payload (marshaled as JSON).
+	Status func() any
+	// Health backs /healthz: nil means ready (200), an error means not
+	// ready (503 with the error text).
+	Health func() error
+	// Traces produces the /traces payload (slowest block traces).
+	Traces func() []TraceRecord
+	// ReadHeaderTimeout bounds how long a client may dawdle sending
+	// request headers (default 5s). Kept small: the ops port must not be
+	// a slowloris hold on a validator.
+	ReadHeaderTimeout time.Duration
+	// Logf, when set, receives server lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running ops HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewHandler builds the ops mux: /metrics (Prometheus text exposition),
+// /statusz (JSON), /healthz, /traces (JSON), and /debug/pprof.
+func NewHandler(cfg ServerConfig) http.Handler {
+	mux := http.NewServeMux()
+	get := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			h(w, r)
+		})
+	}
+	if cfg.Registry != nil {
+		get("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = cfg.Registry.WritePrometheus(w)
+		})
+	}
+	if cfg.Status != nil {
+		get("/statusz", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, cfg.Status())
+		})
+	}
+	if cfg.Health != nil {
+		get("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+	}
+	if cfg.Traces != nil {
+		get("/traces", func(w http.ResponseWriter, r *http.Request) {
+			traces := cfg.Traces()
+			if traces == nil {
+				traces = []TraceRecord{}
+			}
+			writeJSON(w, traces)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(append(out, '\n'))
+}
+
+// StartServer binds cfg.Addr and serves the ops endpoints until Close.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: ops listen on %s: %w", cfg.Addr, err)
+	}
+	if cfg.ReadHeaderTimeout <= 0 {
+		cfg.ReadHeaderTimeout = 5 * time.Second
+	}
+	srv := &http.Server{
+		Handler:           NewHandler(cfg),
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+	}
+	s := &Server{ln: ln, srv: srv}
+	go func() {
+		err := srv.Serve(ln)
+		if err != nil && err != http.ErrServerClosed && cfg.Logf != nil {
+			cfg.Logf("ops server on %s exited: %v", ln.Addr(), err)
+		}
+	}()
+	if cfg.Logf != nil {
+		cfg.Logf("ops server listening on %s", ln.Addr())
+	}
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0" configs).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and closes idle connections.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testStatus mirrors the shape parnode serves on /statusz.
+type testStatus struct {
+	Role        string `json:"role"`
+	Height      uint64 `json:"height"`
+	TipHash     string `json:"tip_hash"`
+	WindowDepth int    `json:"window_depth"`
+	QueueDepth  int    `json:"queue_depth"`
+	HotKeys     int    `json:"hot_keys"`
+	ColdKeys    int    `json:"cold_keys"`
+	Syncing     bool   `json:"syncing"`
+}
+
+func newTestHandler(healthErr error) http.Handler {
+	reg := NewRegistry()
+	reg.Counter("parblockchain_executor_tx_executed_total", "Executed.", nil).Add(5)
+	tr := NewBlockTracer(2)
+	bt := tr.Start(3)
+	bt.MarkAt(MarkDelivered, time.Unix(1, 0))
+	bt.MarkAt(MarkExternalized, time.Unix(1, int64(time.Millisecond)))
+	tr.Finish(bt)
+	return NewHandler(ServerConfig{
+		Registry: reg,
+		Status: func() any {
+			return testStatus{Role: "executor", Height: 9, TipHash: "abcd", WindowDepth: 2, QueueDepth: 1, HotKeys: 100, ColdKeys: 5000}
+		},
+		Health: func() error { return healthErr },
+		Traces: tr.Slowest,
+	})
+}
+
+func TestOpsEndpoints(t *testing.T) {
+	srv := httptest.NewServer(newTestHandler(nil))
+	defer srv.Close()
+
+	t.Run("metrics", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Errorf("content-type %q", ct)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		if !strings.Contains(string(body), "parblockchain_executor_tx_executed_total 5") {
+			t.Errorf("metrics body missing counter:\n%s", body)
+		}
+	})
+
+	t.Run("statusz round-trip", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("content-type %q", ct)
+		}
+		var got testStatus
+		dec := json.NewDecoder(resp.Body)
+		dec.DisallowUnknownFields() // schema check: no stray keys
+		if err := dec.Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		want := testStatus{Role: "executor", Height: 9, TipHash: "abcd", WindowDepth: 2, QueueDepth: 1, HotKeys: 100, ColdKeys: 5000}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("statusz round-trip = %+v, want %+v", got, want)
+		}
+	})
+
+	t.Run("healthz ok", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+			t.Errorf("healthz = %d %q, want 200 ok", resp.StatusCode, body)
+		}
+	})
+
+	t.Run("traces", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/traces")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var recs []TraceRecord
+		if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].Height != 3 {
+			t.Errorf("traces = %+v", recs)
+		}
+	})
+
+	t.Run("pprof index", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("pprof index status %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("method not allowed", func(t *testing.T) {
+		resp, err := http.Post(srv.URL+"/metrics", "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST /metrics = %d, want 405", resp.StatusCode)
+		}
+	})
+
+	t.Run("unknown path", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/nope")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET /nope = %d, want 404", resp.StatusCode)
+		}
+	})
+}
+
+func TestHealthzUnready(t *testing.T) {
+	srv := httptest.NewServer(newTestHandler(errors.New("stalled: no progress for 30s")))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "stalled") {
+		t.Errorf("body %q missing stall reason", body)
+	}
+}
+
+// A malformed request line gets a 400 (or a hangup), never a hang.
+func TestOpsServerMalformedRequest(t *testing.T) {
+	s, err := StartServer(ServerConfig{Addr: "127.0.0.1:0", Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("NOT-HTTP\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	if len(buf) > 0 && !strings.Contains(string(buf), "400") {
+		t.Errorf("malformed request answered %q, want 400 or hangup", buf)
+	}
+}
+
+// A client that never sends headers is cut off by ReadHeaderTimeout
+// instead of pinning a connection forever.
+func TestOpsServerHeaderTimeout(t *testing.T) {
+	s, err := StartServer(ServerConfig{
+		Addr:              "127.0.0.1:0",
+		Registry:          NewRegistry(),
+		ReadHeaderTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing. The server must close the connection on its own.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	_, err = conn.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("expected connection close, got data")
+	}
+	if errors.Is(err, io.EOF) == false && !strings.Contains(err.Error(), "reset") {
+		// Either EOF or RST is fine; a deadline expiry means the server
+		// never closed us.
+		t.Fatalf("connection not closed by server (err=%v after %v)", err, time.Since(start))
+	}
+}
+
+func TestStartServerServesMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("parblockchain_up", "1 when the ops server is serving.", nil).Inc()
+	s, err := StartServer(ServerConfig{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "parblockchain_up 1") {
+		t.Errorf("metrics over real listener missing counter:\n%s", body)
+	}
+}

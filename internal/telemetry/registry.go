@@ -1,0 +1,345 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels name one series within a metric family. Keys must be valid
+// Prometheus label names; values are arbitrary and escaped on exposition.
+type Labels map[string]string
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// kind is the exposition type of a family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled member of a family. Exactly one of the value
+// sources is set.
+type series struct {
+	labels      string // pre-rendered {k="v",...} or ""
+	labelPrefix string // pre-rendered k="v",... without braces (histograms)
+	counter     *Counter
+	counterFn   func() uint64
+	gauge       *Gauge
+	gaugeFn     func() float64
+	hist        *Histogram
+	perUnit     float64 // histogram unit divisor (raw / perUnit = exposed)
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series []*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. All registration methods are safe for concurrent
+// use; registering the same name+labels twice returns the existing
+// collector (or panics on a kind mismatch — that is a programming error).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, k kind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("telemetry: %s registered as both %s and %s", name, f.kind, k))
+	}
+	return f
+}
+
+func (f *family) find(labels string) *series {
+	for _, s := range f.series {
+		if s.labels == labels {
+			return s
+		}
+	}
+	return nil
+}
+
+// Counter registers (or fetches) an owned counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	ls, lp := renderLabels(labels)
+	if s := f.find(ls); s != nil {
+		return s.counter
+	}
+	c := &Counter{}
+	f.series = append(f.series, &series{labels: ls, labelPrefix: lp, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter series sampled from fn at exposition
+// time — the hook for subsystems that already keep atomic counters.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	ls, lp := renderLabels(labels)
+	if f.find(ls) != nil {
+		return
+	}
+	f.series = append(f.series, &series{labels: ls, labelPrefix: lp, counterFn: fn})
+}
+
+// Gauge registers (or fetches) an owned gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	ls, lp := renderLabels(labels)
+	if s := f.find(ls); s != nil {
+		return s.gauge
+	}
+	g := &Gauge{}
+	f.series = append(f.series, &series{labels: ls, labelPrefix: lp, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge series sampled from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	ls, lp := renderLabels(labels)
+	if f.find(ls) != nil {
+		return
+	}
+	f.series = append(f.series, &series{labels: ls, labelPrefix: lp, gaugeFn: fn})
+}
+
+// Histogram registers (or fetches) an owned histogram series exposing
+// raw observed values (perUnit 1).
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	return r.RegisterHistogram(name, help, labels, 1, nil)
+}
+
+// RegisterHistogram attaches h (or a fresh histogram when h is nil) as a
+// series of family name. Exposed bucket bounds and sums are raw values
+// divided by perUnit — e.g. a histogram observed in nanoseconds with
+// perUnit 1e9 exposes seconds, per Prometheus convention. (A divisor
+// instead of a multiplier because 1e9 is an exact float64 while 1e-9 is
+// not; dividing rounds once and renders "3e-09", not "3.0000...04e-09".)
+func (r *Registry) RegisterHistogram(name, help string, labels Labels, perUnit float64, h *Histogram) *Histogram {
+	if perUnit <= 0 {
+		perUnit = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindHistogram)
+	ls, lp := renderLabels(labels)
+	if s := f.find(ls); s != nil {
+		return s.hist
+	}
+	if h == nil {
+		h = &Histogram{}
+	}
+	f.series = append(f.series, &series{labels: ls, labelPrefix: lp, hist: h, perUnit: perUnit})
+	return h
+}
+
+// renderLabels returns the braced label string ({k="v"} or "") and the
+// bare pair list (k="v" or ""), with keys sorted and values escaped.
+func renderLabels(labels Labels) (braced, bare string) {
+	if len(labels) == 0 {
+		return "", ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	bare = b.String()
+	return "{" + bare + "}", bare
+}
+
+// escapeLabelValue escapes a label value per the text exposition format:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	// Byte-wise: label values are not required to be valid UTF-8, and a
+	// rune loop would rewrite invalid sequences to U+FFFD.
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in text exposition format.
+// Families are sorted by name and series by label string, so output is
+// deterministic given deterministic collector values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		// Copy the series slice so sampling funcs run outside the lock:
+		// a GaugeFunc is free to take its subsystem's locks, and those
+		// must not nest inside the registry's.
+		fc := &family{name: f.name, help: f.help, kind: f.kind}
+		fc.series = append(fc.series, f.series...)
+		fams = append(fams, fc)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		v := uint64(0)
+		if s.counter != nil {
+			v = s.counter.Value()
+		} else if s.counterFn != nil {
+			v = s.counterFn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, v)
+		return err
+	case kindGauge:
+		var out string
+		if s.gauge != nil {
+			out = strconv.FormatInt(s.gauge.Value(), 10)
+		} else {
+			out = formatFloat(s.gaugeFn())
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, out)
+		return err
+	default:
+		return writeHistogram(w, f.name, s)
+	}
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// up to the highest occupied bucket, then +Inf, _sum, and _count.
+func writeHistogram(w io.Writer, name string, s *series) error {
+	snap := s.hist.Snapshot()
+	sep, comma := "{", ""
+	if s.labelPrefix != "" {
+		comma = ","
+	}
+	highest := -1
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if snap.Buckets[i] != 0 {
+			highest = i
+			break
+		}
+	}
+	var cum uint64
+	for i := 0; i <= highest; i++ {
+		cum += snap.Buckets[i]
+		le := formatFloat(float64(BucketUpper(i)) / s.perUnit)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s%s%sle=%q} %d\n", name, sep, s.labelPrefix, comma, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s%s%sle=\"+Inf\"} %d\n", name, sep, s.labelPrefix, comma, snap.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(float64(snap.Sum)/s.perUnit)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, snap.Count)
+	return err
+}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildGoldenRegistry assembles one of every collector kind with fixed
+// values, including label values needing every escape rule.
+func buildGoldenRegistry() *Registry {
+	reg := NewRegistry()
+	c := reg.Counter("parblockchain_test_tx_total", "Transactions processed.", Labels{"node": "e1", "result": "committed"})
+	c.Add(42)
+	c2 := reg.Counter("parblockchain_test_tx_total", "Transactions processed.", Labels{"node": "e1", "result": "aborted"})
+	c2.Add(7)
+	reg.CounterFunc("parblockchain_test_sampled_total", "Sampled from a subsystem atomic.", nil, func() uint64 { return 1234 })
+	g := reg.Gauge("parblockchain_test_window_depth", "Blocks in the pipeline window.", Labels{"node": "e1"})
+	g.Set(3)
+	reg.GaugeFunc("parblockchain_test_ratio", "A float-valued gauge.", nil, func() float64 { return 0.625 })
+	reg.Gauge("parblockchain_test_escapes", "Help with a backslash \\ and\nnewline.",
+		Labels{"path": `C:\data`, "quote": `say "hi"`, "nl": "a\nb"}).Set(1)
+	h := reg.RegisterHistogram("parblockchain_test_latency_seconds", "Observed in ns, exposed in seconds.", Labels{"stage": "execute"}, 1e9, nil)
+	for _, v := range []int64{0, 1, 3, 1000} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := buildGoldenRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestExpositionShape(t *testing.T) {
+	reg := buildGoldenRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Every family carries exactly one HELP and one TYPE line.
+	for _, fam := range []string{
+		"parblockchain_test_tx_total",
+		"parblockchain_test_sampled_total",
+		"parblockchain_test_window_depth",
+		"parblockchain_test_ratio",
+		"parblockchain_test_latency_seconds",
+	} {
+		if got := strings.Count(out, "# HELP "+fam+" "); got != 1 {
+			t.Errorf("%s: %d HELP lines, want 1", fam, got)
+		}
+		if got := strings.Count(out, "# TYPE "+fam+" "); got != 1 {
+			t.Errorf("%s: %d TYPE lines, want 1", fam, got)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE parblockchain_test_tx_total counter\n",
+		"# TYPE parblockchain_test_window_depth gauge\n",
+		"# TYPE parblockchain_test_latency_seconds histogram\n",
+		`parblockchain_test_tx_total{node="e1",result="committed"} 42` + "\n",
+		`parblockchain_test_tx_total{node="e1",result="aborted"} 7` + "\n",
+		"parblockchain_test_sampled_total 1234\n",
+		"parblockchain_test_ratio 0.625\n",
+		// Escapes: backslash, quote, newline in label values and help.
+		`path="C:\\data"`,
+		`quote="say \"hi\""`,
+		`nl="a\nb"`,
+		`backslash \\ and\nnewline.` + "\n",
+		// Histogram: cumulative buckets, +Inf, scaled sum, count.
+		`parblockchain_test_latency_seconds_bucket{stage="execute",le="0"} 1` + "\n",
+		`parblockchain_test_latency_seconds_bucket{stage="execute",le="1e-09"} 2` + "\n",
+		`parblockchain_test_latency_seconds_bucket{stage="execute",le="+Inf"} 4` + "\n",
+		`parblockchain_test_latency_seconds_sum{stage="execute"} 1.004e-06` + "\n",
+		`parblockchain_test_latency_seconds_count{stage="execute"} 4` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\nfull output:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\n\n") {
+		t.Error("exposition contains blank lines")
+	}
+}
+
+func TestRegistryReregistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "h", Labels{"l": "1"})
+	b := reg.Counter("x_total", "h", Labels{"l": "1"})
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	c := reg.Counter("x_total", "h", Labels{"l": "2"})
+	if a == c {
+		t.Error("distinct labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "h", nil)
+}
+
+func TestGaugeCounterOps(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "h", nil)
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("counter = %d, want 10", c.Value())
+	}
+	g := reg.Gauge("g", "h", nil)
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Errorf("gauge = %d, want 3", g.Value())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parblockchain/internal/consensus/kafkaorder"
@@ -196,6 +197,10 @@ func decodeFrame(tag byte, body []byte) (any, error) {
 	}
 }
 
+// frameHeaderBytes is the length-prefix size preceding every frame's
+// tag byte; wire-byte accounting charges header + tag + body.
+const frameHeaderBytes = 4
+
 // writeFrame emits one length-prefixed frame.
 func writeFrame(w *bufio.Writer, tag byte, body []byte) error {
 	var hdr [4]byte
@@ -243,6 +248,15 @@ type TCPEndpoint struct {
 	conns   map[types.NodeID]*outConn
 	inbound map[net.Conn]bool
 	wg      sync.WaitGroup
+
+	stats struct {
+		framesSent   atomic.Uint64
+		bytesSent    atomic.Uint64
+		framesRecv   atomic.Uint64
+		bytesRecv    atomic.Uint64
+		sendErrors   atomic.Uint64
+		connsDropped atomic.Uint64
+	}
 }
 
 type outConn struct {
@@ -313,14 +327,18 @@ func (e *TCPEndpoint) sendFrame(to types.NodeID, tag byte, body []byte) error {
 	}
 	conn, err := e.getConn(to, addr)
 	if err != nil {
+		e.stats.sendErrors.Add(1)
 		return err
 	}
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
 	if err := writeFrame(conn.bw, tag, body); err != nil {
+		e.stats.sendErrors.Add(1)
 		e.dropConn(to, conn)
 		return fmt.Errorf("transport: sending to %s: %w", to, err)
 	}
+	e.stats.framesSent.Add(1)
+	e.stats.bytesSent.Add(uint64(frameHeaderBytes + 1 + len(body)))
 	return nil
 }
 
@@ -376,6 +394,7 @@ func (e *TCPEndpoint) getConn(to types.NodeID, addr string) (*outConn, error) {
 }
 
 func (e *TCPEndpoint) dropConn(to types.NodeID, c *outConn) {
+	e.stats.connsDropped.Add(1)
 	c.conn.Close()
 	e.mu.Lock()
 	if e.conns[to] == c {
@@ -433,6 +452,8 @@ func (e *TCPEndpoint) readLoop(conn net.Conn) {
 		if err != nil {
 			return // undecodable frame: drop the link
 		}
+		e.stats.framesRecv.Add(1)
+		e.stats.bytesRecv.Add(uint64(frameHeaderBytes + 1 + len(body)))
 		e.in.push(Message{From: from, To: e.cfg.ID, Payload: payload})
 	}
 }

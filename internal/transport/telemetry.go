@@ -1,0 +1,40 @@
+package transport
+
+import "parblockchain/internal/telemetry"
+
+// RegisterTelemetry exposes the endpoint's wire counters on reg. Frame
+// and byte counts charge the full frame (length prefix + tag + body) in
+// both directions; sendErrors covers dial failures and write errors,
+// connsDropped counts outbound links torn down after a failed write.
+// Everything samples atomics, so a scrape never blocks a send.
+func (e *TCPEndpoint) RegisterTelemetry(reg *telemetry.Registry, labels telemetry.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("parblockchain_transport_frames_sent_total",
+		"Frames written to outbound TCP links.", labels, e.stats.framesSent.Load)
+	reg.CounterFunc("parblockchain_transport_bytes_sent_total",
+		"Wire bytes written to outbound TCP links (header + tag + body).", labels, e.stats.bytesSent.Load)
+	reg.CounterFunc("parblockchain_transport_frames_received_total",
+		"Frames decoded from inbound TCP links (after the handshake).", labels, e.stats.framesRecv.Load)
+	reg.CounterFunc("parblockchain_transport_bytes_received_total",
+		"Wire bytes consumed from inbound TCP links.", labels, e.stats.bytesRecv.Load)
+	reg.CounterFunc("parblockchain_transport_send_errors_total",
+		"Sends that failed to dial or write.", labels, e.stats.sendErrors.Load)
+	reg.CounterFunc("parblockchain_transport_conns_dropped_total",
+		"Outbound connections dropped after a write error.", labels, e.stats.connsDropped.Load)
+}
+
+// RegisterTelemetry exposes the simulated network's aggregate counters
+// (whole-cluster, not per-node — the in-memory network is shared).
+func (n *InMemNetwork) RegisterTelemetry(reg *telemetry.Registry, labels telemetry.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("parblockchain_transport_inmem_bytes_sent",
+		"Cumulative approximate payload bytes sent across the simulated network.", labels,
+		func() float64 { return float64(n.BytesSent()) })
+	reg.GaugeFunc("parblockchain_transport_inmem_messages_sent",
+		"Cumulative messages sent across the simulated network.", labels,
+		func() float64 { return float64(n.MessageCount("")) })
+}

@@ -20,6 +20,11 @@
 # with the tau-quorum wait) with spec-misses/block at 0.
 # BenchmarkSnapshotWrite/{serial,parallel-N} records the shard-parallel
 # snapshot writer against the serial baseline.
+# BenchmarkTelemetryOverhead/{off,on} is the observability contract: the
+# off row (nil tracer, no registry — the default configuration) must
+# stay within noise of the plain pipeline rows across runs, and the on
+# row reports the per-stage p50 latency breakdown (stage_*_p50_ns
+# metrics) that the runs trajectory below accumulates.
 # BenchmarkExecutorScheduler/{chained,skewed}/{fifo,critical-path,
 # load-balanced} is the dispatch-scheduler sweep: on the skewed
 # (hot-chain + independent-tail) workload the critical-path row's tx/s
@@ -69,7 +74,9 @@ END {
 
 # Merge: fresh snapshot replaces "benchmarks"; the prior file's "runs"
 # trajectory is carried forward with this run appended (name, ns_per_op,
-# and tx/s where reported — compact enough to accumulate indefinitely).
+# tx/s, and per-stage stage_* latency metrics where reported — compact
+# enough to accumulate indefinitely). Every invocation appends exactly
+# one dated entry, even when the prior file is missing or corrupt.
 python3 - "$snapshot" "$out" <<'EOF'
 import json, os, sys, datetime
 
@@ -88,7 +95,11 @@ if os.path.exists(out_path):
 entry = {
     "date": datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
     "results": [
-        {k: row[k] for k in ("name", "ns_per_op", "tx/s") if k in row}
+        {
+            k: row[k]
+            for k in row
+            if k in ("name", "ns_per_op", "tx/s") or k.startswith("stage_")
+        }
         for row in doc["benchmarks"]
     ],
 }
