@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"parblockchain/internal/clustercfg"
@@ -45,17 +46,12 @@ func main() {
 	}
 }
 
-// registerWire registers every payload type this binary exchanges.
+// registerWire registers every gob escape-hatch payload this binary
+// exchanges. The protocol and consensus messages (including PBFT) ride
+// dedicated binary frames and need no registration.
 func registerWire() {
 	transport.RegisterWireTypes(
-		&types.RequestMsg{}, &types.NewBlockMsg{}, &types.CommitMsg{},
 		&types.CommitNotifyMsg{},
-		pbft.Forward{}, pbft.PrePrepare{}, pbft.Prepare{}, pbft.Commit{},
-		pbft.ViewChange{}, pbft.NewView{},
-		raft.Forward{}, raft.RequestVote{}, raft.VoteResp{},
-		raft.AppendEntries{}, raft.AppendResp{},
-		kafkaorder.Forward{}, kafkaorder.Append{}, kafkaorder.Ack{},
-		kafkaorder.CommitAnn{},
 	)
 }
 
@@ -190,15 +186,19 @@ func keys(cfg *clustercfg.Config, id types.NodeID) (cryptoutil.Signer, cryptouti
 }
 
 func buildConsensus(kind string, id types.NodeID, members []types.NodeID,
-	ep transport.Endpoint) (consensus.Node, error) {
+	ep transport.Endpoint, dir string, fsync persist.FsyncPolicy) (consensus.Node, error) {
 	sender := consensus.SenderFunc(ep.Send)
 	switch kind {
 	case "pbft":
+		// PBFT view state stays in-memory; the orderer's cut-state log
+		// above it still recovers the cutting side.
 		return pbft.New(pbft.Config{ID: id, Members: members, Sender: sender}), nil
 	case "raft":
-		return raft.New(raft.Config{ID: id, Members: members, Sender: sender}), nil
+		return raft.New(raft.Config{ID: id, Members: members, Sender: sender,
+			Dir: dir, Fsync: fsync})
 	case "kafka":
-		return kafkaorder.New(kafkaorder.Config{ID: id, Members: members, Sender: sender}), nil
+		return kafkaorder.New(kafkaorder.Config{ID: id, Members: members, Sender: sender,
+			Dir: dir, Fsync: fsync})
 	default:
 		return nil, fmt.Errorf("parnode: unknown consensus %q", kind)
 	}
@@ -206,11 +206,22 @@ func buildConsensus(kind string, id types.NodeID, members []types.NodeID,
 
 func runOrderer(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 	signer cryptoutil.Signer, verifier cryptoutil.Verifier) (*ordering.Orderer, error) {
-	cons, err := buildConsensus(cfg.Consensus, id, cfg.OrdererIDs(), ep)
+	var ordererDir, consensusDir string
+	var fsync persist.FsyncPolicy
+	if dataDir := cfg.NodeDataDir(id); dataDir != "" {
+		var err error
+		fsync, err = persist.ParseFsyncPolicy(cfg.FsyncPolicy)
+		if err != nil {
+			return nil, err // unreachable: Load validated the policy
+		}
+		ordererDir = filepath.Join(dataDir, "olog")
+		consensusDir = filepath.Join(dataDir, "consensus")
+	}
+	cons, err := buildConsensus(cfg.Consensus, id, cfg.OrdererIDs(), ep, consensusDir, fsync)
 	if err != nil {
 		return nil, err
 	}
-	node := ordering.New(ordering.Config{
+	node, err := ordering.New(ordering.Config{
 		ID:               id,
 		Endpoint:         ep,
 		Consensus:        cons,
@@ -222,7 +233,21 @@ func runOrderer(cfg *clustercfg.Config, id types.NodeID, ep transport.Endpoint,
 		MaxBlockInterval: cfg.BlockInterval(),
 		BuildGraph:       true,
 		SegmentTxns:      cfg.SegmentTxns,
+		Dir:              ordererDir,
+		Fsync:            fsync,
+		// Raft and Kafka redeliver their durable committed prefix with
+		// stable sequence numbers; PBFT restarts its sequence space, so
+		// its re-deliveries are deduped by content instead.
+		ResumeSeq: ordererDir != "" && cfg.Consensus != "pbft",
 	})
+	if err != nil {
+		cons.Stop() // release the consensus storage lock
+		return nil, fmt.Errorf("parnode: %w", err)
+	}
+	if ordererDir != "" {
+		log.Printf("orderer %s durable under %s: next block %d",
+			id, ordererDir, node.DurableHeight())
+	}
 	node.Start()
 	return node, nil
 }

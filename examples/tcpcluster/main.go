@@ -33,10 +33,10 @@ func main() {
 }
 
 func run() error {
+	// Only the commit notification still rides the gob escape hatch; the
+	// protocol and consensus messages travel as dedicated binary frames.
 	transport.RegisterWireTypes(
-		&types.RequestMsg{}, &types.NewBlockMsg{}, &types.CommitMsg{},
 		&types.CommitNotifyMsg{},
-		kafkaorder.Forward{}, kafkaorder.Append{}, kafkaorder.Ack{}, kafkaorder.CommitAnn{},
 	)
 
 	ids := []types.NodeID{"o1", "o2", "o3", "e1", "e2", "e3", "c1"}
@@ -102,12 +102,15 @@ func run() error {
 
 	// Orderers over the Kafka-style ordering service.
 	for _, id := range orderers {
-		cons := kafkaorder.New(kafkaorder.Config{
+		cons, err := kafkaorder.New(kafkaorder.Config{
 			ID:      id,
 			Members: orderers,
 			Sender:  consensus.SenderFunc(endpoints[id].Send),
 		})
-		node := ordering.New(ordering.Config{
+		if err != nil {
+			log.Fatalf("orderer %s consensus: %v", id, err)
+		}
+		node, err := ordering.New(ordering.Config{
 			ID:               id,
 			Endpoint:         endpoints[id],
 			Consensus:        cons,
@@ -118,6 +121,9 @@ func run() error {
 			MaxBlockInterval: 50 * time.Millisecond,
 			BuildGraph:       true,
 		})
+		if err != nil {
+			log.Fatalf("orderer %s: %v", id, err)
+		}
 		node.Start()
 		defer node.Stop()
 	}

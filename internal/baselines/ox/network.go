@@ -153,7 +153,7 @@ func New(cfg Config) (*Network, error) {
 		if err != nil {
 			return nil, err
 		}
-		ord := ordering.New(ordering.Config{
+		ord, err := ordering.New(ordering.Config{
 			ID:               id,
 			Endpoint:         ep,
 			Consensus:        cons,
@@ -167,6 +167,9 @@ func New(cfg Config) (*Network, error) {
 			BuildGraph:       false, // the OX paradigm has no dependency graphs
 			Logf:             cfg.Logf,
 		})
+		if err != nil {
+			return nil, err
+		}
 		nw.Orderers = append(nw.Orderers, ord)
 	}
 	return nw, nil
@@ -179,9 +182,10 @@ func buildConsensus(kind oxii.ConsensusKind, id types.NodeID, members []types.No
 	case oxii.ConsensusPBFT:
 		return pbft.New(pbft.Config{ID: id, Members: members, Sender: sender, Batch: batch}), nil
 	case oxii.ConsensusRaft:
-		return raft.New(raft.Config{ID: id, Members: members, Sender: sender}), nil
+		// Baselines stay in-memory: no Dir, so New cannot fail.
+		return raft.New(raft.Config{ID: id, Members: members, Sender: sender})
 	case oxii.ConsensusKafka, "":
-		return kafkaorder.New(kafkaorder.Config{ID: id, Members: members, Sender: sender, Batch: batch}), nil
+		return kafkaorder.New(kafkaorder.Config{ID: id, Members: members, Sender: sender, Batch: batch})
 	default:
 		return nil, fmt.Errorf("ox: unknown consensus kind %q", kind)
 	}

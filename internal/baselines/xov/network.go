@@ -190,9 +190,10 @@ func buildConsensus(kind oxii.ConsensusKind, id types.NodeID, members []types.No
 	case oxii.ConsensusPBFT:
 		return pbft.New(pbft.Config{ID: id, Members: members, Sender: sender, Batch: batch}), nil
 	case oxii.ConsensusRaft:
-		return raft.New(raft.Config{ID: id, Members: members, Sender: sender}), nil
+		// Baselines stay in-memory: no Dir, so New cannot fail.
+		return raft.New(raft.Config{ID: id, Members: members, Sender: sender})
 	case oxii.ConsensusKafka, "":
-		return kafkaorder.New(kafkaorder.Config{ID: id, Members: members, Sender: sender, Batch: batch}), nil
+		return kafkaorder.New(kafkaorder.Config{ID: id, Members: members, Sender: sender, Batch: batch})
 	default:
 		return nil, fmt.Errorf("xov: unknown consensus kind %q", kind)
 	}

@@ -146,9 +146,11 @@ type Options struct {
 	SegmentTxns int
 	// DataDir enables the durability subsystem for OXII runs: every
 	// executor write-ahead-logs finalized blocks (and snapshots state)
-	// under DataDir/<id>, putting the fsync cost on the finalize path.
-	// Empty keeps ledger and state in memory. Sweeps use a fresh temp
-	// directory per point.
+	// under DataDir/<id>, putting the fsync cost on the finalize path,
+	// and every orderer logs consensus entries and cut decisions under
+	// DataDir/<id>/olog, putting a cut-record fsync on the block-cut
+	// path. Empty keeps ledger and state in memory. Sweeps use a fresh
+	// temp directory per point.
 	DataDir string
 	// FsyncPolicy is the WAL fsync policy for durable runs (empty =
 	// group commit: one fsync per finalize batch).

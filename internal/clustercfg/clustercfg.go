@@ -67,15 +67,16 @@ type Config struct {
 	// local scheduling and vote timing, never committed results).
 	Speculate bool `json:"speculate,omitempty"`
 	// DataDir roots the durability subsystem: each executor keeps its
-	// write-ahead log and state snapshots under DataDir/<node-id>, and a
-	// restarted node resumes from its durable height instead of genesis.
-	// Empty keeps ledger and state in memory. Relative paths resolve
-	// against each node's working directory, so multi-host clusters
-	// usually want an absolute path. Only executors persist: restarting
-	// an executor into a running cluster recovers from disk, but
-	// restarting the whole cluster (orderers included) re-cuts from
-	// block 0 against executors that are already ahead — orderer
-	// durability is a ROADMAP follow-on.
+	// write-ahead log and state snapshots under DataDir/<node-id>, each
+	// orderer its cut-state log under DataDir/<node-id>/olog (and, under
+	// raft or kafka consensus, its consensus log and vote/offset state
+	// under DataDir/<node-id>/consensus). A restarted executor resumes
+	// from its durable height, a restarted orderer resumes cutting at
+	// the height after its last fsynced cut, so restarting the whole
+	// cluster converges with an always-up one. Empty keeps ledger and
+	// state in memory. Relative paths resolve against each node's
+	// working directory, so multi-host clusters usually want an absolute
+	// path.
 	DataDir string `json:"dataDir,omitempty"`
 	// FsyncPolicy is "group" (default: one fsync per finalize batch),
 	// "always" (one per block), or "never" (page cache only). Ignored

@@ -50,6 +50,15 @@ type Node interface {
 	Stop()
 }
 
+// Crasher is implemented by consensus instances with durable state.
+// Crash stops the instance simulating a process crash: unsynced log
+// bytes are dropped (what a power loss does to the page cache) and the
+// data-dir lock is released, instead of the clean sync-and-close that
+// Stop performs. It is idempotent, and a no-op after Stop.
+type Crasher interface {
+	Crash()
+}
+
 // Sender abstracts the outbound half of a transport endpoint.
 type Sender interface {
 	// Send asynchronously delivers payload to the named node.

@@ -11,13 +11,24 @@
 // the *data* comes from broker replication; leader fail-over (Kafka's
 // controller/ZooKeeper job) is out of scope, exactly as it is external to
 // Fabric's ordering node implementation.
+//
+// With Config.Dir set, a member persists sequenced batches and commit
+// decisions through the persist.RecordLog layer (storage.go): an Ack is
+// only sent once the batch is fsynced — Kafka's log.flush durability —
+// and on restart the member redelivers its committed prefix with stable
+// sequence numbers and fetches anything it missed from the leader's
+// durable log.
 package kafkaorder
 
 import (
+	"log"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"parblockchain/internal/consensus"
 	"parblockchain/internal/eventq"
+	"parblockchain/internal/persist"
 	"parblockchain/internal/types"
 )
 
@@ -34,6 +45,20 @@ type Config struct {
 	// AckQuorum is the number of members (including the leader) whose
 	// acknowledgement commits a batch. Zero means a majority.
 	AckQuorum int
+	// Dir enables durable state: batches and commit decisions are
+	// persisted under this directory and recovered on restart. Empty
+	// keeps the member in memory.
+	Dir string
+	// Fsync is the log's fsync policy (group by default). Batches are
+	// always synced before they are acknowledged; "never" opts out of
+	// durability guarantees entirely.
+	Fsync persist.FsyncPolicy
+	// LogSegmentBytes rolls the durable log to a fresh segment once the
+	// active one exceeds this size. Zero means
+	// persist.DefaultLogSegmentBytes.
+	LogSegmentBytes int64
+	// Logf receives diagnostics; nil uses log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Protocol messages. Exported so transports can gob-register them.
@@ -55,6 +80,12 @@ type (
 	// delivered.
 	CommitAnn struct {
 		Seq uint64
+	}
+	// Fetch asks the leader to re-send every batch and commit above the
+	// sender's contiguous committed prefix — a durable broker's catch-up
+	// request after a restart, served from the leader's log.
+	Fetch struct {
+		Have uint64
 	}
 )
 
@@ -97,28 +128,62 @@ type Node struct {
 	batchGen     uint64
 	batchTimerOn bool
 	done         chan struct{}
+
+	// Durable state (nil without Config.Dir), owned by the run goroutine.
+	storage  *storage
+	started  atomic.Bool
+	crashed  atomic.Bool
+	stopOnce sync.Once
 }
 
-// New creates a kafkaorder member. Call Start before use.
-func New(cfg Config) *Node {
+// New creates a kafkaorder member. Call Start before use. With cfg.Dir
+// set, the durable log is recovered here: the slot table is rebuilt and
+// the committed prefix will be redelivered (with stable sequence
+// numbers) when the actor loop starts.
+func New(cfg Config) (*Node, error) {
 	cfg.Batch = cfg.Batch.Normalized()
 	if cfg.AckQuorum <= 0 {
 		cfg.AckQuorum = len(cfg.Members)/2 + 1
 	}
-	return &Node{
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	k := &Node{
 		cfg:     cfg,
 		mailbox: eventq.New[event](),
 		deliver: consensus.NewDeliveryQueue(),
 		slots:   make(map[uint64]*slot),
 		done:    make(chan struct{}),
 	}
+	if cfg.Dir != "" {
+		s, slots, maxSeq, err := openStorage(cfg.Dir, cfg.Fsync, cfg.LogSegmentBytes, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		k.storage = s
+		k.slots = slots
+		k.nextSeq = maxSeq
+		// Our own durable batches count as self-acked; peer acks are not
+		// durable and are re-collected live.
+		for _, sl := range slots {
+			if sl.batch != nil {
+				sl.acks[cfg.ID] = true
+			}
+		}
+	}
+	return k, nil
 }
 
 // Leader returns the static sequencing leader.
 func (k *Node) Leader() types.NodeID { return k.cfg.Members[0] }
 
 // Start launches the actor loop.
-func (k *Node) Start() { go k.run() }
+func (k *Node) Start() {
+	if !k.started.CompareAndSwap(false, true) {
+		return
+	}
+	go k.run()
+}
 
 // Submit proposes a payload; non-leaders forward to the leader.
 func (k *Node) Submit(payload []byte) error {
@@ -134,17 +199,36 @@ func (k *Node) Step(from types.NodeID, msg any) {
 // Committed returns the ordered entry stream.
 func (k *Node) Committed() <-chan consensus.Entry { return k.deliver.Out() }
 
-// Stop terminates the actor loop.
+// Stop terminates the actor loop and closes the durable storage. Safe
+// to call before Start (the storage is still released) and idempotent.
 func (k *Node) Stop() {
-	k.mailbox.Push(event{kind: evStop})
-	<-k.done
+	k.stopOnce.Do(func() {
+		if k.started.Load() {
+			k.mailbox.Push(event{kind: evStop})
+			<-k.done
+		} else {
+			k.storage.close(k.crashed.Load())
+		}
+	})
+}
+
+// Crash stops the member simulating a process crash: unsynced log bytes
+// are dropped instead of synced on close.
+func (k *Node) Crash() {
+	k.crashed.Store(true)
+	k.Stop()
 }
 
 var _ consensus.Node = (*Node)(nil)
+var _ consensus.Crasher = (*Node)(nil)
 
 func (k *Node) run() {
 	defer close(k.done)
 	defer k.deliver.Close()
+	defer func() { k.storage.close(k.crashed.Load()) }()
+	if k.storage != nil {
+		k.recover()
+	}
 	for {
 		ev, ok := k.mailbox.Pop()
 		if !ok {
@@ -168,6 +252,47 @@ func (k *Node) run() {
 }
 
 func (k *Node) isLeader() bool { return k.cfg.ID == k.Leader() }
+
+// recover acts on the slot table rebuilt from the durable log: the
+// committed prefix is redelivered (with the same sequence numbers as
+// before the crash — the consumer's high-water mark dedupes it), the
+// leader re-replicates batches that never reached their quorum, and a
+// broker asks the leader for everything past its committed prefix.
+func (k *Node) recover() {
+	k.tryDeliver()
+	if k.isLeader() {
+		for seq := k.lastDeliver + 1; seq <= k.nextSeq; seq++ {
+			if s := k.slots[seq]; s != nil && s.batch != nil {
+				k.broadcast(Append{Seq: seq, Batch: s.batch})
+				if s.committed {
+					k.broadcast(CommitAnn{Seq: seq})
+				}
+			}
+		}
+	} else {
+		_ = k.cfg.Sender.Send(k.Leader(), Fetch{Have: k.lastDeliver})
+	}
+}
+
+// serveFetch re-sends, from the durable log, every batch and commit
+// above the requester's committed prefix. Served from disk because
+// delivered slots leave the in-memory table.
+func (k *Node) serveFetch(from types.NodeID, have uint64) {
+	if k.storage == nil || !k.isLeader() {
+		return
+	}
+	k.storage.rangeAll(func(kind byte, seq uint64, batch [][]byte) {
+		if seq <= have {
+			return
+		}
+		switch kind {
+		case recBatch:
+			_ = k.cfg.Sender.Send(from, Append{Seq: seq, Batch: batch})
+		case recCommit:
+			_ = k.cfg.Sender.Send(from, CommitAnn{Seq: seq})
+		}
+	})
+}
 
 func (k *Node) broadcast(msg any) {
 	for _, m := range k.cfg.Members {
@@ -208,6 +333,11 @@ func (k *Node) flush() {
 	s := k.getSlot(seq)
 	s.batch = batch
 	s.acks[k.cfg.ID] = true
+	if k.storage != nil {
+		// The leader's own copy must be durable before replication: its
+		// self-ack counts toward the quorum.
+		k.storage.append(encodeBatchRecord(seq, batch))
+	}
 	k.broadcast(Append{Seq: seq, Batch: batch})
 	k.checkCommit(seq)
 }
@@ -231,9 +361,20 @@ func (k *Node) handleStep(from types.NodeID, msg any) {
 		if from != k.Leader() {
 			return
 		}
+		if m.Seq <= k.lastDeliver {
+			// Already delivered (hence durable here): a redundant
+			// retransmit after a leader restart. Re-ack without re-logging.
+			_ = k.cfg.Sender.Send(from, Ack{Seq: m.Seq})
+			return
+		}
 		s := k.getSlot(m.Seq)
 		if s.batch == nil {
 			s.batch = m.Batch
+			if k.storage != nil {
+				// Ack semantics: the batch must survive this member's
+				// crash before the leader counts it toward the quorum.
+				k.storage.append(encodeBatchRecord(m.Seq, m.Batch))
+			}
 		}
 		_ = k.cfg.Sender.Send(from, Ack{Seq: m.Seq})
 	case Ack:
@@ -247,9 +388,19 @@ func (k *Node) handleStep(from types.NodeID, msg any) {
 		if from != k.Leader() {
 			return
 		}
+		if m.Seq <= k.lastDeliver {
+			return // already delivered
+		}
 		s := k.getSlot(m.Seq)
-		s.committed = true
+		if !s.committed {
+			s.committed = true
+			if k.storage != nil {
+				k.storage.append(encodeCommitRecord(m.Seq))
+			}
+		}
 		k.tryDeliver()
+	case Fetch:
+		k.serveFetch(from, m.Have)
 	}
 }
 
@@ -261,6 +412,12 @@ func (k *Node) checkCommit(seq uint64) {
 		return
 	}
 	s.committed = true
+	if k.storage != nil {
+		// The commit decision must be durable before it is announced: a
+		// restarted leader must never forget (and re-sequence) a batch a
+		// broker already delivered.
+		k.storage.append(encodeCommitRecord(seq))
+	}
 	k.broadcast(CommitAnn{Seq: seq})
 	k.tryDeliver()
 }

@@ -26,12 +26,15 @@ func newCluster(t *testing.T, n int) (*transport.InMemNetwork, []*kafkaorder.Nod
 		if err != nil {
 			t.Fatal(err)
 		}
-		node := kafkaorder.New(kafkaorder.Config{
+		node, err := kafkaorder.New(kafkaorder.Config{
 			ID:      id,
 			Members: ids,
 			Sender:  consensus.SenderFunc(ep.Send),
 			Batch:   consensus.BatchConfig{MaxMsgs: 4, MaxDelayMillis: 2},
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		nodes[i] = node
 		go func(ep transport.Endpoint, node *kafkaorder.Node) {
 			for msg := range ep.Recv() {
@@ -134,12 +137,16 @@ func TestAckQuorumConfigurable(t *testing.T) {
 	// NOT commit.
 	nodes := make([]*kafkaorder.Node, 3)
 	for i, id := range ids {
-		nodes[i] = kafkaorder.New(kafkaorder.Config{
+		var err error
+		nodes[i], err = kafkaorder.New(kafkaorder.Config{
 			ID: id, Members: ids,
 			Sender:    consensus.SenderFunc(eps[id].Send),
 			Batch:     consensus.BatchConfig{MaxMsgs: 1, MaxDelayMillis: 1},
 			AckQuorum: 3,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		go func(ep transport.Endpoint, node *kafkaorder.Node) {
 			for msg := range ep.Recv() {
 				node.Step(msg.From, msg.Payload)

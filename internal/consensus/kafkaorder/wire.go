@@ -87,3 +87,18 @@ func UnmarshalCommitAnn(b []byte) (CommitAnn, error) {
 	m := CommitAnn{Seq: r.U64()}
 	return m, types.FinishDecode(r, "kafka COMMITANN")
 }
+
+// Marshal encodes a Fetch frame.
+func (m Fetch) Marshal() []byte {
+	w := types.AcquireWriter()
+	defer types.ReleaseWriter(w)
+	w.U64(m.Have)
+	return w.CloneBytes()
+}
+
+// UnmarshalFetch decodes a Fetch frame.
+func UnmarshalFetch(b []byte) (Fetch, error) {
+	r := types.NewByteReader(b)
+	m := Fetch{Have: r.U64()}
+	return m, types.FinishDecode(r, "kafka FETCH")
+}

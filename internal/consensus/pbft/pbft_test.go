@@ -1,4 +1,4 @@
-package pbft
+package pbft_test
 
 import (
 	"fmt"
@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"parblockchain/internal/consensus"
+	"parblockchain/internal/consensus/pbft"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
 )
@@ -14,7 +15,7 @@ import (
 // endpoints into Step.
 type cluster struct {
 	net   *transport.InMemNetwork
-	nodes []*Node
+	nodes []*pbft.Node
 	ids   []types.NodeID
 }
 
@@ -31,7 +32,7 @@ func newCluster(t *testing.T, n int, timeout time.Duration) *cluster {
 		if err != nil {
 			t.Fatal(err)
 		}
-		node := New(Config{
+		node := pbft.New(pbft.Config{
 			ID:                id,
 			Members:           c.ids,
 			Sender:            consensus.SenderFunc(ep.Send),
@@ -39,7 +40,7 @@ func newCluster(t *testing.T, n int, timeout time.Duration) *cluster {
 			ViewChangeTimeout: timeout,
 		})
 		c.nodes = append(c.nodes, node)
-		go func(ep transport.Endpoint, node *Node) {
+		go func(ep transport.Endpoint, node *pbft.Node) {
 			for msg := range ep.Recv() {
 				node.Step(msg.From, msg.Payload)
 			}
@@ -56,7 +57,7 @@ func newCluster(t *testing.T, n int, timeout time.Duration) *cluster {
 }
 
 // collect reads k entries from a node's committed stream.
-func collect(t *testing.T, n *Node, k int, timeout time.Duration) []consensus.Entry {
+func collect(t *testing.T, n *pbft.Node, k int, timeout time.Duration) []consensus.Entry {
 	t.Helper()
 	out := make([]consensus.Entry, 0, k)
 	deadline := time.After(timeout)
@@ -108,7 +109,7 @@ func TestQuorumSize(t *testing.T) {
 		for i := range ids {
 			ids[i] = types.NodeID(fmt.Sprintf("n%d", i))
 		}
-		node := New(Config{ID: ids[0], Members: ids, Sender: consensus.SenderFunc(
+		node := pbft.New(pbft.Config{ID: ids[0], Members: ids, Sender: consensus.SenderFunc(
 			func(types.NodeID, any) error { return nil })})
 		if got := node.Quorum(); got != want {
 			t.Errorf("n=%d: quorum = %d, want %d", n, got, want)
@@ -117,12 +118,12 @@ func TestQuorumSize(t *testing.T) {
 }
 
 func TestBatchDigestDistinguishesBatches(t *testing.T) {
-	a := BatchDigest([][]byte{[]byte("x"), []byte("y")})
-	b := BatchDigest([][]byte{[]byte("xy")})
+	a := pbft.BatchDigest([][]byte{[]byte("x"), []byte("y")})
+	b := pbft.BatchDigest([][]byte{[]byte("xy")})
 	if a == b {
 		t.Fatal("batch boundaries must affect the digest")
 	}
-	if BatchDigest(nil) != BatchDigest([][]byte{}) {
+	if pbft.BatchDigest(nil) != pbft.BatchDigest([][]byte{}) {
 		t.Fatal("nil and empty batches should hash equally")
 	}
 }

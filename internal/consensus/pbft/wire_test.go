@@ -1,0 +1,167 @@
+package pbft
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"parblockchain/internal/types"
+)
+
+func testDigest(b byte) types.Hash {
+	var h types.Hash
+	for i := range h {
+		h[i] = b
+	}
+	return h
+}
+
+// TestWireRoundTrips pins every PBFT wire codec: decode(encode(m)) == m
+// for each protocol message, including the nested certificate carriers.
+func TestWireRoundTrips(t *testing.T) {
+	pre := PrePrepare{View: 2, Seq: 7, Digest: testDigest(1),
+		Batch: [][]byte{[]byte("a"), []byte("bb")}}
+	vc := ViewChange{NewView: 3, LastDelivered: 6, Prepared: []PreparedCert{
+		{Seq: 7, View: 2, Digest: testDigest(1), Batch: [][]byte{[]byte("a")}},
+		{Seq: 8, View: 2, Digest: testDigest(2)},
+	}}
+	nv := NewView{View: 3, LastDelivered: 6, PrePrepares: []PrePrepare{
+		{View: 3, Seq: 7, Digest: testDigest(1), Batch: [][]byte{[]byte("a"), []byte("bb")}},
+		{View: 3, Seq: 8, Digest: testDigest(2)},
+	}}
+	cases := []struct {
+		name   string
+		msg    any
+		enc    []byte
+		decode func([]byte) (any, error)
+	}{
+		{"Forward", Forward{Payload: []byte("p")}, Forward{Payload: []byte("p")}.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalForward(b) }},
+		{"PrePrepare", pre, pre.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalPrePrepare(b) }},
+		{"EmptyPrePrepare", PrePrepare{View: 1, Seq: 2}, PrePrepare{View: 1, Seq: 2}.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalPrePrepare(b) }},
+		{"Prepare", Prepare{View: 2, Seq: 7, Digest: testDigest(3)},
+			Prepare{View: 2, Seq: 7, Digest: testDigest(3)}.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalPrepare(b) }},
+		{"Commit", Commit{View: 2, Seq: 7, Digest: testDigest(3)},
+			Commit{View: 2, Seq: 7, Digest: testDigest(3)}.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalCommit(b) }},
+		{"ViewChange", vc, vc.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalViewChange(b) }},
+		{"EmptyViewChange", ViewChange{NewView: 1}, ViewChange{NewView: 1}.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalViewChange(b) }},
+		{"NewView", nv, nv.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalNewView(b) }},
+		{"EmptyNewView", NewView{View: 1}, NewView{View: 1}.Marshal(),
+			func(b []byte) (any, error) { return UnmarshalNewView(b) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := c.decode(c.enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, c.msg) {
+				t.Fatalf("round trip changed the message: %#v != %#v", got, c.msg)
+			}
+			if _, err := c.decode(append(append([]byte{}, c.enc...), 0x00)); err == nil {
+				t.Fatal("trailing byte accepted")
+			}
+		})
+	}
+}
+
+// TestWireMalformedRejected: truncated and hostile inputs error instead
+// of panicking or over-allocating, at every nesting level.
+func TestWireMalformedRejected(t *testing.T) {
+	good := ViewChange{NewView: 3, LastDelivered: 6, Prepared: []PreparedCert{
+		{Seq: 7, View: 2, Digest: testDigest(1), Batch: [][]byte{[]byte("x")}},
+	}}.Marshal()
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := UnmarshalViewChange(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// A certificate count promising more certs than the input could hold
+	// must fail before allocation.
+	hostile := append([]byte{}, good[:16]...) // new view + last delivered
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	if _, err := UnmarshalViewChange(hostile); err == nil {
+		t.Fatal("hostile cert count accepted")
+	}
+	// Same for a nested batch count inside an otherwise plausible cert.
+	inner := PrePrepare{View: 1, Seq: 2, Digest: testDigest(1)}.Marshal()
+	hostile = append(inner[:len(inner)-8], 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	if _, err := UnmarshalPrePrepare(hostile); err == nil {
+		t.Fatal("hostile batch count accepted")
+	}
+}
+
+func FuzzUnmarshalPrePrepare(f *testing.F) {
+	f.Add(PrePrepare{View: 2, Seq: 7, Digest: testDigest(1),
+		Batch: [][]byte{[]byte("a"), []byte("bb")}}.Marshal())
+	f.Add(PrePrepare{}.Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 56))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalPrePrepare(data)
+		if err != nil {
+			return
+		}
+		enc := m.Marshal()
+		m2, err := UnmarshalPrePrepare(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if !bytes.Equal(enc, m2.Marshal()) {
+			t.Fatal("PrePrepare encoding is not a fixed point")
+		}
+	})
+}
+
+func FuzzUnmarshalViewChange(f *testing.F) {
+	f.Add(ViewChange{NewView: 3, LastDelivered: 6, Prepared: []PreparedCert{
+		{Seq: 7, View: 2, Digest: testDigest(1), Batch: [][]byte{[]byte("a")}},
+	}}.Marshal())
+	f.Add(ViewChange{NewView: 1}.Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 24))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalViewChange(data)
+		if err != nil {
+			return
+		}
+		enc := m.Marshal()
+		m2, err := UnmarshalViewChange(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if !bytes.Equal(enc, m2.Marshal()) {
+			t.Fatal("ViewChange encoding is not a fixed point")
+		}
+	})
+}
+
+func FuzzUnmarshalNewView(f *testing.F) {
+	f.Add(NewView{View: 3, LastDelivered: 6, PrePrepares: []PrePrepare{
+		{View: 3, Seq: 7, Digest: testDigest(1), Batch: [][]byte{[]byte("a")}},
+	}}.Marshal())
+	f.Add(NewView{View: 1}.Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 24))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalNewView(data)
+		if err != nil {
+			return
+		}
+		enc := m.Marshal()
+		m2, err := UnmarshalNewView(enc)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if !bytes.Equal(enc, m2.Marshal()) {
+			t.Fatal("NewView encoding is not a fixed point")
+		}
+	})
+}

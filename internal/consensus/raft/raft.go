@@ -6,17 +6,25 @@
 // cites Raft as the CFT option of the pluggable ordering service (as used
 // by Quorum).
 //
-// State is kept in memory: the reproduction targets protocol behaviour,
-// not crash-recovery durability; a restarted member rejoins with an empty
-// log and is repaired by the leader like any lagging follower.
+// State is kept in memory by default; with Config.Dir set, the member
+// persists its replicated log and (term, votedFor) hard state through
+// the persist.RecordLog layer (storage.go) and recovers both on
+// restart, so a full-cluster bounce redelivers the committed prefix
+// with stable sequence numbers instead of losing it. A member restarted
+// without a data directory still rejoins with an empty log and is
+// repaired by the leader like any lagging follower.
 package raft
 
 import (
+	"log"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"parblockchain/internal/consensus"
 	"parblockchain/internal/eventq"
+	"parblockchain/internal/persist"
 	"parblockchain/internal/types"
 )
 
@@ -37,6 +45,20 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// Seed randomizes election timeouts; zero derives one from the ID.
 	Seed int64
+	// Dir enables durable state: the replicated log and the hard state
+	// are persisted under this directory and recovered on restart. Empty
+	// keeps the member in memory.
+	Dir string
+	// Fsync is the log's fsync policy (group by default). Entries are
+	// always synced before they are replicated or acknowledged; "never"
+	// opts out of durability guarantees entirely.
+	Fsync persist.FsyncPolicy
+	// LogSegmentBytes rolls the durable log to a fresh segment once the
+	// active one exceeds this size. Zero means
+	// persist.DefaultLogSegmentBytes.
+	LogSegmentBytes int64
+	// Logf receives diagnostics; nil uses log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Protocol messages. Exported so transports can gob-register them.
@@ -127,15 +149,27 @@ type Node struct {
 	electionGen uint64
 	hbGen       uint64
 	done        chan struct{}
+
+	// Durable state (nil without Config.Dir), owned by the run goroutine.
+	storage  *storage
+	started  atomic.Bool
+	crashed  atomic.Bool
+	stopOnce sync.Once
 }
 
-// New creates a Raft member. Call Start before use.
-func New(cfg Config) *Node {
+// New creates a Raft member. Call Start before use. With cfg.Dir set,
+// the durable log and hard state are recovered here; the member resumes
+// with its full pre-crash log and redelivers the committed prefix with
+// stable sequence numbers once a leader commits.
+func New(cfg Config) (*Node, error) {
 	if cfg.ElectionTimeout <= 0 {
 		cfg.ElectionTimeout = 150 * time.Millisecond
 	}
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = cfg.ElectionTimeout / 5
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -143,7 +177,7 @@ func New(cfg Config) *Node {
 			seed = seed*131 + int64(c)
 		}
 	}
-	return &Node{
+	r := &Node{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(seed)),
 		mailbox: eventq.New[event](),
@@ -151,10 +185,24 @@ func New(cfg Config) *Node {
 		role:    follower,
 		done:    make(chan struct{}),
 	}
+	if cfg.Dir != "" {
+		s, entries, err := openStorage(cfg.Dir, cfg.Fsync, cfg.LogSegmentBytes, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		r.storage = s
+		r.log = entries
+		r.term = s.term
+		r.votedFor = s.votedFor
+	}
+	return r, nil
 }
 
 // Start launches the actor loop.
 func (r *Node) Start() {
+	if !r.started.CompareAndSwap(false, true) {
+		return
+	}
 	go r.run()
 }
 
@@ -173,13 +221,28 @@ func (r *Node) Step(from types.NodeID, msg any) {
 // Committed returns the ordered entry stream.
 func (r *Node) Committed() <-chan consensus.Entry { return r.deliver.Out() }
 
-// Stop terminates the actor loop.
+// Stop terminates the actor loop and closes the durable storage. Safe
+// to call before Start (the storage is still released) and idempotent.
 func (r *Node) Stop() {
-	r.mailbox.Push(event{kind: evStop})
-	<-r.done
+	r.stopOnce.Do(func() {
+		if r.started.Load() {
+			r.mailbox.Push(event{kind: evStop})
+			<-r.done
+		} else {
+			r.storage.close(r.crashed.Load())
+		}
+	})
+}
+
+// Crash stops the member simulating a process crash: unsynced log bytes
+// are dropped instead of synced on close.
+func (r *Node) Crash() {
+	r.crashed.Store(true)
+	r.Stop()
 }
 
 var _ consensus.Node = (*Node)(nil)
+var _ consensus.Crasher = (*Node)(nil)
 
 func (r *Node) majority() int { return len(r.cfg.Members)/2 + 1 }
 
@@ -195,6 +258,7 @@ func (r *Node) termAt(index uint64) uint64 {
 func (r *Node) run() {
 	defer close(r.done)
 	defer r.deliver.Close()
+	defer func() { r.storage.close(r.crashed.Load()) }()
 	r.armElectionTimer()
 	for {
 		ev, ok := r.mailbox.Pop()
@@ -249,10 +313,24 @@ func (r *Node) armHeartbeat() {
 
 // ---- Submission ----
 
+// persistLog makes every in-memory log entry durable before it is
+// replicated or acknowledged — the Raft durability invariant: what a
+// member tells its peers about must survive its own crash. A storage
+// failure is loud but non-fatal; the member keeps operating in memory.
+func (r *Node) persistLog() {
+	if r.storage == nil {
+		return
+	}
+	if err := r.storage.appendFrom(r.log); err != nil {
+		r.cfg.Logf("raft %s: persisting log: %v", r.cfg.ID, err)
+	}
+}
+
 func (r *Node) handleSubmit(payload []byte) {
 	switch r.role {
 	case leader:
 		r.log = append(r.log, LogEntry{Term: r.term, Payload: payload})
+		r.persistLog()
 		r.replicateAll()
 	default:
 		if r.leaderID != "" {
@@ -271,6 +349,9 @@ func (r *Node) startElection() {
 	r.votedFor = r.cfg.ID
 	r.leaderID = ""
 	r.votes = map[types.NodeID]bool{r.cfg.ID: true}
+	// The self-vote must be durable before soliciting others: forgetting
+	// it across a crash could double-vote this term.
+	r.storage.saveHardState(r.term, r.votedFor)
 	r.broadcast(RequestVote{
 		Term:         r.term,
 		LastLogIndex: r.lastIndex(),
@@ -285,6 +366,7 @@ func (r *Node) stepDown(term uint64) {
 	r.role = follower
 	r.votedFor = ""
 	r.votes = nil
+	r.storage.saveHardState(r.term, r.votedFor)
 }
 
 func (r *Node) maybeWinElection() {
@@ -307,6 +389,7 @@ func (r *Node) maybeWinElection() {
 	for _, p := range buf {
 		r.log = append(r.log, LogEntry{Term: r.term, Payload: p})
 	}
+	r.persistLog()
 	r.replicateAll()
 	r.armHeartbeat()
 }
@@ -370,6 +453,8 @@ func (r *Node) onRequestVote(from types.NodeID, m RequestVote) {
 	if m.Term == r.term && (r.votedFor == "" || r.votedFor == from) && r.logUpToDate(m) {
 		grant = true
 		r.votedFor = from
+		// The vote must be durable before the response leaves the node.
+		r.storage.saveHardState(r.term, r.votedFor)
 		r.armElectionTimer()
 	}
 	_ = r.cfg.Sender.Send(from, VoteResp{Term: r.term, Granted: grant})
@@ -420,9 +505,18 @@ func (r *Node) onAppendEntries(from types.NodeID, m AppendEntries) {
 				continue
 			}
 			r.log = r.log[:idx-1]
+			if r.storage != nil {
+				// Record index of Raft entry idx is idx-1.
+				if err := r.storage.truncate(idx - 1); err != nil {
+					r.cfg.Logf("raft %s: truncating log at %d: %v", r.cfg.ID, idx, err)
+				}
+			}
 		}
 		r.log = append(r.log, entry)
 	}
+	// The appended entries must be durable before the leader is told
+	// they match: the commit rule counts this member's disk.
+	r.persistLog()
 	if m.LeaderCommit > r.commitIndex {
 		newCommit := min(m.LeaderCommit, r.lastIndex())
 		if newCommit > r.commitIndex {

@@ -30,13 +30,16 @@ func newCluster(t *testing.T, n int) *cluster {
 		if err != nil {
 			t.Fatal(err)
 		}
-		node := raft.New(raft.Config{
+		node, err := raft.New(raft.Config{
 			ID:              id,
 			Members:         c.ids,
 			Sender:          consensus.SenderFunc(ep.Send),
 			ElectionTimeout: 60 * time.Millisecond,
 			Seed:            int64(i + 1),
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		c.nodes = append(c.nodes, node)
 		go func(ep transport.Endpoint, node *raft.Node) {
 			for msg := range ep.Recv() {

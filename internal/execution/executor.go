@@ -1084,6 +1084,16 @@ func (e *Executor) handleSegment(from types.NodeID, m *types.BlockSegmentMsg) {
 	if st.broken {
 		return
 	}
+	// A restarted orderer replays its durable log and re-streams a
+	// partially streamed block from segment 0. Segments below this
+	// stream's frontier are duplicates of that replay: drop them instead
+	// of breaking the stream, and let the re-stream extend it once it
+	// passes the old frontier. A faulty orderer re-sending different
+	// content under a duplicate index still surfaces at seal validation,
+	// which checks the chained digest of the admitted segments.
+	if m.Seg < st.segs {
+		return
+	}
 	segBytes := 0
 	for _, tx := range m.Txns {
 		if tx != nil {

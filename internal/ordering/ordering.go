@@ -16,6 +16,7 @@ import (
 	"parblockchain/internal/consensus"
 	"parblockchain/internal/cryptoutil"
 	"parblockchain/internal/depgraph"
+	"parblockchain/internal/persist"
 	"parblockchain/internal/transport"
 	"parblockchain/internal/types"
 )
@@ -107,6 +108,31 @@ type Config struct {
 	// entirely. Zero disables streaming (monolithic NEWBLOCK); streaming
 	// requires BuildGraph.
 	SegmentTxns int
+	// Dir enables the durable orderer log: delivered consensus entries
+	// and cut decisions are appended to a segmented, CRC-checksummed
+	// record log under this directory (see durable.go), and a restarted
+	// orderer replays it to resume cutting at the next height instead of
+	// block 0. Empty keeps the ordering side in memory.
+	Dir string
+	// Fsync is the orderer log's fsync policy (group by default). Cut
+	// records are always fsynced before the block is multicast; entry
+	// records between cuts follow the policy.
+	Fsync persist.FsyncPolicy
+	// LogSegmentBytes rolls the orderer log to a fresh segment at the
+	// next cut once the active one exceeds this size. Zero means
+	// persist.DefaultLogSegmentBytes.
+	LogSegmentBytes int64
+	// RetainBlocks bounds restart replay: log segments whose newest
+	// block is this far behind the chain tip are pruned at the next cut.
+	// Zero means DefaultRetainBlocks.
+	RetainBlocks int
+	// ResumeSeq drops live consensus entries at or below the replayed
+	// sequence high-water mark. Set it only when the consensus adapter
+	// is itself durable (Raft/Kafka persisting through the same layer)
+	// and redelivers its committed prefix with stable sequence numbers
+	// after a restart; a non-durable adapter restarts its sequence space
+	// at 1, which the mark would wrongly swallow.
+	ResumeSeq bool
 	// Logf receives diagnostic messages; nil uses log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -123,6 +149,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GraphMode == 0 {
 		c.GraphMode = depgraph.Standard
+	}
+	if c.RetainBlocks <= 0 {
+		c.RetainBlocks = DefaultRetainBlocks
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -146,6 +175,17 @@ type Stats struct {
 	GraphBuildNanos uint64
 	// SegmentsSent counts BlockSegmentMsg multicasts (streaming mode).
 	SegmentsSent uint64
+	// DurableHeight is the next block number the orderer log guarantees
+	// across a restart: every cut below it is fsynced. Zero without a
+	// durable log.
+	DurableHeight uint64
+	// RecoveredEntries is the number of orderer-log records replayed at
+	// the last restart.
+	RecoveredEntries uint64
+	// LogAppends and LogSyncs count orderer-log record writes and fsyncs
+	// since open.
+	LogAppends uint64
+	LogSyncs   uint64
 }
 
 // Orderer is one orderer node.
@@ -158,6 +198,8 @@ type Orderer struct {
 		requestsRejected atomic.Uint64
 		graphBuildNanos  atomic.Uint64
 		segmentsSent     atomic.Uint64
+		durableHeight    atomic.Uint64
+		recoveredEntries atomic.Uint64
 	}
 
 	// Block assembly state, owned by the delivery goroutine.
@@ -190,6 +232,14 @@ type Orderer struct {
 	segStart int
 	segSent  int
 	segCum   types.Hash
+
+	// Durable-log state (durable.go). recovered/anchors are filled by
+	// openLog in New; everything else is owned by the delivery goroutine.
+	dlog      *persist.RecordLog
+	lastSeq   uint64 // highest consensus sequence logged or replayed
+	replaying bool   // suppresses log appends while replaying the log
+	recovered []logRec
+	anchors   []logAnchor
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -236,8 +286,11 @@ func encodeCutPayload(blockNum uint64, orderer types.NodeID) []byte {
 	return w.CloneBytes()
 }
 
-// New creates an orderer node. Call Start before use.
-func New(cfg Config) *Orderer {
+// New creates an orderer node. Call Start before use. With cfg.Dir set,
+// the durable orderer log is opened here — recovering a torn tail,
+// rejecting a concurrently mounted directory — and its records replay
+// when Start's delivery loop begins.
+func New(cfg Config) (*Orderer, error) {
 	o := &Orderer{
 		cfg:     cfg.withDefaults(),
 		seenCur: make(map[types.TxID]bool),
@@ -250,7 +303,12 @@ func New(cfg Config) *Orderer {
 	if o.cfg.BuildGraph && (o.cfg.SegmentTxns > 0 || !o.cfg.UsePairwiseGraph) {
 		o.appender = depgraph.NewAppender(o.cfg.GraphMode)
 	}
-	return o
+	if o.cfg.Dir != "" {
+		if err := o.openLog(); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
 }
 
 // streaming reports whether this orderer ships blocks as segment streams.
@@ -267,7 +325,8 @@ func (o *Orderer) Start() {
 	go o.deliverLoop()
 }
 
-// Stop shuts the orderer down.
+// Stop shuts the orderer down cleanly, syncing and closing the durable
+// log.
 func (o *Orderer) Stop() {
 	o.stopOnce.Do(func() {
 		close(o.stopCh)
@@ -275,17 +334,52 @@ func (o *Orderer) Stop() {
 		o.cfg.Endpoint.Close()
 	})
 	o.wg.Wait()
+	if o.dlog != nil {
+		if err := o.dlog.Close(); err != nil {
+			o.cfg.Logf("orderer %s: close orderer log: %v", o.cfg.ID, err)
+		}
+	}
+}
+
+// Kill stops the orderer simulating a process crash: the orderer log —
+// and a durable consensus adapter's storage — drops its unsynced bytes,
+// as a power loss drops the page cache, instead of syncing on close.
+// Everything already fsynced survives for the next open.
+func (o *Orderer) Kill() {
+	o.stopOnce.Do(func() {
+		close(o.stopCh)
+		if c, ok := o.cfg.Consensus.(consensus.Crasher); ok {
+			c.Crash()
+		} else {
+			o.cfg.Consensus.Stop()
+		}
+		o.cfg.Endpoint.Close()
+	})
+	o.wg.Wait()
+	if o.dlog != nil {
+		if err := o.dlog.Crash(); err != nil {
+			o.cfg.Logf("orderer %s: crash orderer log: %v", o.cfg.ID, err)
+		}
+	}
 }
 
 // Stats returns a snapshot of the orderer's counters.
 func (o *Orderer) Stats() Stats {
-	return Stats{
+	s := Stats{
 		BlocksCut:        o.stats.blocksCut.Load(),
 		TxnsOrdered:      o.stats.txnsOrdered.Load(),
 		RequestsRejected: o.stats.requestsRejected.Load(),
 		GraphBuildNanos:  o.stats.graphBuildNanos.Load(),
 		SegmentsSent:     o.stats.segmentsSent.Load(),
+		DurableHeight:    o.stats.durableHeight.Load(),
+		RecoveredEntries: o.stats.recoveredEntries.Load(),
 	}
+	if o.dlog != nil {
+		ls := o.dlog.Stats()
+		s.LogAppends = ls.Appends
+		s.LogSyncs = ls.Syncs
+	}
+	return s
 }
 
 // recvLoop routes inbound messages: client requests enter consensus,
@@ -343,6 +437,17 @@ func (o *Orderer) deliverLoop() {
 		<-timer.C
 	}
 	timerArmed := false
+	// Replay the durable log before consuming live entries: the retained
+	// window is re-processed with multicast live (re-streaming and
+	// re-sealing blocks executors may have missed — they drop anything
+	// below their height) and delivery resumes where the last fsynced cut
+	// left off. A partially assembled block stays pending, so arm the
+	// timer for it.
+	o.replayLog()
+	if len(o.pending) > 0 {
+		timer.Reset(o.cfg.MaxBlockInterval)
+		timerArmed = true
+	}
 	for {
 		select {
 		case <-o.stopCh:
@@ -350,6 +455,17 @@ func (o *Orderer) deliverLoop() {
 		case entry, ok := <-o.cfg.Consensus.Committed():
 			if !ok {
 				return
+			}
+			if o.dlog != nil {
+				if o.cfg.ResumeSeq && entry.Seq <= o.lastSeq {
+					// A durable adapter redelivering its committed prefix
+					// after a restart; the log already replayed these.
+					break
+				}
+				o.logEntry(entry.Seq, entry.Payload)
+				if entry.Seq > o.lastSeq {
+					o.lastSeq = entry.Seq
+				}
 			}
 			o.handleEntry(entry)
 			// Manage the block timer: armed while a partial block is
@@ -486,6 +602,10 @@ func (o *Orderer) cutBlock() {
 	o.pendingBytes = 0
 	o.pendingPreds = nil
 	o.cutRequested = false
+	segs, cum := o.segSent, o.segCum
+	o.segSent = 0
+	o.segStart = 0
+	o.segCum = types.ZeroHash
 
 	block := types.NewBlock(o.nextNum, o.prevHash, txns)
 	o.nextNum++
@@ -508,11 +628,30 @@ func (o *Orderer) cutBlock() {
 		o.stats.graphBuildNanos.Add(uint64(time.Since(start)))
 	}
 
+	// Bound the dedupe set with a two-generation rotation: the IDs of the
+	// block just cut always survive at least one more rotation (in
+	// seenPrev), so a late consensus retry of a recent transaction can
+	// never be re-ordered — unlike a wholesale reset, which forgot them.
+	// Rotation happens before the durable cut record is written, so the
+	// record captures the post-cut generations a replay must restore.
+	if len(o.seenCur) >= 4*o.cfg.MaxBlockTxns {
+		o.seenPrev = o.seenCur
+		o.seenCur = make(map[types.TxID]bool, 2*o.cfg.MaxBlockTxns)
+	}
+
+	// Make the cut durable before any executor can learn of it: append
+	// and fsync the cut record ahead of the seal/NEWBLOCK multicast, so a
+	// crashed orderer can never have shipped a block it does not
+	// remember. Replay re-cuts are already on disk.
+	if o.dlog != nil && !o.replaying {
+		o.logCut(block.Header.Number, o.prevHash)
+	}
+
 	if streamed {
 		seal := &types.BlockSealMsg{
 			Header:   block.Header,
-			Segments: o.segSent,
-			Cum:      o.segCum,
+			Segments: segs,
+			Cum:      cum,
 			Apps:     block.Apps(),
 			Orderer:  o.cfg.ID,
 		}
@@ -521,9 +660,6 @@ func (o *Orderer) cutBlock() {
 		if err := transport.Multicast(o.cfg.Endpoint, o.cfg.Executors, seal); err != nil {
 			o.cfg.Logf("orderer %s: multicast seal %d: %v", o.cfg.ID, block.Header.Number, err)
 		}
-		o.segSent = 0
-		o.segStart = 0
-		o.segCum = types.ZeroHash
 	} else {
 		msg := &types.NewBlockMsg{
 			Block:   block,
@@ -540,12 +676,4 @@ func (o *Orderer) cutBlock() {
 
 	o.stats.blocksCut.Add(1)
 	o.stats.txnsOrdered.Add(uint64(len(txns)))
-	// Bound the dedupe set with a two-generation rotation: the IDs of the
-	// block just cut always survive at least one more rotation (in
-	// seenPrev), so a late consensus retry of a recent transaction can
-	// never be re-ordered — unlike a wholesale reset, which forgot them.
-	if len(o.seenCur) >= 4*o.cfg.MaxBlockTxns {
-		o.seenPrev = o.seenCur
-		o.seenCur = make(map[types.TxID]bool, 2*o.cfg.MaxBlockTxns)
-	}
 }

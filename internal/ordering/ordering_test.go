@@ -67,7 +67,10 @@ func newFixture(t *testing.T, mutate func(*Config)) *fixture {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	o := New(cfg)
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	o.Start()
 	f := &fixture{net: net, orderer: o, exec: execEP, client: clientEP}
 	t.Cleanup(func() {

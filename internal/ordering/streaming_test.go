@@ -271,7 +271,7 @@ func TestTimeoutCutDeterministicAcrossOrderers(t *testing.T) {
 
 	makeOrderer := func(id types.NodeID) *Orderer {
 		ep, _ := net.Endpoint(id)
-		o := New(Config{
+		o, err := New(Config{
 			ID:        id,
 			Endpoint:  ep,
 			Consensus: shared.join(),
@@ -284,6 +284,9 @@ func TestTimeoutCutDeterministicAcrossOrderers(t *testing.T) {
 			BuildGraph:       true,
 			Logf:             func(string, ...any) {},
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		o.Start()
 		return o
 	}

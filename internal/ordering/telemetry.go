@@ -24,6 +24,20 @@ func (o *Orderer) RegisterTelemetry(reg *telemetry.Registry, labels telemetry.La
 		o.stats.graphBuildNanos.Load)
 	reg.CounterFunc("parblockchain_orderer_segments_sent_total",
 		"BlockSegmentMsg multicasts (streaming mode).", labels, o.stats.segmentsSent.Load)
+	if o.dlog != nil {
+		reg.GaugeFunc("parblockchain_orderer_durable_height",
+			"Next block number covered by a fsynced cut record; a restart resumes cutting here.",
+			labels, func() float64 { return float64(o.stats.durableHeight.Load()) })
+		reg.CounterFunc("parblockchain_orderer_log_appends_total",
+			"Records appended to the orderer's durable log (entries + cuts).", labels,
+			func() uint64 { return o.dlog.Stats().Appends })
+		reg.CounterFunc("parblockchain_orderer_log_fsyncs_total",
+			"fsync batches issued by the orderer's durable log.", labels,
+			func() uint64 { return o.dlog.Stats().Syncs })
+		reg.CounterFunc("parblockchain_orderer_recovered_entries_total",
+			"Consensus entries replayed from the durable log at startup.", labels,
+			o.stats.recoveredEntries.Load)
+	}
 }
 
 // Status is the orderer's /statusz payload, assembled from the atomic
@@ -35,6 +49,10 @@ type Status struct {
 	RequestsRejected uint64 `json:"requests_rejected"`
 	SegmentsSent     uint64 `json:"segments_sent"`
 	GraphBuildMs     int64  `json:"graph_build_ms"`
+	DurableHeight    uint64 `json:"durable_height"`
+	RecoveredEntries uint64 `json:"recovered_entries"`
+	LogAppends       uint64 `json:"log_appends"`
+	LogFsyncs        uint64 `json:"log_fsyncs"`
 }
 
 // Status snapshots the orderer for the ops server.
@@ -46,6 +64,10 @@ func (o *Orderer) Status() Status {
 		RequestsRejected: s.RequestsRejected,
 		SegmentsSent:     s.SegmentsSent,
 		GraphBuildMs:     int64(s.GraphBuildNanos / 1e6),
+		DurableHeight:    s.DurableHeight,
+		RecoveredEntries: s.RecoveredEntries,
+		LogAppends:       s.LogAppends,
+		LogFsyncs:        s.LogSyncs,
 	}
 }
 

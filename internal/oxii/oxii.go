@@ -118,20 +118,22 @@ type Config struct {
 	// Zero keeps the monolithic NEWBLOCK wire format (also the right
 	// setting for deployments whose observer tooling consumes NEWBLOCK).
 	SegmentTxns int
-	// DataDir roots the durability subsystem: each executor keeps a
+	// DataDir roots the durability subsystem. Each executor keeps a
 	// write-ahead log of finalized blocks and periodic state snapshots
-	// under DataDir/<executor-id>, and a rebuilt Network on the same
-	// directory resumes every executor from its durable height instead
-	// of genesis. Empty keeps ledger and state purely in memory, exactly
-	// as before the subsystem existed.
+	// under DataDir/<executor-id>; each orderer keeps its cut-state log
+	// under DataDir/<orderer-id>/olog and — under Raft or Kafka — its
+	// consensus log and vote/offset state under
+	// DataDir/<orderer-id>/consensus, all through the same persist
+	// layer. A rebuilt Network on the same directory resumes every
+	// executor from its durable height and every orderer cutting at
+	// height N+1, so a full-cluster restart converges bit-identically to
+	// an always-up cluster. Empty keeps everything in memory, exactly as
+	// before the subsystem existed.
 	//
-	// Limitation: only executors persist. Orderers (and their consensus
-	// logs) are in-memory, so restarting a whole cluster on a non-empty
-	// DataDir leaves fresh orderers cutting from block 0 while recovered
-	// executors admit only from their durable height — new traffic will
-	// not commit. Restarting individual executors into a still-running
-	// ordering service is the supported recovery today; orderer
-	// durability is a ROADMAP follow-on.
+	// Under PBFT the consensus instance itself stays in-memory (view
+	// state is not persisted); the orderers' cut-state logs still
+	// recover block numbers, dedupe generations, and pending
+	// transactions, and consensus re-orders in-flight traffic.
 	DataDir string
 	// FsyncPolicy selects when WAL appends reach stable storage (group,
 	// always, or never); empty means group — one fsync per finalize
@@ -277,8 +279,6 @@ func New(cfg Config) (*Network, error) {
 			nw.signers[id] = cryptoutil.NoopSigner{NodeID: string(id)}
 		}
 	}
-	verifier := nw.verifier()
-
 	// closePersists releases every durability manager and store opened so
 	// far, so a construction failure on any later path leaks no WAL
 	// segment or cold-tier handles (and a retried New starts from clean
@@ -308,39 +308,74 @@ func New(cfg Config) (*Network, error) {
 		nw.Recovered = append(nw.Recovered, rec)
 	}
 
-	// Orderers with their consensus instances.
+	// Orderers with their consensus instances. A failure mid-loop stops
+	// the orderers built so far (releasing their durable-log locks) in
+	// addition to the executor-side cleanup.
 	for _, id := range cfg.Orderers {
-		ep, err := cfg.Net.Endpoint(id)
+		ord, err := nw.buildOrderer(id)
 		if err != nil {
+			for _, prev := range nw.Orderers {
+				prev.Stop()
+			}
 			closePersists()
 			return nil, err
 		}
-		cons, err := buildConsensus(cfg.Consensus, id, cfg.Orderers, ep, cfg.ConsensusBatch)
-		if err != nil {
-			closePersists()
-			return nil, err
-		}
-		ord := ordering.New(ordering.Config{
-			ID:               id,
-			Endpoint:         ep,
-			Consensus:        cons,
-			Executors:        cfg.Executors,
-			Signer:           nw.signers[id],
-			Verifier:         verifier,
-			VerifyClientSigs: cfg.Crypto,
-			ACL:              cfg.ACL,
-			MaxBlockTxns:     cfg.MaxBlockTxns,
-			MaxBlockBytes:    cfg.MaxBlockBytes,
-			MaxBlockInterval: cfg.MaxBlockInterval,
-			BuildGraph:       true,
-			GraphMode:        cfg.GraphMode,
-			UsePairwiseGraph: cfg.UsePairwiseGraph,
-			SegmentTxns:      cfg.SegmentTxns,
-			Logf:             cfg.Logf,
-		})
 		nw.Orderers = append(nw.Orderers, ord)
 	}
 	return nw, nil
+}
+
+// buildOrderer assembles one orderer node: endpoint, consensus instance
+// (with durable storage under DataDir/<id>/consensus for Raft and
+// Kafka), and the ordering core (with its durable cut-state log under
+// DataDir/<id>/olog). New uses it for initial construction,
+// RestartOrderer to rebuild a killed node in place.
+func (nw *Network) buildOrderer(id types.NodeID) (*ordering.Orderer, error) {
+	cfg := nw.cfg
+	ep, err := cfg.Net.Endpoint(id)
+	if err != nil {
+		return nil, err
+	}
+	var ordererDir, consensusDir string
+	if cfg.DataDir != "" {
+		ordererDir = filepath.Join(cfg.DataDir, string(id), "olog")
+		consensusDir = filepath.Join(cfg.DataDir, string(id), "consensus")
+	}
+	cons, err := buildConsensus(cfg.Consensus, id, cfg.Orderers, ep, cfg.ConsensusBatch,
+		consensusDir, cfg.FsyncPolicy, cfg.Logf)
+	if err != nil {
+		return nil, err
+	}
+	ord, err := ordering.New(ordering.Config{
+		ID:               id,
+		Endpoint:         ep,
+		Consensus:        cons,
+		Executors:        cfg.Executors,
+		Signer:           nw.signers[id],
+		Verifier:         nw.verifier(),
+		VerifyClientSigs: cfg.Crypto,
+		ACL:              cfg.ACL,
+		MaxBlockTxns:     cfg.MaxBlockTxns,
+		MaxBlockBytes:    cfg.MaxBlockBytes,
+		MaxBlockInterval: cfg.MaxBlockInterval,
+		BuildGraph:       true,
+		GraphMode:        cfg.GraphMode,
+		UsePairwiseGraph: cfg.UsePairwiseGraph,
+		SegmentTxns:      cfg.SegmentTxns,
+		Dir:              ordererDir,
+		Fsync:            cfg.FsyncPolicy,
+		// Raft and Kafka persist their logs and redeliver the committed
+		// prefix with stable sequence numbers, so replayed entries can be
+		// recognized and skipped by sequence. PBFT restarts its sequence
+		// space, so its re-deliveries are deduped by content instead.
+		ResumeSeq: ordererDir != "" && cfg.Consensus != ConsensusPBFT,
+		Logf:      cfg.Logf,
+	})
+	if err != nil {
+		cons.Stop() // release the consensus storage lock
+		return nil, fmt.Errorf("oxii: orderer %s: %w", id, err)
+	}
+	return ord, nil
 }
 
 // verifier returns the verifier matching the crypto setting.
@@ -363,15 +398,20 @@ func (nw *Network) orderQuorum() int {
 }
 
 func buildConsensus(kind ConsensusKind, id types.NodeID, members []types.NodeID,
-	ep transport.Endpoint, batch consensus.BatchConfig) (consensus.Node, error) {
+	ep transport.Endpoint, batch consensus.BatchConfig,
+	dir string, fsync persist.FsyncPolicy, logf func(string, ...any)) (consensus.Node, error) {
 	sender := consensus.SenderFunc(ep.Send)
 	switch kind {
 	case ConsensusPBFT:
+		// PBFT state stays in-memory; the orderer's cut-state log above it
+		// still provides crash recovery of the cutting side.
 		return pbft.New(pbft.Config{ID: id, Members: members, Sender: sender, Batch: batch}), nil
 	case ConsensusRaft:
-		return raft.New(raft.Config{ID: id, Members: members, Sender: sender}), nil
+		return raft.New(raft.Config{ID: id, Members: members, Sender: sender,
+			Dir: dir, Fsync: fsync, Logf: logf})
 	case ConsensusKafka, "":
-		return kafkaorder.New(kafkaorder.Config{ID: id, Members: members, Sender: sender, Batch: batch}), nil
+		return kafkaorder.New(kafkaorder.Config{ID: id, Members: members, Sender: sender,
+			Batch: batch, Dir: dir, Fsync: fsync, Logf: logf})
 	default:
 		return nil, fmt.Errorf("oxii: unknown consensus kind %q", kind)
 	}
@@ -650,6 +690,36 @@ func (nw *Network) RestartExecutor(i int) error {
 	// A fresh ops server binds the metrics registry to the rebuilt
 	// executor; the old one (closed by KillExecutor) sampled the corpse.
 	nw.startExecutorOps(i, nw.cfg.Executors[i])
+	return nil
+}
+
+// KillOrderer takes orderer i down the way a process kill would: its
+// endpoint is removed from the network first (in-flight and future
+// traffic to the node is lost, peers see silence), then the node's
+// goroutines stop and its durable logs drop their unsynced bytes — what
+// a power loss does to the page cache — keeping only what fsync already
+// covered. The chaos harness pairs it with RestartOrderer.
+func (nw *Network) KillOrderer(i int) {
+	id := nw.cfg.Orderers[i]
+	nw.closeOps(id)
+	nw.cfg.Net.Remove(id)
+	nw.Orderers[i].Kill()
+}
+
+// RestartOrderer rebuilds and starts a killed orderer in place: a fresh
+// endpoint replaces the severed one, the cut-state log (and, under
+// Raft/Kafka, the consensus log) recovers from the node's durable
+// directory, and the rejoined orderer resumes cutting at the height
+// after its last fsynced cut — re-streaming the retained window so
+// executors that missed blocks catch up.
+func (nw *Network) RestartOrderer(i int) error {
+	ord, err := nw.buildOrderer(nw.cfg.Orderers[i])
+	if err != nil {
+		return err
+	}
+	nw.Orderers[i] = ord
+	ord.Start()
+	nw.startOrdererOps(i, nw.cfg.Orderers[i])
 	return nil
 }
 

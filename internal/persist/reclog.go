@@ -1,0 +1,531 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// RecordLog is the ordering side's durability substrate: a generic
+// segmented, CRC-32C-checksummed append log of opaque record bodies,
+// built on the same segment format, fsync policies, and torn-tail
+// truncation semantics as the executor WAL (wal.go). The orderer's
+// consensus-delivery log and the Raft/Kafka adapters' entry logs each
+// open one RecordLog (with distinct file prefixes) and interpret the
+// bodies themselves.
+//
+// Records are indexed densely from 0; record N of a segment starting at
+// index S is record S+N. A torn frame at the tail of the newest segment
+// is the expected shape of a crash and is truncated on open; a bad frame
+// anywhere else is disk corruption and fails the open loudly. The log
+// directory is flock-guarded like the executor's data directory, so a
+// second process cannot mount it concurrently.
+
+// SyncDir fsyncs a directory so renames and file creations in it are
+// durable — exported for the consensus adapters' atomic-replace writes.
+func SyncDir(dir string) error { return syncDir(dir) }
+
+// DefaultLogSegmentBytes rolls a RecordLog to a fresh segment once the
+// active one exceeds this size. Consensus records are small (a few
+// hundred bytes each), so segments stay modest by default.
+const DefaultLogSegmentBytes = 4 << 20
+
+// RecordLogConfig parameterizes one RecordLog.
+type RecordLogConfig struct {
+	// Dir is the log's directory (created if missing); segment files and
+	// the LOCK file live directly under it.
+	Dir string
+	// Prefix names the segment files: <Prefix>-<16 hex digits>.seg.
+	// Empty means "log".
+	Prefix string
+	// Fsync is the append fsync policy, with the same semantics as the
+	// executor WAL: "group" leaves durability to explicit Sync calls,
+	// "always" syncs inside every Append, "never" never syncs.
+	Fsync FsyncPolicy
+	// SegmentBytes is the advisory segment size. Zero means
+	// DefaultLogSegmentBytes. The log never rolls on its own — rolls
+	// happen only on explicit Roll calls, so callers that need segment
+	// boundaries to align with record semantics (the orderer anchors
+	// each segment with a cut record) control them exactly; compare
+	// against ActiveBytes to decide when.
+	SegmentBytes int64
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c RecordLogConfig) withDefaults() RecordLogConfig {
+	if c.Prefix == "" {
+		c.Prefix = "log"
+	}
+	if c.Fsync == "" {
+		c.Fsync = FsyncGroup
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = DefaultLogSegmentBytes
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// RecordLogStats counts a log's durability operations.
+type RecordLogStats struct {
+	// Appends is the number of records appended since open.
+	Appends uint64
+	// Syncs is the number of fsyncs issued since open.
+	Syncs uint64
+	// Replayed is the number of records replayed at open.
+	Replayed uint64
+	// TailTruncated reports whether open truncated a torn tail.
+	TailTruncated bool
+}
+
+// RecordLog is an open log. Append/Sync/Roll/TruncateFrom/PruneTo are
+// serialized by an internal mutex; Stats is safe from any goroutine.
+type RecordLog struct {
+	cfg RecordLogConfig
+
+	mu       sync.Mutex
+	lock     *os.File
+	seg      *os.File // active segment
+	segments []uint64 // segment start indices, ascending (last = active)
+	segStart uint64   // active segment's first record index
+	next     uint64   // index the next Append returns
+	size     int64    // active segment's byte size
+	synced   int64    // active segment bytes known durable
+	dirty    bool
+	closed   bool
+
+	appends   atomic.Uint64
+	syncs     atomic.Uint64
+	replayed  uint64
+	truncated bool
+}
+
+// OpenRecordLog opens (creating if needed) the log in cfg.Dir, replays
+// every durable record through fn in index order, truncates a torn tail
+// in the newest segment, and positions the log for appends. A decode or
+// semantic error returned by fn aborts the open; corruption anywhere but
+// the newest segment's tail fails the open.
+func OpenRecordLog(cfg RecordLogConfig, fn func(idx uint64, body []byte) error) (*RecordLog, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("persist: RecordLog needs a directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	lock, err := acquireDirLock(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &RecordLog{cfg: cfg, lock: lock}
+	if err := l.replay(fn); err != nil {
+		lock.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *RecordLog) replay(fn func(idx uint64, body []byte) error) error {
+	starts, err := listSegmentFiles(l.cfg.Dir, l.cfg.Prefix)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if len(starts) == 0 {
+		return l.openFresh(0)
+	}
+	idx := starts[0]
+	for i, start := range starts {
+		if start != idx {
+			return fmt.Errorf("persist: %s log segment %016x does not continue at %016x",
+				l.cfg.Prefix, start, idx)
+		}
+		path := filepath.Join(l.cfg.Dir, segmentFileName(l.cfg.Prefix, start))
+		offset, rerr := replaySegmentFile(path, l.cfg.Prefix, func(body []byte) error {
+			if err := fn(idx, body); err != nil {
+				return err
+			}
+			idx++
+			l.replayed++
+			return nil
+		})
+		if rerr == errTornTail {
+			if i != len(starts)-1 {
+				return fmt.Errorf("persist: %s log segment %016x is corrupt mid-log", l.cfg.Prefix, start)
+			}
+			l.cfg.Logf("persist: truncating torn %s log tail of segment %016x at offset %d",
+				l.cfg.Prefix, start, offset)
+			if err := os.Truncate(path, offset); err != nil {
+				return fmt.Errorf("persist: %w", err)
+			}
+			l.truncated = true
+		} else if rerr != nil {
+			return rerr
+		}
+		if i == len(starts)-1 {
+			f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+			if err != nil {
+				return fmt.Errorf("persist: %w", err)
+			}
+			if _, err := f.Seek(offset, io.SeekStart); err != nil {
+				f.Close()
+				return fmt.Errorf("persist: %w", err)
+			}
+			l.seg = f
+			l.segStart = start
+			l.size = offset
+			l.synced = offset
+		}
+	}
+	l.segments = starts
+	l.next = idx
+	return nil
+}
+
+// openFresh creates the first segment of an empty log at index start.
+func (l *RecordLog) openFresh(start uint64) error {
+	f, err := createSegmentFile(l.cfg.Dir, l.cfg.Prefix, start)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	l.seg = f
+	l.segments = []uint64{start}
+	l.segStart = start
+	l.next = start
+	l.size = int64(walHeaderLen)
+	l.synced = l.size
+	return nil
+}
+
+// Append writes one record body as a checksummed frame and returns its
+// index. Under FsyncAlways the record is durable on return; under
+// FsyncGroup durability is deferred to the next Sync.
+func (l *RecordLog) Append(body []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("persist: RecordLog is closed")
+	}
+	n, err := appendRawFrame(l.seg, body)
+	if err != nil {
+		return 0, fmt.Errorf("persist: %w", err)
+	}
+	idx := l.next
+	l.next++
+	l.size += int64(n)
+	l.dirty = true
+	l.appends.Add(1)
+	if l.cfg.Fsync == FsyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return idx, nil
+}
+
+// Sync forces every appended record to stable storage (the group-commit
+// call). A no-op under FsyncNever or when nothing is dirty.
+func (l *RecordLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || !l.dirty || l.cfg.Fsync == FsyncNever {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *RecordLog) syncLocked() error {
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	l.synced = l.size
+	l.dirty = false
+	l.syncs.Add(1)
+	return nil
+}
+
+// NextIndex returns the index the next Append will be assigned.
+func (l *RecordLog) NextIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Segments returns the segment start indices, ascending (the last entry
+// is the active segment). Callers use it to align record semantics with
+// segment boundaries (the orderer's cut-record anchors).
+func (l *RecordLog) Segments() []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]uint64, len(l.segments))
+	copy(out, l.segments)
+	return out
+}
+
+// ActiveBytes returns the active segment's current size, for callers
+// that decide when to Roll.
+func (l *RecordLog) ActiveBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Roll seals the active segment (syncing it unless the policy is never)
+// and starts a fresh one at the next record index.
+func (l *RecordLog) Roll() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("persist: RecordLog is closed")
+	}
+	if l.dirty && l.cfg.Fsync != FsyncNever {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	f, err := createSegmentFile(l.cfg.Dir, l.cfg.Prefix, l.next)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	l.seg = f
+	l.segments = append(l.segments, l.next)
+	l.segStart = l.next
+	l.size = int64(walHeaderLen)
+	l.synced = l.size
+	l.dirty = false
+	return nil
+}
+
+// TruncateFrom discards every record with index >= idx (the Raft
+// conflict-truncation path). Later segments are deleted whole; a
+// truncation point inside a segment truncates the file in place. idx
+// below the first retained segment is an error (that history is pruned).
+func (l *RecordLog) TruncateFrom(idx uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("persist: RecordLog is closed")
+	}
+	if idx >= l.next {
+		return nil
+	}
+	if idx < l.segments[0] {
+		return fmt.Errorf("persist: TruncateFrom(%d) is below the pruned floor %d", idx, l.segments[0])
+	}
+	// Find the segment holding idx.
+	si := 0
+	for i, start := range l.segments {
+		if start <= idx {
+			si = i
+		}
+	}
+	// Drop every later segment whole.
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	for _, start := range l.segments[si+1:] {
+		if err := os.Remove(filepath.Join(l.cfg.Dir, segmentFileName(l.cfg.Prefix, start))); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	l.segments = l.segments[:si+1]
+	start := l.segments[si]
+	path := filepath.Join(l.cfg.Dir, segmentFileName(l.cfg.Prefix, start))
+	if idx == start {
+		// The whole segment goes; recreate it empty at idx.
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+		l.segments = l.segments[:si]
+		if err := syncDir(l.cfg.Dir); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+		if si == 0 {
+			return l.openFresh(idx)
+		}
+		f, err := createSegmentFile(l.cfg.Dir, l.cfg.Prefix, idx)
+		if err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+		l.seg = f
+		l.segments = append(l.segments, idx)
+		l.segStart = idx
+		l.next = idx
+		l.size = int64(walHeaderLen)
+		l.synced = l.size
+		l.dirty = false
+		return nil
+	}
+	// Scan to the byte offset of record idx and truncate in place.
+	scan := start
+	var errStop = errors.New("stop")
+	offset, err := replaySegmentFile(path, l.cfg.Prefix, func([]byte) error {
+		if scan == idx {
+			return errStop
+		}
+		scan++
+		return nil
+	})
+	if err != nil && err != errStop && err != errTornTail {
+		return err
+	}
+	if scan != idx {
+		return fmt.Errorf("persist: TruncateFrom(%d): segment %016x ends at %d", idx, start, scan)
+	}
+	if err := os.Truncate(path, offset); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	l.seg = f
+	l.segStart = start
+	l.next = idx
+	l.size = offset
+	l.synced = offset
+	l.dirty = false
+	return nil
+}
+
+// PruneTo deletes sealed segments that lie entirely below keep: segment
+// i goes when segment i+1 starts at or below keep (so the record at
+// index keep — and everything after it — survives). The active segment
+// is never pruned.
+func (l *RecordLog) PruneTo(keep uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("persist: RecordLog is closed")
+	}
+	kept := l.segments[:0]
+	removed := false
+	for i, start := range l.segments {
+		if i+1 < len(l.segments) && l.segments[i+1] <= keep && start != l.segStart {
+			if err := os.Remove(filepath.Join(l.cfg.Dir, segmentFileName(l.cfg.Prefix, start))); err != nil {
+				return fmt.Errorf("persist: %w", err)
+			}
+			removed = true
+			continue
+		}
+		kept = append(kept, start)
+	}
+	l.segments = kept
+	if removed {
+		if err := syncDir(l.cfg.Dir); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	return nil
+}
+
+// Range streams every durable record with index >= from through fn in
+// order (the Kafka adapter's catch-up serving path). It reads the
+// segment files directly, so concurrent appends made after the call
+// starts may or may not be included.
+func (l *RecordLog) Range(from uint64, fn func(idx uint64, body []byte) error) error {
+	l.mu.Lock()
+	segments := make([]uint64, len(l.segments))
+	copy(segments, l.segments)
+	l.mu.Unlock()
+	for _, start := range segments {
+		if idxEnd := l.segmentEnd(segments, start); idxEnd <= from {
+			continue
+		}
+		idx := start
+		path := filepath.Join(l.cfg.Dir, segmentFileName(l.cfg.Prefix, start))
+		_, err := replaySegmentFile(path, l.cfg.Prefix, func(body []byte) error {
+			defer func() { idx++ }()
+			if idx < from {
+				return nil
+			}
+			return fn(idx, body)
+		})
+		if err != nil && err != errTornTail {
+			return err
+		}
+	}
+	return nil
+}
+
+// segmentEnd returns the exclusive end index of the segment starting at
+// start — the next segment's start, or NextIndex for the active one.
+func (l *RecordLog) segmentEnd(segments []uint64, start uint64) uint64 {
+	for i, s := range segments {
+		if s == start && i+1 < len(segments) {
+			return segments[i+1]
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Close syncs (unless the policy is never), closes the active segment,
+// and releases the directory lock.
+func (l *RecordLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.dirty && l.cfg.Fsync != FsyncNever {
+		err = l.syncLocked()
+	}
+	if cerr := l.seg.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := l.lock.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash simulates a machine crash for tests: unsynced bytes of the
+// active segment are discarded — what a power loss does to the page
+// cache — and the log becomes unusable without a final sync.
+func (l *RecordLog) Crash() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	path := filepath.Join(l.cfg.Dir, segmentFileName(l.cfg.Prefix, l.segStart))
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("persist: crash close: %w", err)
+	}
+	if err := os.Truncate(path, l.synced); err != nil {
+		return fmt.Errorf("persist: crash truncate: %w", err)
+	}
+	return l.lock.Close()
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *RecordLog) Stats() RecordLogStats {
+	return RecordLogStats{
+		Appends:       l.appends.Load(),
+		Syncs:         l.syncs.Load(),
+		Replayed:      l.replayed,
+		TailTruncated: l.truncated,
+	}
+}

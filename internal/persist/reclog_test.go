@@ -1,0 +1,279 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openLog opens a RecordLog in dir collecting every replayed record.
+func openLog(t *testing.T, dir string, fsync FsyncPolicy) (*RecordLog, [][]byte) {
+	t.Helper()
+	var replayed [][]byte
+	l, err := OpenRecordLog(RecordLogConfig{Dir: dir, Prefix: "t", Fsync: fsync},
+		func(idx uint64, body []byte) error {
+			if int(idx) != len(replayed) {
+				t.Fatalf("replay index %d, want %d", idx, len(replayed))
+			}
+			replayed = append(replayed, append([]byte{}, body...))
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, replayed
+}
+
+func appendN(t *testing.T, l *RecordLog, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		idx, err := l.Append([]byte(fmt.Sprintf("rec-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != uint64(i) {
+			t.Fatalf("Append index %d, want %d", idx, i)
+		}
+	}
+}
+
+func TestRecordLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, replayed := openLog(t, dir, FsyncGroup)
+	if len(replayed) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(replayed))
+	}
+	appendN(t, l, 0, 5)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed := openLog(t, dir, FsyncGroup)
+	defer l2.Close()
+	if len(replayed) != 5 || string(replayed[3]) != "rec-003" {
+		t.Fatalf("replayed %d records, [3]=%q", len(replayed), replayed[3])
+	}
+	if l2.NextIndex() != 5 {
+		t.Fatalf("NextIndex = %d, want 5", l2.NextIndex())
+	}
+	if s := l2.Stats(); s.Replayed != 5 || s.TailTruncated {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRecordLogRollRangePrune(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, FsyncGroup)
+	defer l.Close()
+	appendN(t, l, 0, 3)
+	if err := l.Roll(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 3)
+	if err := l.Roll(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 6, 2)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	segs := l.Segments()
+	if len(segs) != 3 || segs[0] != 0 || segs[1] != 3 || segs[2] != 6 {
+		t.Fatalf("segments = %v", segs)
+	}
+	// Range from the middle of a sealed segment.
+	var got []string
+	if err := l.Range(4, func(idx uint64, body []byte) error {
+		got = append(got, fmt.Sprintf("%d:%s", idx, body))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := "4:rec-004 5:rec-005 6:rec-006 7:rec-007"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("Range = %q, want %q", strings.Join(got, " "), want)
+	}
+	// Prune below record 3: the first segment goes, the rest stay.
+	if err := l.PruneTo(3); err != nil {
+		t.Fatal(err)
+	}
+	segs = l.Segments()
+	if len(segs) != 2 || segs[0] != 3 {
+		t.Fatalf("segments after prune = %v", segs)
+	}
+	if err := l.Range(0, func(idx uint64, body []byte) error {
+		if idx < 3 {
+			return fmt.Errorf("pruned record %d resurfaced", idx)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordLogTruncateFrom(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, FsyncGroup)
+	appendN(t, l, 0, 3)
+	if err := l.Roll(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 4)
+	// Truncate inside the active segment: records 5.. go.
+	if err := l.TruncateFrom(5); err != nil {
+		t.Fatal(err)
+	}
+	if l.NextIndex() != 5 {
+		t.Fatalf("NextIndex = %d, want 5", l.NextIndex())
+	}
+	appendN(t, l, 5, 1)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed := openLog(t, dir, FsyncGroup)
+	defer l2.Close()
+	if len(replayed) != 6 || string(replayed[5]) != "rec-005" {
+		t.Fatalf("replayed %d records, [5]=%q", len(replayed), replayed[5])
+	}
+}
+
+// TestRecordLogTornTailRecovered mirrors the executor WAL contract: a
+// torn frame at the newest segment's tail (the expected crash shape) is
+// truncated on open, and the log continues from the durable prefix.
+func TestRecordLogTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, FsyncGroup)
+	appendN(t, l, 0, 4)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: chop the last 3 bytes of the active segment, leaving
+	// a frame whose body is shorter than its length prefix promises.
+	path := filepath.Join(dir, segmentFileName("t", 0))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed := openLog(t, dir, FsyncGroup)
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d records after torn tail, want 3", len(replayed))
+	}
+	if s := l2.Stats(); !s.TailTruncated {
+		t.Fatal("TailTruncated not reported")
+	}
+	// The log must be appendable right where the tear was cut.
+	appendN(t, l2, 3, 1)
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, replayed := openLog(t, dir, FsyncGroup)
+	defer l3.Close()
+	if len(replayed) != 4 || string(replayed[3]) != "rec-003" {
+		t.Fatalf("after repair: replayed %d, [3]=%q", len(replayed), replayed[3])
+	}
+}
+
+// TestRecordLogMidLogCorruptionFatal: a bad frame anywhere but the newest
+// segment's tail is disk corruption, not a crash artifact — the open must
+// fail loudly instead of silently dropping history.
+func TestRecordLogMidLogCorruptionFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, FsyncGroup)
+	appendN(t, l, 0, 3)
+	if err := l.Roll(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 2)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the sealed first segment: its CRC no longer
+	// matches, and the segment is not the newest.
+	path := filepath.Join(dir, segmentFileName("t", 0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRecordLog(RecordLogConfig{Dir: dir, Prefix: "t"},
+		func(uint64, []byte) error { return nil }); err == nil {
+		t.Fatal("open succeeded over mid-log corruption")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestRecordLogDoubleOpenRejected: the directory flock keeps a second
+// process (or a leaked handle) from mounting the same log concurrently.
+func TestRecordLogDoubleOpenRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, FsyncGroup)
+	defer l.Close()
+	if _, err := OpenRecordLog(RecordLogConfig{Dir: dir, Prefix: "t"},
+		func(uint64, []byte) error { return nil }); err == nil {
+		t.Fatal("second open on a locked directory succeeded")
+	}
+}
+
+// TestRecordLogCrashDropsUnsynced: Crash discards appends made after the
+// last sync — the page-cache bytes a power loss would eat — while the
+// synced prefix survives.
+func TestRecordLogCrashDropsUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, FsyncGroup)
+	appendN(t, l, 0, 2)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 2, 3) // never synced
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed := openLog(t, dir, FsyncGroup)
+	defer l2.Close()
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d records after crash, want 2", len(replayed))
+	}
+	if l2.NextIndex() != 2 {
+		t.Fatalf("NextIndex = %d, want 2", l2.NextIndex())
+	}
+}
+
+// TestRecordLogFsyncAlwaysSurvivesCrash: under FsyncAlways every append
+// is durable on return, so Crash loses nothing.
+func TestRecordLogFsyncAlwaysSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, FsyncAlways)
+	appendN(t, l, 0, 3)
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	l2, replayed := openLog(t, dir, FsyncAlways)
+	defer l2.Close()
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(replayed))
+	}
+}

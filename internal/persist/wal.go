@@ -45,9 +45,16 @@ const (
 	maxWALRecordBytes = 256 << 20
 )
 
-// segmentName formats a segment file name for its start height.
+// segmentFileName formats a segment file name for its start height under
+// an arbitrary prefix — "wal" for the executor WAL, the RecordLog
+// prefixes ("olog", "raft", "kafka") for the ordering-side logs.
+func segmentFileName(prefix string, start uint64) string {
+	return fmt.Sprintf("%s-%016x.seg", prefix, start)
+}
+
+// segmentName formats a WAL segment file name for its start height.
 func segmentName(start uint64) string {
-	return fmt.Sprintf("wal-%016x.seg", start)
+	return segmentFileName("wal", start)
 }
 
 // parseHeightName extracts the 16-hex-digit height from a file named
@@ -68,21 +75,21 @@ func parseHeightName(name, prefix, suffix string) (uint64, bool) {
 	return h, true
 }
 
-// parseSegmentName extracts the start height from a segment file name.
+// parseSegmentName extracts the start height from a WAL segment name.
 func parseSegmentName(name string) (uint64, bool) {
 	return parseHeightName(name, "wal-", ".seg")
 }
 
-// listSegments returns the start heights of every segment in the wal
-// directory, ascending.
-func listSegments(walDir string) ([]uint64, error) {
-	entries, err := os.ReadDir(walDir)
+// listSegmentFiles returns the start heights of every segment with the
+// given prefix in dir, ascending.
+func listSegmentFiles(dir, prefix string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	starts := make([]uint64, 0, len(entries))
 	for _, e := range entries {
-		if start, ok := parseSegmentName(e.Name()); ok {
+		if start, ok := parseHeightName(e.Name(), prefix+"-", ".seg"); ok {
 			starts = append(starts, start)
 		}
 	}
@@ -90,11 +97,17 @@ func listSegments(walDir string) ([]uint64, error) {
 	return starts, nil
 }
 
-// createSegment creates (truncating any leftover) a segment file for
-// records starting at the given height and durably records its
-// directory entry.
-func createSegment(walDir string, start uint64) (*os.File, error) {
-	path := filepath.Join(walDir, segmentName(start))
+// listSegments returns the start heights of every segment in the wal
+// directory, ascending.
+func listSegments(walDir string) ([]uint64, error) {
+	return listSegmentFiles(walDir, "wal")
+}
+
+// createSegmentFile creates (truncating any leftover) a prefix-named
+// segment file for records starting at the given height and durably
+// records its directory entry.
+func createSegmentFile(dir, prefix string, start uint64) (*os.File, error) {
+	path := filepath.Join(dir, segmentFileName(prefix, start))
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
@@ -110,11 +123,16 @@ func createSegment(walDir string, start uint64) (*os.File, error) {
 		f.Close()
 		return nil, err
 	}
-	if err := syncDir(walDir); err != nil {
+	if err := syncDir(dir); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return f, nil
+}
+
+// createSegment creates a WAL segment file.
+func createSegment(walDir string, start uint64) (*os.File, error) {
+	return createSegmentFile(walDir, "wal", start)
 }
 
 // appendFrame encodes rec as one frame — the 8-byte header is reserved
@@ -134,15 +152,34 @@ func appendFrame(f *os.File, rec *BlockRecord) (int, error) {
 	return w.Len(), nil
 }
 
+// appendRawFrame frames an already-encoded record body and appends it to
+// the segment — the RecordLog flavor of appendFrame, identical on disk.
+func appendRawFrame(f *os.File, body []byte) (int, error) {
+	w := types.AcquireWriter()
+	defer types.ReleaseWriter(w)
+	w.U64(0) // header placeholder, patched below
+	w.Raw(body)
+	w.PatchU64(0, uint64(len(body))<<32|uint64(crc32.Checksum(body, castagnoli)))
+	if _, err := f.Write(w.Bytes()); err != nil {
+		return 0, err
+	}
+	return w.Len(), nil
+}
+
 // errTornTail reports a frame that ends mid-write: a short header, a
 // short body, or a checksum mismatch at the end of a segment.
 var errTornTail = errors.New("persist: torn WAL tail")
 
-// replaySegment streams a segment's records through fn in order,
+// replaySegment streams a WAL segment's records through fn in order.
+func replaySegment(path string, fn func(body []byte) error) (int64, error) {
+	return replaySegmentFile(path, "wal", fn)
+}
+
+// replaySegmentFile streams a segment's records through fn in order,
 // stopping at the first torn frame. It returns the byte offset of the
 // valid prefix (for truncation) and errTornTail if the tail was torn;
 // any other error aborts the replay.
-func replaySegment(path string, fn func(body []byte) error) (int64, error) {
+func replaySegmentFile(path, prefix string, fn func(body []byte) error) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -156,7 +193,7 @@ func replaySegment(path string, fn func(body []byte) error) (int64, error) {
 		return 0, fmt.Errorf("persist: segment %s has bad magic", path)
 	}
 	name := filepath.Base(path)
-	if start, ok := parseSegmentName(name); !ok ||
+	if start, ok := parseHeightName(name, prefix+"-", ".seg"); !ok ||
 		start != binary.BigEndian.Uint64(hdr[len(walMagic):]) {
 		return 0, fmt.Errorf("persist: segment %s header height does not match its name", path)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"parblockchain/internal/consensus/kafkaorder"
+	"parblockchain/internal/consensus/pbft"
 	"parblockchain/internal/consensus/raft"
 	"parblockchain/internal/types"
 )
@@ -24,16 +25,17 @@ import (
 // Frames are length-prefixed and tagged. The hot protocol payloads —
 // REQUEST, NEWBLOCK, COMMIT, and the streaming SEGMENT/SEAL messages —
 // travel as the fuzz-hardened binary encodings of internal/types, and
-// the crash-fault-tolerant consensus payloads (Raft and kafkaorder
-// messages, including the heartbeats that dominate idle-cluster
-// traffic) as the hand-rolled codecs of their packages, so the wire
-// format is deterministic, free of gob's reflection and per-stream type
-// headers, and hostile input fails in a bounded decoder instead of
-// gob's allocator. The state-sync catch-up pair rides its own binary
-// frames too — responses carry whole WAL record batches or snapshot
-// chunks, the worst place for gob overhead. Everything else (PBFT
-// messages, commit notifications) rides a tagged gob escape hatch,
-// encoded per frame with the types registered via RegisterWireTypes.
+// every consensus payload (Raft, kafkaorder, and PBFT messages,
+// including the heartbeats that dominate idle-cluster traffic and the
+// nested view-change certificates) as the hand-rolled codecs of their
+// packages, so the wire format is deterministic, free of gob's
+// reflection and per-stream type headers, and hostile input fails in a
+// bounded decoder instead of gob's allocator. The state-sync catch-up
+// pair rides its own binary frames too — responses carry whole WAL
+// record batches or snapshot chunks, the worst place for gob overhead.
+// Only commit notifications and test payloads remain on the tagged gob
+// escape hatch, encoded per frame with the types registered via
+// RegisterWireTypes.
 //
 // Peer identity is established by a handshake frame and then pinned to
 // the connection. Production deployments would authenticate links with
@@ -57,8 +59,7 @@ type TCPConfig struct {
 // RegisterWireTypes registers payload types with gob so they can travel
 // over the escape-hatch frames. Call it once per process with every
 // concrete payload the node sends or receives that is not one of the
-// binary-framed protocol messages (e.g. pbft.PrePrepare{}, raft
-// messages, &types.CommitNotifyMsg{}).
+// binary-framed protocol messages (e.g. &types.CommitNotifyMsg{}).
 func RegisterWireTypes(payloads ...any) {
 	for _, p := range payloads {
 		gob.Register(p)
@@ -92,6 +93,18 @@ const (
 	// Peer-served catch-up (state sync) messages.
 	frameStateSyncReq  byte = 16 // body: types.StateSyncRequestMsg binary encoding
 	frameStateSyncResp byte = 17 // body: types.StateSyncResponseMsg binary encoding
+
+	// PBFT consensus payloads, including the nested view-change
+	// certificates.
+	framePBFTForward    byte = 18 // body: pbft.Forward binary encoding
+	framePBFTPrePrepare byte = 19 // body: pbft.PrePrepare binary encoding
+	framePBFTPrepare    byte = 20 // body: pbft.Prepare binary encoding
+	framePBFTCommit     byte = 21 // body: pbft.Commit binary encoding
+	framePBFTViewChange byte = 22 // body: pbft.ViewChange binary encoding
+	framePBFTNewView    byte = 23 // body: pbft.NewView binary encoding
+
+	// Kafka broker catch-up after a durable restart.
+	frameKafkaFetch byte = 24 // body: kafkaorder.Fetch binary encoding
 )
 
 // maxFrameBytes bounds a single inbound frame (64 MiB): far above any
@@ -137,6 +150,20 @@ func encodeFrame(payload any) (byte, []byte, error) {
 		return frameKafkaAck, p.Marshal(), nil
 	case kafkaorder.CommitAnn:
 		return frameKafkaCommitAnn, p.Marshal(), nil
+	case kafkaorder.Fetch:
+		return frameKafkaFetch, p.Marshal(), nil
+	case pbft.Forward:
+		return framePBFTForward, p.Marshal(), nil
+	case pbft.PrePrepare:
+		return framePBFTPrePrepare, p.Marshal(), nil
+	case pbft.Prepare:
+		return framePBFTPrepare, p.Marshal(), nil
+	case pbft.Commit:
+		return framePBFTCommit, p.Marshal(), nil
+	case pbft.ViewChange:
+		return framePBFTViewChange, p.Marshal(), nil
+	case pbft.NewView:
+		return framePBFTNewView, p.Marshal(), nil
 	case *types.StateSyncRequestMsg:
 		return frameStateSyncReq, p.Marshal(), nil
 	case *types.StateSyncResponseMsg:
@@ -182,6 +209,20 @@ func decodeFrame(tag byte, body []byte) (any, error) {
 		return kafkaorder.UnmarshalAck(body)
 	case frameKafkaCommitAnn:
 		return kafkaorder.UnmarshalCommitAnn(body)
+	case frameKafkaFetch:
+		return kafkaorder.UnmarshalFetch(body)
+	case framePBFTForward:
+		return pbft.UnmarshalForward(body)
+	case framePBFTPrePrepare:
+		return pbft.UnmarshalPrePrepare(body)
+	case framePBFTPrepare:
+		return pbft.UnmarshalPrepare(body)
+	case framePBFTCommit:
+		return pbft.UnmarshalCommit(body)
+	case framePBFTViewChange:
+		return pbft.UnmarshalViewChange(body)
+	case framePBFTNewView:
+		return pbft.UnmarshalNewView(body)
 	case frameStateSyncReq:
 		return types.UnmarshalStateSyncRequest(body)
 	case frameStateSyncResp:

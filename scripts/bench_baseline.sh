@@ -20,6 +20,13 @@
 # with the tau-quorum wait) with spec-misses/block at 0.
 # BenchmarkSnapshotWrite/{serial,parallel-N} records the shard-parallel
 # snapshot writer against the serial baseline.
+# BenchmarkOrdererDurable/{mem,wal-group,wal-always} records the orderer
+# log's cost on the block cut path: the mem row is the in-memory
+# baseline, the wal rows add cut-state durability. wal-group's
+# fsyncs/block is expected to stay ~1.0 (entry records ride the group
+# commit; only the cut record forces the fsync), and its tx/s gap to mem
+# is the price of orderer crash durability; wal-always fsyncs every
+# entry append and exists as the upper bound.
 # BenchmarkTelemetryOverhead/{off,on} is the observability contract: the
 # off row (nil tracer, no registry — the default configuration) must
 # stay within noise of the plain pipeline rows across runs, and the on
@@ -47,7 +54,8 @@ out="${1:-BENCH_state.json}"
 benchtime="${BENCHTIME:-500ms}"
 
 raw=$(go test -bench '.' -benchtime "$benchtime" -run '^$' \
-	./internal/state/ ./internal/types/ ./internal/execution/ ./internal/persist/)
+	./internal/state/ ./internal/types/ ./internal/execution/ \
+	./internal/ordering/ ./internal/persist/)
 
 snapshot=$(mktemp)
 trap 'rm -f "$snapshot"' EXIT
